@@ -1,0 +1,52 @@
+package nsg
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchResult holds one query's answer within a batch.
+type BatchResult struct {
+	IDs   []int32
+	Dists []float32
+}
+
+// SearchBatch answers many queries concurrently on workers goroutines
+// (GOMAXPROCS when workers <= 0). Each individual query still runs the
+// paper's single-threaded Algorithm 1; only queries are parallelized, the
+// same throughput model as the paper's multi-core deployments. The index is
+// read-only during search, so concurrent queries are safe.
+func (x *Index) SearchBatch(queries [][]float32, k, l, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([]BatchResult, len(queries))
+	if workers <= 1 {
+		for i, q := range queries {
+			ids, dists := x.SearchWithPool(q, k, l)
+			out[i] = BatchResult{IDs: ids, Dists: dists}
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				ids, dists := x.SearchWithPool(queries[i], k, l)
+				out[i] = BatchResult{IDs: ids, Dists: dists}
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

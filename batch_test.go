@@ -1,0 +1,46 @@
+package nsg
+
+import "testing"
+
+func TestSearchBatchMatchesSerial(t *testing.T) {
+	vecs := randomVectors(900, 12, 12)
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	idx, err := Build(vecs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := randomVectors(40, 12, 13)
+	batch := idx.SearchBatch(queries, 5, 40, 4)
+	if len(batch) != 40 {
+		t.Fatalf("batch results = %d, want 40", len(batch))
+	}
+	for i, q := range queries {
+		ids, dists := idx.SearchWithPool(q, 5, 40)
+		for j := range ids {
+			if batch[i].IDs[j] != ids[j] || batch[i].Dists[j] != dists[j] {
+				t.Fatalf("query %d: batch %v/%v vs serial %v/%v", i, batch[i].IDs, batch[i].Dists, ids, dists)
+			}
+		}
+	}
+}
+
+func TestSearchBatchWorkerEdgeCases(t *testing.T) {
+	vecs := randomVectors(200, 6, 14)
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	idx, err := Build(vecs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := randomVectors(3, 6, 15)
+	for _, workers := range []int{0, 1, 100} {
+		got := idx.SearchBatch(queries, 2, 20, workers)
+		if len(got) != 3 || len(got[0].IDs) != 2 {
+			t.Fatalf("workers=%d: shape wrong", workers)
+		}
+	}
+	if got := idx.SearchBatch(nil, 2, 20, 4); len(got) != 0 {
+		t.Error("empty batch should return empty results")
+	}
+}

@@ -1,0 +1,474 @@
+package nsg
+
+// This file hosts the testing.B counterparts of the paper's tables and
+// figures plus the ablation benches DESIGN.md calls out. Each benchmark is
+// named after the experiment it regenerates; `go test -bench=.` runs the
+// full set and `cmd/bench` prints the corresponding paper-style rows.
+//
+// Benchmarks use small fixed datasets so -bench runs terminate quickly; the
+// full-scale sweeps live behind cmd/bench.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distsearch"
+	"repro/internal/dpg"
+	"repro/internal/efanna"
+	"repro/internal/fanng"
+	"repro/internal/graphutil"
+	"repro/internal/hnsw"
+	"repro/internal/ivfpq"
+	"repro/internal/kgraph"
+	"repro/internal/knngraph"
+	"repro/internal/lsh"
+	"repro/internal/scan"
+	"repro/internal/vecmath"
+)
+
+// benchData caches one dataset + kNN graph across benchmarks in a single
+// `go test -bench` process.
+var benchData struct {
+	once sync.Once
+	ds   dataset.Dataset
+	knn  *graphutil.Graph
+	nsg  *core.NSG
+	err  error
+}
+
+func loadBenchData(b *testing.B) (dataset.Dataset, *graphutil.Graph, *core.NSG) {
+	b.Helper()
+	benchData.once.Do(func() {
+		ds, err := dataset.SIFTLike(dataset.Config{N: 4000, Queries: 100, GTK: 100, Dim: 128, Seed: 1})
+		if err != nil {
+			benchData.err = err
+			return
+		}
+		knn, err := knngraph.BuildExact(ds.Base, 40)
+		if err != nil {
+			benchData.err = err
+			return
+		}
+		idx, _, err := core.NSGBuild(knn, ds.Base, core.BuildParams{L: 40, M: 30, Seed: 1})
+		if err != nil {
+			benchData.err = err
+			return
+		}
+		benchData.ds, benchData.knn, benchData.nsg = ds, knn, idx
+	})
+	if benchData.err != nil {
+		b.Fatal(benchData.err)
+	}
+	return benchData.ds, benchData.knn, benchData.nsg
+}
+
+// --- Table 1: LID estimation ---
+
+func BenchmarkTable1LID(b *testing.B) {
+	ds, _, _ := loadBenchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dataset.EstimateLID(ds.Base, 20, 100, int64(i))
+	}
+}
+
+// --- Table 3 / Figure 12: index construction ---
+
+func BenchmarkBuildKNNGraphExact(b *testing.B) {
+	ds, _, _ := loadBenchData(b)
+	sub := ds.Base.Slice(0, 1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := knngraph.BuildExact(sub, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildKNNGraphNNDescent(b *testing.B) {
+	ds, _, _ := loadBenchData(b)
+	sub := ds.Base.Slice(0, 1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := knngraph.DefaultParams(20)
+		p.Seed = int64(i)
+		if _, err := knngraph.BuildNNDescent(sub, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildNSG(b *testing.B) {
+	ds, knn, _ := loadBenchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.NSGBuild(knn, ds.Base, core.BuildParams{L: 40, M: 30, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildHNSW(b *testing.B) {
+	ds, _, _ := loadBenchData(b)
+	sub := ds.Base.Slice(0, 1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hnsw.Build(sub, hnsw.Params{M: 12, EfConstruction: 80, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildFANNG(b *testing.B) {
+	ds, knn, _ := loadBenchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fanng.Build(knn, ds.Base, fanng.DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildDPG(b *testing.B) {
+	ds, knn, _ := loadBenchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpg.Build(knn, ds.Base, dpg.Params{Keep: 20, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildLSH(b *testing.B) {
+	ds, _, _ := loadBenchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lsh.Build(ds.Base, lsh.DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildIVFPQ(b *testing.B) {
+	ds, _, _ := loadBenchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ivfpq.DefaultParams()
+		p.NList = 64
+		if _, err := ivfpq.Build(ds.Base, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 6: per-method search at a high-recall operating point ---
+
+func benchSearch(b *testing.B, search func(q []float32) []vecmath.Neighbor) {
+	ds, _, _ := loadBenchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := ds.Queries.Row(i % ds.Queries.Rows)
+		if res := search(q); len(res) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig6SearchNSG(b *testing.B) {
+	_, _, idx := loadBenchData(b)
+	benchSearch(b, func(q []float32) []vecmath.Neighbor {
+		return idx.Search(q, 10, 60, nil)
+	})
+}
+
+func BenchmarkFig6SearchHNSW(b *testing.B) {
+	ds, _, _ := loadBenchData(b)
+	idx, err := hnsw.Build(ds.Base, hnsw.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSearch(b, func(q []float32) []vecmath.Neighbor {
+		return idx.Search(q, 10, 60, nil)
+	})
+}
+
+func BenchmarkFig6SearchKGraph(b *testing.B) {
+	ds, knn, _ := loadBenchData(b)
+	idx, err := kgraph.New(knn, ds.Base, 3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSearch(b, func(q []float32) []vecmath.Neighbor {
+		return idx.Search(q, 10, 60, nil)
+	})
+}
+
+func BenchmarkFig6SearchFANNG(b *testing.B) {
+	ds, knn, _ := loadBenchData(b)
+	idx, err := fanng.Build(knn, ds.Base, fanng.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSearch(b, func(q []float32) []vecmath.Neighbor {
+		return idx.Search(q, 10, 60, nil)
+	})
+}
+
+func BenchmarkFig6SearchDPG(b *testing.B) {
+	ds, knn, _ := loadBenchData(b)
+	idx, err := dpg.Build(knn, ds.Base, dpg.Params{Keep: 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSearch(b, func(q []float32) []vecmath.Neighbor {
+		return idx.Search(q, 10, 60, nil)
+	})
+}
+
+func BenchmarkFig6SearchEfanna(b *testing.B) {
+	ds, knn, _ := loadBenchData(b)
+	forest, err := efanna.BuildForest(ds.Base, efanna.DefaultForestParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := efanna.New(forest, knn, ds.Base, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSearch(b, func(q []float32) []vecmath.Neighbor {
+		return idx.Search(q, 10, 60, nil)
+	})
+}
+
+func BenchmarkFig6SearchSerialScan(b *testing.B) {
+	ds, _, _ := loadBenchData(b)
+	benchSearch(b, func(q []float32) []vecmath.Neighbor {
+		return scan.Search(ds.Base, q, 10, nil)
+	})
+}
+
+// --- Figure 7: sharded vs single NSG, IVFPQ ---
+
+func BenchmarkFig7ShardedNSG16(b *testing.B) {
+	ds, _, _ := loadBenchData(b)
+	sh, err := distsearch.BuildSharded(ds.Base, distsearch.DefaultParams(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSearch(b, func(q []float32) []vecmath.Neighbor {
+		return sh.Search(q, 10, 40)
+	})
+}
+
+func BenchmarkFig7IVFPQ(b *testing.B) {
+	ds, _, _ := loadBenchData(b)
+	p := ivfpq.DefaultParams()
+	p.NList = 64
+	idx, err := ivfpq.Build(ds.Base, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSearch(b, func(q []float32) []vecmath.Neighbor {
+		return idx.Search(q, 10, 8, 40, nil)
+	})
+}
+
+// --- Figure 8: distance computations per query (reported as a metric) ---
+
+func BenchmarkFig8DistanceComputations(b *testing.B) {
+	ds, _, idx := loadBenchData(b)
+	var counter vecmath.Counter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Search(ds.Queries.Row(i%ds.Queries.Rows), 10, 60, &counter)
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(counter.Count())/float64(b.N), "dist/query")
+	}
+}
+
+// --- Figures 9-11: scaling probes at bench scale ---
+
+func BenchmarkFig9Search1NN(b *testing.B) {
+	_, _, idx := loadBenchData(b)
+	benchSearch(b, func(q []float32) []vecmath.Neighbor {
+		return idx.Search(q, 1, 40, nil)
+	})
+}
+
+func BenchmarkFig10Search100NN(b *testing.B) {
+	_, _, idx := loadBenchData(b)
+	benchSearch(b, func(q []float32) []vecmath.Neighbor {
+		return idx.Search(q, 100, 150, nil)
+	})
+}
+
+func BenchmarkFig11SearchByK(b *testing.B) {
+	_, _, idx := loadBenchData(b)
+	for _, k := range []int{1, 10, 50, 100} {
+		b.Run(fmt.Sprintf("K%d", k), func(b *testing.B) {
+			benchSearch(b, func(q []float32) []vecmath.Neighbor {
+				return idx.Search(q, k, 2*k+40, nil)
+			})
+		})
+	}
+}
+
+// --- Table 5: sharded e-commerce search ---
+
+func BenchmarkTable5ECommerceSharded(b *testing.B) {
+	ds, err := dataset.ECommerceLike(dataset.Config{N: 4000, Queries: 50, GTK: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh, err := distsearch.BuildSharded(ds.Base, distsearch.DefaultParams(12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh.Search(ds.Queries.Row(i%ds.Queries.Rows), 10, 40)
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationEdgeSelect compares the MRNG edge rule against plain kNN
+// truncation at the same degree cap: the quality difference is reported as
+// recall metrics, the cost difference as ns/op.
+func BenchmarkAblationEdgeSelect(b *testing.B) {
+	ds, knn, _ := loadBenchData(b)
+	// MRNG-pruned (NSG) vs first-m-neighbors truncation.
+	trunc := graphutil.New(knn.N())
+	m := 30
+	for i := range knn.Adj {
+		lim := m
+		if lim > len(knn.Adj[i]) {
+			lim = len(knn.Adj[i])
+		}
+		trunc.Adj[i] = knn.Adj[i][:lim]
+	}
+	truncIdx, err := kgraph.New(trunc, ds.Base, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, _, nsgIdx := loadBenchData(b)
+
+	recallOf := func(search func(q []float32) []vecmath.Neighbor) float64 {
+		got := make([][]int32, ds.Queries.Rows)
+		for qi := 0; qi < ds.Queries.Rows; qi++ {
+			res := search(ds.Queries.Row(qi))
+			ids := make([]int32, len(res))
+			for i, n := range res {
+				ids[i] = n.ID
+			}
+			got[qi] = ids
+		}
+		return dataset.MeanRecall(got, ds.GT, 10)
+	}
+
+	b.Run("MRNGRule", func(b *testing.B) {
+		benchSearch(b, func(q []float32) []vecmath.Neighbor { return nsgIdx.Search(q, 10, 60, nil) })
+		b.ReportMetric(recallOf(func(q []float32) []vecmath.Neighbor { return nsgIdx.Search(q, 10, 60, nil) }), "recall")
+	})
+	b.Run("KNNTruncate", func(b *testing.B) {
+		benchSearch(b, func(q []float32) []vecmath.Neighbor { return truncIdx.Search(q, 10, 60, nil) })
+		b.ReportMetric(recallOf(func(q []float32) []vecmath.Neighbor { return truncIdx.Search(q, 10, 60, nil) }), "recall")
+	})
+}
+
+// BenchmarkAblationEntry compares the fixed navigating-node entry against
+// random entry on the same NSG graph.
+func BenchmarkAblationEntry(b *testing.B) {
+	ds, _, idx := loadBenchData(b)
+	b.Run("NavigatingNode", func(b *testing.B) {
+		benchSearch(b, func(q []float32) []vecmath.Neighbor { return idx.Search(q, 10, 60, nil) })
+	})
+	b.Run("RandomEntry", func(b *testing.B) {
+		i := 0
+		benchSearch(b, func(q []float32) []vecmath.Neighbor {
+			i++
+			start := int32(i*2654435761) % int32(ds.Base.Rows)
+			if start < 0 {
+				start = -start
+			}
+			return core.SearchOnGraph(idx.Graph.Adj, ds.Base, q, []int32{start}, 10, 60, nil, nil).Neighbors
+		})
+	})
+}
+
+// BenchmarkAblationDegreeCap sweeps the degree cap m of Algorithm 2.
+func BenchmarkAblationDegreeCap(b *testing.B) {
+	ds, knn, _ := loadBenchData(b)
+	for _, m := range []int{10, 20, 40} {
+		b.Run(fmt.Sprintf("M%d", m), func(b *testing.B) {
+			idx, _, err := core.NSGBuild(knn, ds.Base, core.BuildParams{L: 40, M: m, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSearch(b, func(q []float32) []vecmath.Neighbor { return idx.Search(q, 10, 60, nil) })
+		})
+	}
+}
+
+// BenchmarkAblationCandidates compares search-collected candidates (full
+// Algorithm 2) against kNN-only candidates (NSG-Naive) at equal degree cap.
+func BenchmarkAblationCandidates(b *testing.B) {
+	ds, knn, idx := loadBenchData(b)
+	naive, err := core.NSGNaiveBuild(knn, ds.Base, 30, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("SearchCollected", func(b *testing.B) {
+		benchSearch(b, func(q []float32) []vecmath.Neighbor { return idx.Search(q, 10, 60, nil) })
+	})
+	b.Run("KNNOnly", func(b *testing.B) {
+		benchSearch(b, func(q []float32) []vecmath.Neighbor { return naive.Search(q, 10, 60, nil) })
+	})
+}
+
+// --- Public API benchmarks ---
+
+func BenchmarkPublicAPIBuild(b *testing.B) {
+	ds, _, _ := loadBenchData(b)
+	sub := ds.Base.Slice(0, 1500).Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildFromFlat(append([]float32{}, sub.Data...), sub.Dim, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPublicAPISearch(b *testing.B) {
+	ds, _, _ := loadBenchData(b)
+	idx, err := BuildFromFlat(append([]float32{}, ds.Base.Data...), ds.Base.Dim, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, _ := idx.Search(ds.Queries.Row(i%ds.Queries.Rows), 10)
+		if len(ids) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkAblationLayout compares the adjacency-list representation against
+// the fixed-stride flat layout the paper serves from (Table 2's note on
+// continuous memory access).
+func BenchmarkAblationLayout(b *testing.B) {
+	_, _, idx := loadBenchData(b)
+	flat := idx.Freeze()
+	b.Run("AdjacencyList", func(b *testing.B) {
+		benchSearch(b, func(q []float32) []vecmath.Neighbor { return idx.Search(q, 10, 60, nil) })
+	})
+	b.Run("FlatFixedStride", func(b *testing.B) {
+		benchSearch(b, func(q []float32) []vecmath.Neighbor { return flat.Search(q, 10, 60, nil) })
+	})
+}

@@ -1,0 +1,50 @@
+// Command bench regenerates the paper's tables and figures on the synthetic
+// stand-in datasets.
+//
+// Usage:
+//
+//	bench -exp table2            # one experiment
+//	bench -exp all               # the full evaluation section
+//	bench -exp fig6 -scale 2     # 2x the default dataset sizes
+//	bench -list                  # show valid experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list)")
+	scale := flag.Float64("scale", 1.0, "dataset size multiplier")
+	queries := flag.Int("queries", 100, "queries per dataset")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	experiments := bench.Experiments()
+	if *list || *exp == "" {
+		fmt.Printf("experiments: %s\n", strings.Join(bench.ExperimentIDs(), " "))
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	run, ok := experiments[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bench: unknown experiment %q; valid: %s\n", *exp, strings.Join(bench.ExperimentIDs(), " "))
+		os.Exit(2)
+	}
+	cfg := bench.DefaultExpConfig()
+	cfg.Scale = *scale
+	cfg.Queries = *queries
+	cfg.Seed = *seed
+	if err := run(os.Stdout, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+}

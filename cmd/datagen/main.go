@@ -1,0 +1,79 @@
+// Command datagen generates a synthetic dataset with exact ground truth and
+// writes it in the TEXMEX .fvecs/.ivecs formats (the formats of the paper's
+// BIGANN corpora), so the other tools can operate on files exactly as they
+// would on the real SIFT1M/GIST1M downloads.
+//
+// Usage:
+//
+//	datagen -kind sift -n 10000 -queries 100 -out data/sift10k
+//
+// produces data/sift10k_base.fvecs, data/sift10k_query.fvecs and
+// data/sift10k_groundtruth.ivecs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	kind := fs.String("kind", "sift", "generator: sift, gist, deep, ecommerce, rand, gauss")
+	n := fs.Int("n", 10000, "base vectors")
+	queries := fs.Int("queries", 100, "query vectors")
+	gtk := fs.Int("gtk", 100, "ground-truth depth")
+	dim := fs.Int("dim", 0, "dimension (0 = generator default)")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	out := fs.String("out", "data/out", "output path prefix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	gens := map[string]func(dataset.Config) (dataset.Dataset, error){
+		"sift":      dataset.SIFTLike,
+		"gist":      dataset.GISTLike,
+		"deep":      dataset.DEEPLike,
+		"ecommerce": dataset.ECommerceLike,
+		"rand":      dataset.Uniform,
+		"gauss":     dataset.Gaussian,
+	}
+	gen, ok := gens[*kind]
+	if !ok {
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	ds, err := gen(dataset.Config{N: *n, Queries: *queries, GTK: *gtk, Dim: *dim, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := dataset.SaveFvecsFile(*out+"_base.fvecs", ds.Base); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s_base.fvecs\n", *out)
+	if err := dataset.SaveFvecsFile(*out+"_query.fvecs", ds.Queries); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s_query.fvecs\n", *out)
+	if err := dataset.SaveIvecsFile(*out+"_groundtruth.ivecs", ds.GT); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s_groundtruth.ivecs\n", *out)
+	fmt.Fprintf(stdout, "%s: n=%d dim=%d queries=%d gtk=%d\n", ds.Name, ds.Base.Rows, ds.Base.Dim, ds.Queries.Rows, ds.GTK)
+	return nil
+}

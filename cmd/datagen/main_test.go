@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunGeneratesFiles(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "tiny")
+	var out bytes.Buffer
+	err := run([]string{"-kind", "rand", "-n", "300", "-queries", "10", "-gtk", "5", "-dim", "8", "-out", prefix}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := dataset.LoadFvecsFile(prefix + "_base.fvecs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Rows != 300 || base.Dim != 8 {
+		t.Errorf("base shape %dx%d", base.Rows, base.Dim)
+	}
+	queries, err := dataset.LoadFvecsFile(prefix + "_query.fvecs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queries.Rows != 10 {
+		t.Errorf("queries = %d", queries.Rows)
+	}
+	gt, err := dataset.LoadIvecsFile(prefix + "_groundtruth.ivecs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gt) != 10 || len(gt[0]) != 5 {
+		t.Errorf("gt shape %dx%d", len(gt), len(gt[0]))
+	}
+	if !strings.Contains(out.String(), "RAND") {
+		t.Errorf("stdout missing dataset name: %s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownKind(t *testing.T) {
+	if err := run([]string{"-kind", "nope", "-out", t.TempDir() + "/x"}, &bytes.Buffer{}); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run([]string{"-kind", "rand", "-n", "0", "-out", t.TempDir() + "/x"}, &bytes.Buffer{}); err == nil {
+		t.Error("expected error for n=0")
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestBuildPipeline(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := dataset.Uniform(dataset.Config{N: 500, Queries: 5, GTK: 5, Dim: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePath := filepath.Join(dir, "base.fvecs")
+	if err := dataset.SaveFvecsFile(basePath, ds.Base); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "idx.nsg")
+	var stdout bytes.Buffer
+	err = run([]string{"-base", basePath, "-out", out, "-k", "15", "-l", "30", "-m", "15", "-exact"}, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "wrote") {
+		t.Errorf("output missing confirmation: %s", stdout.String())
+	}
+}
+
+func TestBuildRequiresBase(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("expected error without -base")
+	}
+	if err := run([]string{"-base", "/definitely/missing.fvecs"}, &bytes.Buffer{}); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

@@ -1,0 +1,80 @@
+// Command nsgsearch queries an NSG index built by nsgbuild against a query
+// file, reporting recall (when ground truth is supplied) and throughput.
+//
+// Usage:
+//
+//	nsgsearch -index sift10k.nsg -query data/sift10k_query.fvecs \
+//	          -gt data/sift10k_groundtruth.ivecs -k 10 -l 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "nsgsearch: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("nsgsearch", flag.ContinueOnError)
+	indexPath := fs.String("index", "", "index file from nsgbuild")
+	queryPath := fs.String("query", "", "query vectors (.fvecs)")
+	gtPath := fs.String("gt", "", "optional ground truth (.ivecs)")
+	k := fs.Int("k", 10, "neighbors to retrieve")
+	l := fs.Int("l", 60, "search pool size (higher = more accurate, slower)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *indexPath == "" || *queryPath == "" {
+		return fmt.Errorf("-index and -query are required")
+	}
+	idx, err := nsg.Load(*indexPath)
+	if err != nil {
+		return err
+	}
+	queries, err := dataset.LoadFvecsFile(*queryPath)
+	if err != nil {
+		return err
+	}
+	if queries.Dim != idx.Dim() {
+		return fmt.Errorf("query dim %d != index dim %d", queries.Dim, idx.Dim())
+	}
+
+	results := make([][]int32, queries.Rows)
+	start := time.Now()
+	for qi := 0; qi < queries.Rows; qi++ {
+		ids, _ := idx.SearchWithPool(queries.Row(qi), *k, *l)
+		results[qi] = ids
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(stdout, "%d queries in %.3fs (%.0f QPS, %.3f ms/query)\n",
+		queries.Rows, elapsed.Seconds(),
+		float64(queries.Rows)/elapsed.Seconds(),
+		elapsed.Seconds()*1000/float64(queries.Rows))
+
+	if *gtPath != "" {
+		gt, err := dataset.LoadIvecsFile(*gtPath)
+		if err != nil {
+			return err
+		}
+		if len(gt) < queries.Rows {
+			return fmt.Errorf("ground truth has %d rows, queries %d", len(gt), queries.Rows)
+		}
+		fmt.Fprintf(stdout, "recall@%d = %.4f\n", *k, dataset.MeanRecall(results, gt[:queries.Rows], *k))
+		return nil
+	}
+	for qi := 0; qi < queries.Rows && qi < 3; qi++ {
+		fmt.Fprintf(stdout, "query %d: %v\n", qi, results[qi])
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+// Dedup: near-duplicate detection via a k-NN self-join on the NSG — a
+// standard data-cleaning workload from the paper's motivating applications
+// (data mining over dense vectors). Every corpus vector queries the index
+// for its neighbors; pairs within a distance threshold are reported as
+// duplicate candidates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	const (
+		nUnique = 8000
+		nDupes  = 400 // perturbed copies hidden in the corpus
+		dim     = 64
+	)
+	rng := rand.New(rand.NewSource(13))
+
+	corpus := make([][]float32, 0, nUnique+nDupes)
+	for i := 0; i < nUnique; i++ {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		corpus = append(corpus, v)
+	}
+	// Inject near-duplicates: copies of random originals with tiny noise.
+	type planted struct{ original, copy int }
+	var truth []planted
+	for i := 0; i < nDupes; i++ {
+		src := rng.Intn(nUnique)
+		v := make([]float32, dim)
+		copy(v, corpus[src])
+		for j := range v {
+			v[j] += (rng.Float32() - 0.5) * 0.01
+		}
+		truth = append(truth, planted{original: src, copy: len(corpus)})
+		corpus = append(corpus, v)
+	}
+
+	index, err := nsg.Build(corpus, nsg.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d vectors (%d planted near-duplicates)\n", len(corpus), nDupes)
+
+	// Self-join: each vector asks for its 2 nearest neighbors (itself plus
+	// the closest other vector) and flags pairs under the threshold.
+	const threshold = 0.01 // squared distance; planted noise is well inside
+	type pair struct{ a, b int32 }
+	found := make(map[pair]struct{})
+	start := time.Now()
+	for i := range corpus {
+		ids, dists := index.SearchWithPool(corpus[i], 2, 16)
+		for j, id := range ids {
+			if int(id) == i || dists[j] > threshold {
+				continue
+			}
+			p := pair{a: int32(i), b: id}
+			if p.a > p.b {
+				p.a, p.b = p.b, p.a
+			}
+			found[p] = struct{}{}
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Score against the planted pairs.
+	hits := 0
+	for _, t := range truth {
+		p := pair{a: int32(t.original), b: int32(t.copy)}
+		if p.a > p.b {
+			p.a, p.b = p.b, p.a
+		}
+		if _, ok := found[p]; ok {
+			hits++
+		}
+	}
+	fmt.Printf("self-join over %d vectors in %.2fs (%.0f joins/s)\n",
+		len(corpus), elapsed.Seconds(), float64(len(corpus))/elapsed.Seconds())
+	fmt.Printf("recovered %d/%d planted duplicate pairs (%.1f%%), %d pairs flagged total\n",
+		hits, nDupes, 100*float64(hits)/float64(nDupes), len(found))
+
+	// Show a few flagged pairs.
+	flat := make([]pair, 0, len(found))
+	for p := range found {
+		flat = append(flat, p)
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].a < flat[j].a })
+	for i := 0; i < len(flat) && i < 3; i++ {
+		fmt.Printf("  duplicate candidate: %d <-> %d\n", flat[i].a, flat[i].b)
+	}
+}

@@ -1,0 +1,78 @@
+// Ecommerce: the paper's Taobao deployment pattern at laptop scale —
+// user/commodity embeddings partitioned into shards, one NSG per shard,
+// queries fanned out in parallel and merged, with a response-time target at
+// high precision (Section 4.3 / Table 5).
+//
+// This uses the internal distsearch package directly because sharding is a
+// deployment concern layered on top of the public single-index API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/distsearch"
+)
+
+func main() {
+	// 30k embeddings with Zipf-skewed category sizes stand in for the 2B
+	// production corpus; 12 shards mirror the paper's 12-partition setup.
+	ds, err := dataset.ECommerceLike(dataset.Config{N: 30000, Queries: 200, GTK: 10, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d embeddings, %d dims\n", ds.Base.Rows, ds.Base.Dim)
+
+	const shards = 12
+	params := distsearch.DefaultParams(shards)
+	start := time.Now()
+	index, err := distsearch.BuildSharded(ds.Base, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %d shard NSGs in %.1fs (total index %.1f MB)\n",
+		index.Shards(), time.Since(start).Seconds(), float64(index.IndexBytes())/(1<<20))
+
+	// The production requirement: high precision within a latency budget.
+	// Sweep the search pool until 98% precision and report the response
+	// time there, exactly as Table 5's SQR98 column does.
+	const k = 10
+	for _, poolL := range []int{10, 20, 40, 80, 160} {
+		got := make([][]int32, ds.Queries.Rows)
+		start := time.Now()
+		for qi := 0; qi < ds.Queries.Rows; qi++ {
+			res := index.Search(ds.Queries.Row(qi), k, poolL)
+			ids := make([]int32, len(res))
+			for i, n := range res {
+				ids[i] = n.ID
+			}
+			got[qi] = ids
+		}
+		elapsed := time.Since(start)
+		recall := dataset.MeanRecall(got, ds.GT, k)
+		ms := elapsed.Seconds() * 1000 / float64(ds.Queries.Rows)
+		marker := ""
+		if recall >= 0.98 {
+			marker = "  <- meets the 98% precision target"
+		}
+		fmt.Printf("pool=%3d: precision %.3f, response %.3f ms%s\n", poolL, recall, ms, marker)
+		if recall >= 0.98 {
+			break
+		}
+	}
+
+	// Daily-update economics (Section 4.2): building r shard indexes
+	// sequentially beats building one monolithic NSG because Algorithm 2
+	// is superlinear in n. Demonstrate on a 1-shard rebuild of one
+	// shard-sized slice vs what the full build took.
+	slice := ds.Base.Slice(0, ds.Base.Rows/shards)
+	start = time.Now()
+	if _, err := distsearch.BuildSharded(slice.Clone(), distsearch.DefaultParams(1)); err != nil {
+		log.Fatal(err)
+	}
+	perShard := time.Since(start)
+	fmt.Printf("one shard rebuilds in %.1fs -> a rolling daily refresh updates 1/%d of the corpus at a time\n",
+		perShard.Seconds(), shards)
+}

@@ -1,0 +1,75 @@
+// Quickstart: index a small random dataset, search it, and verify the
+// answers against brute force — the one-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const (
+		n   = 5000
+		dim = 64
+	)
+	rng := rand.New(rand.NewSource(42))
+	vectors := make([][]float32, n)
+	for i := range vectors {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		vectors[i] = v
+	}
+
+	// Build: NN-Descent kNN graph, then the paper's Algorithm 2.
+	index, err := nsg.Build(vectors, nsg.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := index.Stats()
+	fmt.Printf("indexed %d vectors: avg degree %.1f, max degree %d, %.2f MB\n",
+		stats.N, stats.AvgDegree, stats.MaxDegree, float64(stats.IndexBytes)/(1<<20))
+
+	// Search: 10 approximate nearest neighbors of a fresh query.
+	query := make([]float32, dim)
+	for j := range query {
+		query[j] = rng.Float32()
+	}
+	ids, dists := index.Search(query, 10)
+	fmt.Println("approximate 10-NN:")
+	for i := range ids {
+		fmt.Printf("  #%d id=%d squared-distance=%.4f\n", i+1, ids[i], dists[i])
+	}
+
+	// Verify against brute force.
+	bestID, bestDist := -1, float32(0)
+	for i, v := range vectors {
+		var d float32
+		for j := range v {
+			diff := v[j] - query[j]
+			d += diff * diff
+		}
+		if bestID == -1 || d < bestDist {
+			bestID, bestDist = i, d
+		}
+	}
+	fmt.Printf("exact 1-NN: id=%d squared-distance=%.4f — %s\n", bestID, bestDist,
+		verdict(int32(bestID) == ids[0]))
+
+	// The accuracy/speed dial: a larger search pool finds more of the true
+	// neighbors at higher cost.
+	fast, _ := index.SearchWithPool(query, 10, 10)
+	accurate, _ := index.SearchWithPool(query, 10, 200)
+	fmt.Printf("pool 10 first hit: %d; pool 200 first hit: %d\n", fast[0], accurate[0])
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "found by NSG"
+	}
+	return "missed by NSG (raise SearchL)"
+}

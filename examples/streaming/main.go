@@ -1,0 +1,74 @@
+// Streaming: incremental index maintenance — the paper's Section 5 future
+// work ("It's also possible for NSG to enable incremental indexing"). A
+// live index absorbs inserts, serves queries between them, tombstones
+// deletions, and compacts once the tombstone fraction grows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const dim = 32
+	rng := rand.New(rand.NewSource(21))
+	newVec := func() []float32 {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		return v
+	}
+
+	// Bootstrap with a small batch build.
+	initial := make([][]float32, 2000)
+	for i := range initial {
+		initial[i] = newVec()
+	}
+	index, err := nsg.Build(initial, nsg.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrapped with %d vectors\n", index.Len())
+
+	// Stream: inserts interleaved with queries.
+	for batch := 0; batch < 5; batch++ {
+		for i := 0; i < 400; i++ {
+			if _, err := index.Add(newVec()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		q := newVec()
+		ids, dists := index.Search(q, 3)
+		fmt.Printf("after batch %d (n=%d): 3-NN of a fresh query = %v (d=%.3f..)\n",
+			batch+1, index.Len(), ids, dists[0])
+	}
+
+	// Deletions: retire a slice of old vectors.
+	for id := int32(0); id < 500; id++ {
+		if err := index.Delete(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("tombstoned %d vectors; queries skip them immediately\n", index.DeletedCount())
+	ids, _ := index.Search(initial[3], 3)
+	for _, id := range ids {
+		if id < 500 {
+			log.Fatalf("deleted id %d leaked into results", id)
+		}
+	}
+
+	// Compaction: rebuild without the tombstones once they accumulate.
+	remap, err := index.Compact()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compacted to %d vectors (remap[600] = %d)\n", index.Len(), remap[600])
+
+	// The compacted index serves as before.
+	ids, dists := index.Search(newVec(), 5)
+	fmt.Printf("post-compaction 5-NN: %v (nearest at %.3f)\n", ids, dists[0])
+}

@@ -1,0 +1,73 @@
+package nsg
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// This file exposes incremental maintenance — the paper's Section 5 future
+// work — on the public index: Add grows the index one vector at a time,
+// Delete tombstones ids, and Compact rebuilds without the deleted points.
+
+// Add inserts a vector into an existing index and returns its id. The
+// vector is copied. Not safe for concurrent use with Search; batch
+// ingestion alternating with concurrent serving should swap indexes.
+func (x *Index) Add(vec []float32) (int32, error) {
+	if len(vec) != x.inner.Base.Dim {
+		return -1, fmt.Errorf("nsg: vector dim %d != index dim %d", len(vec), x.inner.Base.Dim)
+	}
+	own := make([]float32, len(vec))
+	copy(own, vec)
+	return x.inner.Insert(own, core.InsertParams{M: x.opts.MaxDegree, L: x.opts.BuildL})
+}
+
+// Delete tombstones an id: it stops appearing in results immediately but
+// keeps routing searches until Compact. Deleting an already-deleted or
+// out-of-range id is an error.
+func (x *Index) Delete(id int32) error {
+	if id < 0 || int(id) >= x.inner.Base.Rows {
+		return fmt.Errorf("nsg: id %d out of range [0,%d)", id, x.inner.Base.Rows)
+	}
+	if x.dead == nil {
+		x.dead = core.NewTombstones()
+	}
+	if x.dead.Deleted(id) {
+		return fmt.Errorf("nsg: id %d already deleted", id)
+	}
+	x.dead.Delete(id)
+	return nil
+}
+
+// Deleted reports whether id has been tombstoned.
+func (x *Index) Deleted(id int32) bool {
+	return x.dead != nil && x.dead.Deleted(id)
+}
+
+// DeletedCount returns the number of tombstoned ids awaiting Compact.
+func (x *Index) DeletedCount() int {
+	if x.dead == nil {
+		return 0
+	}
+	return x.dead.Len()
+}
+
+// Compact rebuilds the index without its tombstoned points. It returns the
+// mapping from old ids to new ids (-1 for deleted); the receiving index is
+// replaced in place.
+func (x *Index) Compact() ([]int32, error) {
+	if x.dead == nil || x.dead.Len() == 0 {
+		remap := make([]int32, x.inner.Base.Rows)
+		for i := range remap {
+			remap[i] = int32(i)
+		}
+		return remap, nil
+	}
+	inner, remap, err := x.inner.Compact(x.dead, core.InsertParams{M: x.opts.MaxDegree, L: x.opts.BuildL})
+	if err != nil {
+		return nil, err
+	}
+	x.inner = inner
+	x.dead = nil
+	return remap, nil
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graphutil"
+	"repro/internal/knngraph"
+	"repro/internal/vecmath"
+)
+
+// Ablation prints the DESIGN.md §5 ablation table: each NSG design choice
+// is toggled in isolation on one SIFT-like dataset and scored by recall and
+// distance computations at a fixed search budget.
+func Ablation(w io.Writer, c ExpConfig) error {
+	n := c.n(6000)
+	ds, err := dataset.SIFTLike(dataset.Config{N: n, Queries: c.Queries, GTK: c.GTK, Seed: c.Seed})
+	if err != nil {
+		return err
+	}
+	k := 40
+	knn, err := knngraph.BuildExact(ds.Base, k)
+	if err != nil {
+		return err
+	}
+	idx, _, err := core.NSGBuild(knn, ds.Base, core.BuildParams{L: 60, M: 30, Seed: c.Seed})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "Ablations on SIFT-like (n=%d), recall@10 and distance computations at l=60\n", n)
+	fmt.Fprintf(w, "%-34s %9s %12s %10s\n", "variant", "recall", "dist/query", "avg deg")
+
+	score := func(name string, g *graphutil.Graph, search func(q []float32, counter *vecmath.Counter) []vecmath.Neighbor) {
+		var counter vecmath.Counter
+		got := make([][]int32, ds.Queries.Rows)
+		for qi := 0; qi < ds.Queries.Rows; qi++ {
+			res := search(ds.Queries.Row(qi), &counter)
+			ids := make([]int32, len(res))
+			for i, nb := range res {
+				ids[i] = nb.ID
+			}
+			got[qi] = ids
+		}
+		avgDeg := 0.0
+		if g != nil {
+			avgDeg = g.Degrees().Avg
+		}
+		fmt.Fprintf(w, "%-34s %9.4f %12.0f %10.1f\n", name,
+			dataset.MeanRecall(got, ds.GT, 10),
+			float64(counter.Count())/float64(ds.Queries.Rows), avgDeg)
+	}
+
+	// 1. Full NSG (reference).
+	score("NSG (full Algorithm 2)", idx.Graph, func(q []float32, cnt *vecmath.Counter) []vecmath.Neighbor {
+		return idx.Search(q, 10, 60, cnt)
+	})
+
+	// 2. Entry point: random instead of the navigating node, same graph.
+	rngState := int64(12345)
+	score("NSG + random entry", idx.Graph, func(q []float32, cnt *vecmath.Counter) []vecmath.Neighbor {
+		rngState = rngState*6364136223846793005 + 1442695040888963407
+		start := int32(uint64(rngState) % uint64(n))
+		return core.SearchOnGraph(idx.Graph.Adj, ds.Base, q, []int32{start}, 10, 60, cnt, nil).Neighbors
+	})
+
+	// 3. Candidates: kNN-only (NSG-Naive), same edge rule and cap.
+	naive, err := core.NSGNaiveBuild(knn, ds.Base, 30, c.Seed)
+	if err != nil {
+		return err
+	}
+	score("kNN-only candidates (NSG-Naive)", naive.Graph, func(q []float32, cnt *vecmath.Counter) []vecmath.Neighbor {
+		return naive.Search(q, 10, 60, cnt)
+	})
+
+	// 4. Edge rule: plain truncation of the kNN lists at the same cap.
+	trunc := graphutil.New(knn.N())
+	for i := range knn.Adj {
+		lim := 30
+		if lim > len(knn.Adj[i]) {
+			lim = len(knn.Adj[i])
+		}
+		trunc.Adj[i] = knn.Adj[i][:lim]
+	}
+	score("kNN truncation (no MRNG rule)", trunc, func(q []float32, cnt *vecmath.Counter) []vecmath.Neighbor {
+		return core.SearchOnGraph(trunc.Adj, ds.Base, q, []int32{idx.Navigating}, 10, 60, cnt, nil).Neighbors
+	})
+
+	// 5. Degree cap sweep.
+	for _, m := range []int{10, 20, 40} {
+		v, _, err := core.NSGBuild(knn, ds.Base, core.BuildParams{L: 60, M: m, Seed: c.Seed})
+		if err != nil {
+			return err
+		}
+		score(fmt.Sprintf("NSG with degree cap m=%d", m), v.Graph, func(q []float32, cnt *vecmath.Counter) []vecmath.Neighbor {
+			return v.Search(q, 10, 60, cnt)
+		})
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+// Package bench is the experiment harness: it builds every index on the
+// synthetic stand-ins for the paper's datasets and regenerates each table
+// and figure of the evaluation section (Tables 1-5, Figures 6-12) as text
+// rows. cmd/bench is the front end; bench_test.go wires the same runs into
+// testing.B.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/vecmath"
+)
+
+// SearchFunc answers one query: k neighbors under a method-specific effort
+// parameter (graph pool size, LSH probes, IVF nprobe, tree checks...).
+type SearchFunc func(q []float32, k, effort int, counter *vecmath.Counter) []vecmath.Neighbor
+
+// Method is a named searcher with the effort values to sweep.
+type Method struct {
+	Name    string
+	Search  SearchFunc
+	Efforts []int
+}
+
+// SweepPoint is one point on a recall/QPS curve.
+type SweepPoint struct {
+	Effort    int
+	Recall    float64
+	QPS       float64
+	DistComps float64 // average distance computations per query
+	AvgTimeMS float64
+}
+
+// RecallSweep runs the method over all its effort values on the query set,
+// single-threaded (the paper's search protocol), returning one point per
+// effort level.
+func RecallSweep(m Method, queries vecmath.Matrix, gt [][]int32, k int) []SweepPoint {
+	points := make([]SweepPoint, 0, len(m.Efforts))
+	for _, effort := range m.Efforts {
+		var counter vecmath.Counter
+		got := make([][]int32, queries.Rows)
+		start := time.Now()
+		for qi := 0; qi < queries.Rows; qi++ {
+			res := m.Search(queries.Row(qi), k, effort, &counter)
+			ids := make([]int32, len(res))
+			for i, n := range res {
+				ids[i] = n.ID
+			}
+			got[qi] = ids
+		}
+		elapsed := time.Since(start)
+		nq := float64(queries.Rows)
+		points = append(points, SweepPoint{
+			Effort:    effort,
+			Recall:    dataset.MeanRecall(got, gt, k),
+			QPS:       nq / elapsed.Seconds(),
+			DistComps: float64(counter.Count()) / nq,
+			AvgTimeMS: elapsed.Seconds() * 1000 / nq,
+		})
+	}
+	return points
+}
+
+// QPSAtRecall interpolates the sweep to report QPS at a target recall, the
+// paper's headline comparison. Returns ok=false if the method never reaches
+// the target.
+func QPSAtRecall(points []SweepPoint, target float64) (float64, bool) {
+	sorted := append([]SweepPoint{}, points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Recall < sorted[j].Recall })
+	for i, p := range sorted {
+		if p.Recall >= target {
+			if i == 0 {
+				return p.QPS, true
+			}
+			prev := sorted[i-1]
+			if p.Recall == prev.Recall {
+				return p.QPS, true
+			}
+			frac := (target - prev.Recall) / (p.Recall - prev.Recall)
+			return prev.QPS + frac*(p.QPS-prev.QPS), true
+		}
+	}
+	return 0, false
+}
+
+// DistCompsAtRecall interpolates the sweep to report distance computations
+// per query at a target recall (the Figure 8 metric).
+func DistCompsAtRecall(points []SweepPoint, target float64) (float64, bool) {
+	sorted := append([]SweepPoint{}, points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Recall < sorted[j].Recall })
+	for i, p := range sorted {
+		if p.Recall >= target {
+			if i == 0 || p.Recall == sorted[i-1].Recall {
+				return p.DistComps, true
+			}
+			prev := sorted[i-1]
+			frac := (target - prev.Recall) / (p.Recall - prev.Recall)
+			return prev.DistComps + frac*(p.DistComps-prev.DistComps), true
+		}
+	}
+	return 0, false
+}
+
+// FitPowerLaw fits y = c·x^b by least squares in log-log space and returns
+// the exponent b with the fit's R². The scaling figures (9, 10, 11, 12)
+// report these exponents.
+func FitPowerLaw(xs, ys []float64) (exponent, r2 float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN(), 0
+	}
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx = append(lx, math.Log(xs[i]))
+		ly = append(ly, math.Log(ys[i]))
+	}
+	if len(lx) < 2 {
+		return math.NaN(), 0
+	}
+	n := float64(len(lx))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+		syy += ly[i] * ly[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN(), 0
+	}
+	b := (n*sxy - sx*sy) / den
+	// R² of the linear fit in log space.
+	a := (sy - b*sx) / n
+	var ssRes, ssTot float64
+	meanY := sy / n
+	for i := range lx {
+		pred := a + b*lx[i]
+		ssRes += (ly[i] - pred) * (ly[i] - pred)
+		ssTot += (ly[i] - meanY) * (ly[i] - meanY)
+	}
+	if ssTot == 0 {
+		return b, 1
+	}
+	return b, 1 - ssRes/ssTot
+}
+
+// FormatBytes renders a byte count the way the paper's Table 2 does (MB).
+func FormatBytes(b int64) string {
+	mb := float64(b) / (1 << 20)
+	if mb >= 1000 {
+		return fmt.Sprintf("%.1fe3 MB", mb/1000)
+	}
+	return fmt.Sprintf("%.1f MB", mb)
+}

@@ -1,0 +1,371 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dpg"
+	"repro/internal/efanna"
+	"repro/internal/fanng"
+	"repro/internal/graphutil"
+	"repro/internal/hnsw"
+	"repro/internal/ivfpq"
+	"repro/internal/kgraph"
+	"repro/internal/knngraph"
+	"repro/internal/lsh"
+	"repro/internal/scan"
+	"repro/internal/vecmath"
+)
+
+// GraphIndexInfo is one row of Tables 2-4: a built graph method with its
+// statistics and a sweepable search adapter.
+type GraphIndexInfo struct {
+	Name       string
+	BuildTime  time.Duration // excludes shared kNN-graph construction
+	KNNTime    time.Duration // kNN-graph construction (NSG reports t1+t2)
+	IndexBytes int64
+	AOD        float64
+	MOD        int
+	NNPct      float64
+	SCC        int // strongly connected components; fixed-entry methods report 1 iff all reachable
+	FixedEntry bool
+	Method     Method
+}
+
+// Suite bundles one dataset with every index the paper compares on it.
+type Suite struct {
+	Data    dataset.Dataset
+	KNN     *graphutil.Graph // shared kNN graph (k = SuiteParams.KNNK)
+	KNNTime time.Duration
+	Graph   []GraphIndexInfo // graph-based methods in Table 2 order
+
+	// Non-graph methods for Figure 8 and the scan reference.
+	LSH    *lsh.Index
+	IVFPQ  *ivfpq.Index
+	Forest *efanna.KDForest
+}
+
+// SuiteParams sizes the suite.
+type SuiteParams struct {
+	KNNK      int   // k of the shared kNN graph (must cover FANNG's candidate k)
+	NSGL      int   // Algorithm 2 pool size
+	NSGM      int   // NSG degree cap
+	HNSWM     int   // HNSW M
+	DPGKeep   int   // DPG kept edges
+	Efforts   []int // sweep efforts for all graph methods
+	Seed      int64
+	WithExtra bool // also build LSH/IVFPQ/forest (needed by fig7/fig8/table5)
+}
+
+// DefaultSuiteParams returns the parameter set used across the experiments.
+func DefaultSuiteParams() SuiteParams {
+	return SuiteParams{
+		KNNK:    40,
+		NSGL:    40,
+		NSGM:    25,
+		HNSWM:   12,
+		DPGKeep: 20,
+		Efforts: []int{10, 20, 40, 80, 160, 320},
+		Seed:    1,
+	}
+}
+
+// sliceKNN returns a view of the shared kNN graph truncated to k neighbors
+// per node (adjacency lists are ascending by distance, so prefixes are exact
+// smaller-k graphs).
+func sliceKNN(g *graphutil.Graph, k int) *graphutil.Graph {
+	out := graphutil.New(g.N())
+	for i := range g.Adj {
+		lim := k
+		if lim > len(g.Adj[i]) {
+			lim = len(g.Adj[i])
+		}
+		out.Adj[i] = g.Adj[i][:lim]
+	}
+	return out
+}
+
+// BuildSuite constructs every index on ds. Exact kNN construction is used up
+// to ~6k points; NN-Descent beyond.
+func BuildSuite(ds dataset.Dataset, p SuiteParams) (*Suite, error) {
+	s := &Suite{Data: ds}
+	n := ds.Base.Rows
+	k := p.KNNK
+	if k >= n {
+		k = n - 1
+	}
+
+	start := time.Now()
+	var err error
+	if n <= 6000 {
+		s.KNN, err = knngraph.BuildExact(ds.Base, k)
+	} else {
+		kp := knngraph.DefaultParams(k)
+		kp.Seed = p.Seed
+		s.KNN, err = knngraph.BuildNNDescent(ds.Base, kp)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bench: kNN graph: %w", err)
+	}
+	s.KNNTime = time.Since(start)
+
+	nn := graphutil.ExactNearest(ds.Base)
+
+	// NSG.
+	start = time.Now()
+	nsgIdx, _, err := core.NSGBuild(s.KNN, ds.Base, core.BuildParams{L: p.NSGL, M: p.NSGM, Seed: p.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("bench: NSG: %w", err)
+	}
+	nsgTime := time.Since(start)
+	s.Graph = append(s.Graph, GraphIndexInfo{
+		Name:       "NSG",
+		BuildTime:  nsgTime,
+		KNNTime:    s.KNNTime,
+		IndexBytes: nsgIdx.Graph.IndexBytes(),
+		AOD:        nsgIdx.Graph.Degrees().Avg,
+		MOD:        nsgIdx.Graph.Degrees().Max,
+		NNPct:      nsgIdx.Graph.NNPercent(nn),
+		SCC:        sccFixedEntry(nsgIdx.Graph, nsgIdx.Navigating),
+		FixedEntry: true,
+		Method: Method{
+			Name:    "NSG",
+			Efforts: p.Efforts,
+			Search: func(q []float32, kk, effort int, c *vecmath.Counter) []vecmath.Neighbor {
+				return nsgIdx.Search(q, kk, effort, c)
+			},
+		},
+	})
+
+	// NSG-Naive (the ablation baseline of Section 4.1.2).
+	naive, err := core.NSGNaiveBuild(s.KNN, ds.Base, p.NSGM, p.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: NSG-Naive: %w", err)
+	}
+	s.Graph = append(s.Graph, GraphIndexInfo{
+		Name:       "NSG-Naive",
+		IndexBytes: naive.Graph.IndexBytes(),
+		AOD:        naive.Graph.Degrees().Avg,
+		MOD:        naive.Graph.Degrees().Max,
+		NNPct:      naive.Graph.NNPercent(nn),
+		SCC:        naive.Graph.SCCCount(),
+		Method: Method{
+			Name:    "NSG-Naive",
+			Efforts: p.Efforts,
+			Search: func(q []float32, kk, effort int, c *vecmath.Counter) []vecmath.Neighbor {
+				return naive.Search(q, kk, effort, c)
+			},
+		},
+	})
+
+	// HNSW.
+	start = time.Now()
+	hnswIdx, err := hnsw.Build(ds.Base, hnsw.Params{M: p.HNSWM, EfConstruction: 100, Seed: p.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("bench: HNSW: %w", err)
+	}
+	hnswTime := time.Since(start)
+	bottom := hnswIdx.BottomLayer()
+	s.Graph = append(s.Graph, GraphIndexInfo{
+		Name:       "HNSW",
+		BuildTime:  hnswTime,
+		IndexBytes: hnswIdx.IndexBytes(),
+		AOD:        bottom.Degrees().Avg,
+		MOD:        bottom.Degrees().Max,
+		NNPct:      bottom.NNPercent(nn),
+		SCC:        sccFixedEntry(bottom, hnswIdx.Entry()),
+		FixedEntry: true,
+		Method: Method{
+			Name:    "HNSW",
+			Efforts: p.Efforts,
+			Search: func(q []float32, kk, effort int, c *vecmath.Counter) []vecmath.Neighbor {
+				return hnswIdx.Search(q, kk, effort, c)
+			},
+		},
+	})
+
+	// FANNG.
+	start = time.Now()
+	fanngIdx, err := fanng.Build(s.KNN, ds.Base, fanng.Params{CandidateK: k, MaxDegree: p.NSGM + 10, TraversePasses: 2, Seed: p.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("bench: FANNG: %w", err)
+	}
+	fanngTime := time.Since(start)
+	s.Graph = append(s.Graph, GraphIndexInfo{
+		Name:       "FANNG",
+		BuildTime:  fanngTime,
+		IndexBytes: fanngIdx.Graph.IndexBytes(),
+		AOD:        fanngIdx.Graph.Degrees().Avg,
+		MOD:        fanngIdx.Graph.Degrees().Max,
+		NNPct:      fanngIdx.Graph.NNPercent(nn),
+		SCC:        fanngIdx.Graph.SCCCount(),
+		Method: Method{
+			Name:    "FANNG",
+			Efforts: p.Efforts,
+			Search: func(q []float32, kk, effort int, c *vecmath.Counter) []vecmath.Neighbor {
+				return fanngIdx.Search(q, kk, effort, c)
+			},
+		},
+	})
+
+	// Efanna (KD-forest + kNN graph).
+	start = time.Now()
+	forest, err := efanna.BuildForest(ds.Base, efanna.DefaultForestParams())
+	if err != nil {
+		return nil, fmt.Errorf("bench: forest: %w", err)
+	}
+	efannaIdx, err := efanna.New(forest, s.KNN, ds.Base, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bench: Efanna: %w", err)
+	}
+	efannaTime := time.Since(start)
+	s.Forest = forest
+	s.Graph = append(s.Graph, GraphIndexInfo{
+		Name:       "Efanna",
+		BuildTime:  efannaTime,
+		IndexBytes: efannaIdx.IndexBytes(),
+		AOD:        s.KNN.Degrees().Avg,
+		MOD:        s.KNN.Degrees().Max,
+		NNPct:      s.KNN.NNPercent(nn),
+		SCC:        s.KNN.SCCCount(),
+		Method: Method{
+			Name:    "Efanna",
+			Efforts: p.Efforts,
+			Search: func(q []float32, kk, effort int, c *vecmath.Counter) []vecmath.Neighbor {
+				return efannaIdx.Search(q, kk, effort, c)
+			},
+		},
+	})
+
+	// KGraph (raw kNN graph, random starts).
+	kgraphIdx, err := kgraph.New(s.KNN, ds.Base, 3, p.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: KGraph: %w", err)
+	}
+	s.Graph = append(s.Graph, GraphIndexInfo{
+		Name:       "KGraph",
+		KNNTime:    s.KNNTime,
+		IndexBytes: s.KNN.IndexBytes(),
+		AOD:        s.KNN.Degrees().Avg,
+		MOD:        s.KNN.Degrees().Max,
+		NNPct:      s.KNN.NNPercent(nn),
+		SCC:        s.KNN.SCCCount(),
+		Method: Method{
+			Name:    "KGraph",
+			Efforts: p.Efforts,
+			Search: func(q []float32, kk, effort int, c *vecmath.Counter) []vecmath.Neighbor {
+				return kgraphIdx.Search(q, kk, effort, c)
+			},
+		},
+	})
+
+	// DPG.
+	start = time.Now()
+	dpgIdx, err := dpg.Build(sliceKNN(s.KNN, 2*p.DPGKeep), ds.Base, dpg.Params{Keep: p.DPGKeep, Seed: p.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("bench: DPG: %w", err)
+	}
+	dpgTime := time.Since(start)
+	s.Graph = append(s.Graph, GraphIndexInfo{
+		Name:       "DPG",
+		BuildTime:  dpgTime,
+		IndexBytes: dpgIdx.IndexBytes(),
+		AOD:        dpgIdx.Graph.Degrees().Avg,
+		MOD:        dpgIdx.Graph.Degrees().Max,
+		NNPct:      dpgIdx.Graph.NNPercent(nn),
+		SCC:        dpgIdx.Graph.SCCCount(),
+		Method: Method{
+			Name:    "DPG",
+			Efforts: p.Efforts,
+			Search: func(q []float32, kk, effort int, c *vecmath.Counter) []vecmath.Neighbor {
+				return dpgIdx.Search(q, kk, effort, c)
+			},
+		},
+	})
+
+	if p.WithExtra {
+		s.LSH, err = lsh.Build(ds.Base, lsh.Params{Tables: 10, Bits: 12, Seed: p.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("bench: LSH: %w", err)
+		}
+		pqp := ivfpq.DefaultParams()
+		pqp.NList = core.NearPowerOfTwo(n / 50)
+		if pqp.NList < 8 {
+			pqp.NList = 8
+		}
+		for ds.Base.Dim%pqp.M != 0 {
+			pqp.M /= 2
+		}
+		s.IVFPQ, err = ivfpq.Build(ds.Base, pqp)
+		if err != nil {
+			return nil, fmt.Errorf("bench: IVFPQ: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// sccFixedEntry mirrors Table 4's convention for fixed-entry methods: 1 if
+// every node is reachable from the entry point, otherwise 1 + the number of
+// unreachable nodes' components (reported simply as the count of unreached
+// components via full SCC).
+func sccFixedEntry(g *graphutil.Graph, entry int32) int {
+	if g.ReachableFrom(entry) == g.N() {
+		return 1
+	}
+	return g.SCCCount()
+}
+
+// NSGMethod extracts the NSG sweep adapter from the suite.
+func (s *Suite) NSGMethod() Method { return s.Graph[0].Method }
+
+// ScanMethod returns the serial-scan reference as a sweepable method
+// (effort ignored; recall is always 1).
+func (s *Suite) ScanMethod() Method {
+	base := s.Data.Base
+	return Method{
+		Name:    "Serial-Scan",
+		Efforts: []int{1},
+		Search: func(q []float32, k, _ int, c *vecmath.Counter) []vecmath.Neighbor {
+			return scan.Search(base, q, k, c)
+		},
+	}
+}
+
+// LSHMethod returns the multi-probe LSH adapter (effort = probes/table).
+func (s *Suite) LSHMethod(efforts []int) Method {
+	idx := s.LSH
+	return Method{
+		Name:    "LSH",
+		Efforts: efforts,
+		Search: func(q []float32, k, effort int, c *vecmath.Counter) []vecmath.Neighbor {
+			return idx.Search(q, k, effort, c)
+		},
+	}
+}
+
+// IVFPQMethod returns the IVFPQ adapter (effort = nprobe; rerank 4k).
+func (s *Suite) IVFPQMethod(efforts []int) Method {
+	idx := s.IVFPQ
+	return Method{
+		Name:    "IVFPQ",
+		Efforts: efforts,
+		Search: func(q []float32, k, effort int, c *vecmath.Counter) []vecmath.Neighbor {
+			return idx.Search(q, k, effort, 4*k, c)
+		},
+	}
+}
+
+// KDTreeMethod returns the randomized KD-tree forest adapter (effort =
+// distance checks), the Flann stand-in of Figure 8.
+func (s *Suite) KDTreeMethod(efforts []int) Method {
+	idx := s.Forest
+	return Method{
+		Name:    "KD-tree",
+		Efforts: efforts,
+		Search: func(q []float32, k, effort int, c *vecmath.Counter) []vecmath.Neighbor {
+			return idx.SearchForest(q, k, effort, c)
+		},
+	}
+}

@@ -1,0 +1,160 @@
+// Package core implements the paper's primary contribution: the Navigating
+// Spreading-out Graph (NSG) index and the greedy best-first Search-on-Graph
+// routine (Algorithm 1) that every graph index in this repository shares.
+//
+// An NSG is built from an approximate kNN graph by Algorithm 2:
+//
+//  1. Find the navigating node — the approximate medoid, located by
+//     searching the kNN graph for the dataset centroid.
+//  2. For every point p, run Search-on-Graph from the navigating node with
+//     p as the query, collecting every node whose distance to p was
+//     evaluated; merge in p's kNN neighbors.
+//  3. Select at most m out-edges from the candidates with the MRNG edge
+//     rule: accept candidate q unless an already accepted neighbor r lies
+//     in lune(p,q) (pq would be the longest edge of triangle pqr).
+//  4. Repair connectivity: span a DFS tree from the navigating node and
+//     attach any unreached node to its approximate nearest in-tree
+//     neighbor, repeating until all nodes are reachable.
+//
+// Search always starts from the navigating node, inheriting the MRNG's
+// near-logarithmic expected path length.
+package core
+
+import (
+	"repro/internal/vecmath"
+)
+
+// element is a pool entry for Algorithm 1: a candidate node, its distance
+// to the query, and whether its out-edges have been expanded ("checked").
+type element struct {
+	id      int32
+	dist    float32
+	checked bool
+}
+
+// pool is the fixed-capacity ordered candidate pool of Algorithm 1. It keeps
+// the best l candidates seen so far, ascending by distance, and tracks the
+// first unchecked index so the scan in Algorithm 1 line 4 is O(1) amortized.
+type pool struct {
+	elems []element
+	cap   int
+}
+
+func newPool(l int) *pool {
+	return &pool{elems: make([]element, 0, l+1), cap: l}
+}
+
+// insert offers a candidate. Returns the insertion position, or -1 if the
+// candidate was rejected (full pool and too far) or already present.
+func (p *pool) insert(id int32, dist float32) int {
+	n := len(p.elems)
+	if n == p.cap && dist >= p.elems[n-1].dist {
+		return -1
+	}
+	// Binary search for the insertion point (first element with larger
+	// distance; ties keep ascending id order for determinism).
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.elems[mid].dist < dist || (p.elems[mid].dist == dist && p.elems[mid].id < id) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Duplicate check in the equal-distance neighborhood.
+	for i := lo; i < n && p.elems[i].dist == dist; i++ {
+		if p.elems[i].id == id {
+			return -1
+		}
+	}
+	for i := lo - 1; i >= 0 && p.elems[i].dist == dist; i-- {
+		if p.elems[i].id == id {
+			return -1
+		}
+	}
+	p.elems = append(p.elems, element{})
+	copy(p.elems[lo+1:], p.elems[lo:])
+	p.elems[lo] = element{id: id, dist: dist}
+	if len(p.elems) > p.cap {
+		p.elems = p.elems[:p.cap]
+	}
+	return lo
+}
+
+// SearchResult reports what a Search-on-Graph run did, for the paper's
+// complexity experiments: hops is the number of pool expansions (search path
+// length l in the o·l cost model), and the distance computations are counted
+// by the caller's vecmath.Counter.
+type SearchResult struct {
+	Neighbors []vecmath.Neighbor
+	Hops      int
+}
+
+// SearchOnGraph is Algorithm 1: greedy best-first search over adjacency
+// lists adj on the points in base, starting from the nodes in starts,
+// returning the k nearest candidates to query found with a pool of size l.
+// visited, when non-nil, receives every node whose distance to the query was
+// computed — the "search-and-collect" hook Algorithm 2 uses to gather
+// pruning candidates. counter may be nil.
+func SearchOnGraph(adj [][]int32, base vecmath.Matrix, query []float32, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor) SearchResult {
+	if l < k {
+		l = k
+	}
+	p := newPool(l)
+	seen := make(map[int32]struct{}, l*4)
+	for _, s := range starts {
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		d := counter.L2(query, base.Row(int(s)))
+		if visited != nil {
+			*visited = append(*visited, vecmath.Neighbor{ID: s, Dist: d})
+		}
+		p.insert(s, d)
+	}
+
+	hops := 0
+	// Index of the first possibly-unchecked element; everything before it
+	// is known checked.
+	next := 0
+	for next < len(p.elems) {
+		if p.elems[next].checked {
+			next++
+			continue
+		}
+		cur := &p.elems[next]
+		cur.checked = true
+		curID := cur.id
+		hops++
+		lowest := len(p.elems) // lowest insertion position this expansion
+		for _, nb := range adj[curID] {
+			if _, dup := seen[nb]; dup {
+				continue
+			}
+			seen[nb] = struct{}{}
+			d := counter.L2(query, base.Row(int(nb)))
+			if visited != nil {
+				*visited = append(*visited, vecmath.Neighbor{ID: nb, Dist: d})
+			}
+			if pos := p.insert(nb, d); pos >= 0 && pos < lowest {
+				lowest = pos
+			}
+		}
+		// Resume scanning from the shallowest new candidate: anything
+		// before it is unchanged and already checked up to `next`.
+		if lowest < next {
+			next = lowest
+		}
+	}
+
+	if k > len(p.elems) {
+		k = len(p.elems)
+	}
+	out := make([]vecmath.Neighbor, k)
+	for i := 0; i < k; i++ {
+		out[i] = vecmath.Neighbor{ID: p.elems[i].id, Dist: p.elems[i].dist}
+	}
+	return SearchResult{Neighbors: out, Hops: hops}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"repro/internal/graphutil"
+	"repro/internal/vecmath"
+)
+
+// FlatNSG is an immutable, search-optimized view of a built NSG using the
+// fixed-stride adjacency layout (graphutil.FlatGraph) the paper's
+// implementations serve from. Freeze a built index once and serve queries
+// from the flat view; the layout removes one pointer chase per expanded
+// node and keeps each adjacency list contiguous.
+type FlatNSG struct {
+	Flat       *graphutil.FlatGraph
+	Navigating int32
+	Base       vecmath.Matrix
+}
+
+// Freeze converts the index into its serving layout.
+func (x *NSG) Freeze() *FlatNSG {
+	return &FlatNSG{
+		Flat:       graphutil.Flatten(x.Graph),
+		Navigating: x.Navigating,
+		Base:       x.Base,
+	}
+}
+
+// Search runs Algorithm 1 over the flat layout, identical in results to
+// NSG.Search on the graph it was frozen from.
+func (x *FlatNSG) Search(query []float32, k, l int, counter *vecmath.Counter) []vecmath.Neighbor {
+	if l < k {
+		l = k
+	}
+	p := newPool(l)
+	seen := make(map[int32]struct{}, l*4)
+	seen[x.Navigating] = struct{}{}
+	d := counter.L2(query, x.Base.Row(int(x.Navigating)))
+	p.insert(x.Navigating, d)
+
+	next := 0
+	for next < len(p.elems) {
+		if p.elems[next].checked {
+			next++
+			continue
+		}
+		cur := &p.elems[next]
+		cur.checked = true
+		curID := cur.id
+		lowest := len(p.elems)
+		for _, nb := range x.Flat.Neighbors(curID) {
+			if _, dup := seen[nb]; dup {
+				continue
+			}
+			seen[nb] = struct{}{}
+			dd := counter.L2(query, x.Base.Row(int(nb)))
+			if pos := p.insert(nb, dd); pos >= 0 && pos < lowest {
+				lowest = pos
+			}
+		}
+		if lowest < next {
+			next = lowest
+		}
+	}
+	if k > len(p.elems) {
+		k = len(p.elems)
+	}
+	out := make([]vecmath.Neighbor, k)
+	for i := 0; i < k; i++ {
+		out[i] = vecmath.Neighbor{ID: p.elems[i].id, Dist: p.elems[i].dist}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graphutil"
+	"repro/internal/vecmath"
+)
+
+// This file implements incremental insertion — the future work the paper's
+// Section 5 sketches ("It's also possible for NSG to enable incremental
+// indexing"). The approach mirrors what Algorithm 2 does for a single node:
+//
+//  1. Search the current NSG for the new point from the navigating node
+//     with a build-sized pool, collecting every visited node (the same
+//     search-collect step the batch build uses).
+//  2. Select the new node's out-edges from those candidates with the MRNG
+//     edge rule, capped at M.
+//  3. Offer the reverse edge to every selected neighbor (the InterInsert
+//     step), re-pruning any neighbor that overflows the cap.
+//
+// Reachability from the navigating node is preserved by construction: step
+// 3 links at least one existing node to the new one, because step 2 always
+// selects at least the nearest candidate and the reverse offer to it either
+// fits under the cap or survives its re-prune only if occluded — in that
+// rare case we force a link from the nearest selected neighbor. Deletion is
+// handled by tombstoning: removed ids stay in the graph as waypoints but are
+// filtered from results; Compact rebuilds cleanly once tombstones accumulate.
+
+// InsertParams controls incremental insertion. Zero values fall back to the
+// index's build-time M and a pool of 3*M.
+type InsertParams struct {
+	L int // search-collect pool size
+	M int // degree cap for the new node and overflow re-prunes
+}
+
+// Insert adds vec to the index and returns its id. The base matrix is
+// grown; the caller's slice is copied. Not safe for concurrent use with
+// Search.
+func (x *NSG) Insert(vec []float32, p InsertParams) (int32, error) {
+	if len(vec) != x.Base.Dim {
+		return -1, fmt.Errorf("core: insert dim %d != index dim %d", len(vec), x.Base.Dim)
+	}
+	if p.M <= 0 {
+		p.M = x.M
+	}
+	if p.L <= 0 {
+		p.L = 3 * p.M
+	}
+
+	// Grow the base matrix.
+	id := int32(x.Base.Rows)
+	x.Base.Data = append(x.Base.Data, vec...)
+	x.Base.Rows++
+	x.Graph.Adj = append(x.Graph.Adj, nil)
+
+	// Step 1: search-collect from the navigating node.
+	var visited []vecmath.Neighbor
+	SearchOnGraph(x.Graph.Adj[:id], x.Base, vec, []int32{x.Navigating}, 1, p.L, nil, &visited)
+	cands := dedupeSorted(visited, id)
+
+	// Step 2: MRNG-select the new node's out-edges.
+	selected := SelectMRNG(x.Base, vec, cands, p.M)
+	if len(selected) == 0 && id > 0 {
+		// Degenerate pool (e.g. all candidates identical): link the nearest
+		// visited node directly so the node is not isolated.
+		if len(cands) > 0 {
+			selected = []int32{cands[0].ID}
+		} else {
+			selected = []int32{x.Navigating}
+		}
+	}
+	x.Graph.Adj[id] = selected
+
+	// Step 3: reverse offers with overflow re-prune, keeping the new node
+	// reachable.
+	linked := false
+	for _, nb := range selected {
+		if x.offerReverse(nb, id, p.M) {
+			linked = true
+		}
+	}
+	if !linked && len(selected) > 0 {
+		// Every reverse offer was pruned away: force the nearest selected
+		// neighbor to keep the link so the DFS-tree invariant holds. One
+		// node may exceed the cap by one edge, matching the slack the DFS
+		// repair pass is allowed in batch builds.
+		nb := selected[0]
+		if !x.Graph.HasEdge(nb, id) {
+			x.Graph.AddEdge(nb, id)
+		}
+	}
+	return id, nil
+}
+
+// offerReverse adds the edge from→to if absent, re-pruning from's list with
+// the MRNG rule when it overflows m. Reports whether from→to survived.
+func (x *NSG) offerReverse(from, to int32, m int) bool {
+	if x.Graph.HasEdge(from, to) {
+		return true
+	}
+	x.Graph.AddEdge(from, to)
+	if len(x.Graph.Adj[from]) <= m {
+		return true
+	}
+	v := x.Base.Row(int(from))
+	cands := make([]vecmath.Neighbor, 0, len(x.Graph.Adj[from]))
+	for _, nb := range x.Graph.Adj[from] {
+		cands = append(cands, vecmath.Neighbor{ID: nb, Dist: vecmath.L2(v, x.Base.Row(int(nb)))})
+	}
+	cands = dedupeSorted(cands, from)
+	x.Graph.Adj[from] = SelectMRNG(x.Base, v, cands, m)
+	return x.Graph.HasEdge(from, to)
+}
+
+// Tombstones tracks deleted ids for an NSG. Deleted nodes keep routing
+// traffic (removing them would sever monotonic paths) but never appear in
+// results.
+type Tombstones struct {
+	dead map[int32]struct{}
+}
+
+// NewTombstones returns an empty deletion set.
+func NewTombstones() *Tombstones {
+	return &Tombstones{dead: make(map[int32]struct{})}
+}
+
+// Delete marks id as removed.
+func (t *Tombstones) Delete(id int32) { t.dead[id] = struct{}{} }
+
+// Deleted reports whether id is tombstoned.
+func (t *Tombstones) Deleted(id int32) bool {
+	_, ok := t.dead[id]
+	return ok
+}
+
+// Len returns the number of tombstoned ids.
+func (t *Tombstones) Len() int { return len(t.dead) }
+
+// SearchLive runs Search and filters tombstoned ids, over-fetching so k
+// live results come back whenever enough live points exist in the pool.
+func (x *NSG) SearchLive(query []float32, k, l int, t *Tombstones, counter *vecmath.Counter) []vecmath.Neighbor {
+	if t == nil || t.Len() == 0 {
+		return x.Search(query, k, l, counter)
+	}
+	fetch := k + t.Len()
+	if l < fetch {
+		l = fetch
+	}
+	res := x.Search(query, fetch, l, counter)
+	out := make([]vecmath.Neighbor, 0, k)
+	for _, n := range res {
+		if t.Deleted(n.ID) {
+			continue
+		}
+		out = append(out, n)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// Compact rebuilds the index without the tombstoned points, returning the
+// new index and a mapping from old ids to new ids (-1 for deleted). It
+// re-runs the insertion path point by point, which preserves the
+// incremental code path's invariants; for large rebuilds prefer a fresh
+// batch NSGBuild.
+func (x *NSG) Compact(t *Tombstones, p InsertParams) (*NSG, []int32, error) {
+	if p.M <= 0 {
+		p.M = x.M
+	}
+	if p.L <= 0 {
+		p.L = 3 * p.M
+	}
+	remap := make([]int32, x.Base.Rows)
+	live := make([]int32, 0, x.Base.Rows)
+	for i := int32(0); i < int32(x.Base.Rows); i++ {
+		if t != nil && t.Deleted(i) {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = int32(len(live))
+		live = append(live, i)
+	}
+	if len(live) < 2 {
+		return nil, nil, fmt.Errorf("core: cannot compact to %d live points", len(live))
+	}
+
+	// Seed the new index with the two nearest live points to the old
+	// navigating node, then insert the rest incrementally.
+	newBase := vecmath.NewMatrix(0, x.Base.Dim)
+	newBase.Data = make([]float32, 0, len(live)*x.Base.Dim)
+	out := &NSG{
+		Graph:      graphutil.New(0),
+		Navigating: 0,
+		Base:       newBase,
+		M:          p.M,
+	}
+	// First live point becomes the provisional navigating node.
+	first := live[0]
+	out.Base.Data = append(out.Base.Data, x.Base.Row(int(first))...)
+	out.Base.Rows = 1
+	out.Graph.Adj = append(out.Graph.Adj, nil)
+	for _, old := range live[1:] {
+		if _, err := out.Insert(x.Base.Row(int(old)), p); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Recenter the navigating node on the compacted data.
+	centroid := vecmath.Centroid(out.Base)
+	out.Navigating = SearchOnGraph(out.Graph.Adj, out.Base, centroid, []int32{0}, 1, p.L, nil, nil).Neighbors[0].ID
+	// One repair pass in case pruning stranded anything.
+	repairConnectivity(out.Graph, out.Base, out.Navigating, BuildParams{L: p.L, M: p.M})
+	return out, remap, nil
+}

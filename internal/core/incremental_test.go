@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/knngraph"
+	"repro/internal/vecmath"
+)
+
+func incrementalFixture(t *testing.T, n int, seed int64) (*NSG, dataset.Dataset) {
+	t.Helper()
+	ds, err := dataset.SIFTLike(dataset.Config{N: n, Queries: 30, GTK: 10, Dim: 32, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := knngraph.BuildExact(ds.Base, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := NSGBuild(knn, ds.Base, BuildParams{L: 40, M: 25, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, ds
+}
+
+func TestInsertBasic(t *testing.T) {
+	idx, ds := incrementalFixture(t, 400, 21)
+	vec := make([]float32, ds.Base.Dim)
+	copy(vec, ds.Base.Row(0))
+	vec[0] += 1 // near node 0 but distinct
+	id, err := idx.Insert(vec, InsertParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 400 {
+		t.Fatalf("id = %d, want 400", id)
+	}
+	if idx.Base.Rows != 401 || idx.Graph.N() != 401 {
+		t.Fatalf("size after insert: base %d graph %d", idx.Base.Rows, idx.Graph.N())
+	}
+	// The new node must be reachable and findable.
+	if got := idx.Graph.ReachableFrom(idx.Navigating); got != 401 {
+		t.Errorf("reachable = %d, want 401", got)
+	}
+	res := idx.Search(vec, 1, 40, nil)
+	if res[0].ID != id {
+		t.Errorf("self-search found %d, want %d", res[0].ID, id)
+	}
+}
+
+func TestInsertDimensionMismatch(t *testing.T) {
+	idx, _ := incrementalFixture(t, 100, 22)
+	if _, err := idx.Insert(make([]float32, 5), InsertParams{}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestInsertManyMaintainsQuality(t *testing.T) {
+	// Build on half the data, insert the other half incrementally, and
+	// require recall comparable to a batch build over everything.
+	ds, err := dataset.SIFTLike(dataset.Config{N: 1200, Queries: 40, GTK: 10, Dim: 32, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := ds.Base.Slice(0, 600).Clone()
+	knn, err := knngraph.BuildExact(half, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := NSGBuild(knn, half, BuildParams{L: 40, M: 25, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 600; i < 1200; i++ {
+		if _, err := idx.Insert(ds.Base.Row(i), InsertParams{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if idx.Base.Rows != 1200 {
+		t.Fatalf("rows = %d", idx.Base.Rows)
+	}
+	if got := idx.Graph.ReachableFrom(idx.Navigating); got != 1200 {
+		t.Fatalf("reachable = %d, want 1200", got)
+	}
+	// Degree cap honored up to the +1 forced-link slack.
+	for i, adj := range idx.Graph.Adj {
+		if len(adj) > 26 {
+			t.Fatalf("node %d degree %d exceeds cap+1", i, len(adj))
+		}
+	}
+	got := make([][]int32, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		res := idx.Search(ds.Queries.Row(qi), 10, 80, nil)
+		ids := make([]int32, len(res))
+		for i, n := range res {
+			ids[i] = n.ID
+		}
+		got[qi] = ids
+	}
+	if recall := dataset.MeanRecall(got, ds.GT, 10); recall < 0.90 {
+		t.Errorf("incremental recall@10 = %.3f, want >= 0.90", recall)
+	}
+}
+
+func TestTombstones(t *testing.T) {
+	idx, ds := incrementalFixture(t, 500, 24)
+	q := ds.Queries.Row(0)
+	before := idx.Search(q, 5, 60, nil)
+	ts := NewTombstones()
+	ts.Delete(before[0].ID)
+	ts.Delete(before[1].ID)
+	after := idx.SearchLive(q, 5, 60, ts, nil)
+	if len(after) != 5 {
+		t.Fatalf("got %d live results, want 5", len(after))
+	}
+	for _, n := range after {
+		if ts.Deleted(n.ID) {
+			t.Fatalf("tombstoned id %d returned", n.ID)
+		}
+	}
+	// Survivors must match the untombstoned tail of the original ranking.
+	if after[0].ID != before[2].ID {
+		t.Errorf("first live result %d, want %d", after[0].ID, before[2].ID)
+	}
+	// Nil/empty tombstones short-circuit.
+	plain := idx.SearchLive(q, 5, 60, nil, nil)
+	if plain[0].ID != before[0].ID {
+		t.Error("nil tombstones changed results")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	idx, ds := incrementalFixture(t, 400, 25)
+	ts := NewTombstones()
+	for i := int32(0); i < 100; i++ {
+		ts.Delete(i)
+	}
+	compacted, remap, err := idx.Compact(ts, InsertParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compacted.Base.Rows != 300 {
+		t.Fatalf("compacted rows = %d, want 300", compacted.Base.Rows)
+	}
+	if got := compacted.Graph.ReachableFrom(compacted.Navigating); got != 300 {
+		t.Errorf("compacted reachable = %d, want 300", got)
+	}
+	for i := int32(0); i < 100; i++ {
+		if remap[i] != -1 {
+			t.Fatalf("deleted id %d remapped to %d", i, remap[i])
+		}
+	}
+	// Remapped vectors must be identical.
+	for old := 100; old < 400; old += 50 {
+		newID := remap[old]
+		if newID < 0 {
+			t.Fatalf("live id %d marked deleted", old)
+		}
+		oldRow := ds.Base.Row(old)
+		newRow := compacted.Base.Row(int(newID))
+		for j := range oldRow {
+			if oldRow[j] != newRow[j] {
+				t.Fatalf("vector %d corrupted by compaction", old)
+			}
+		}
+	}
+	// The compacted index still answers queries about live points.
+	res := compacted.Search(ds.Base.Row(200), 1, 60, nil)
+	if res[0].ID != remap[200] {
+		t.Errorf("self-search after compact: got %d, want %d", res[0].ID, remap[200])
+	}
+}
+
+func TestCompactRejectsTotalDeletion(t *testing.T) {
+	idx, _ := incrementalFixture(t, 50, 26)
+	ts := NewTombstones()
+	for i := int32(0); i < 50; i++ {
+		ts.Delete(i)
+	}
+	if _, _, err := idx.Compact(ts, InsertParams{}); err == nil {
+		t.Error("expected error when compacting away everything")
+	}
+}
+
+func TestInsertIntoTinyIndex(t *testing.T) {
+	// Start from a 2-point index and grow it; exercises the degenerate
+	// search pools of the earliest insertions.
+	base := vecmath.MatrixFromSlices([][]float32{{0, 0}, {1, 1}})
+	knn, err := knngraph.BuildExact(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := NSGBuild(knn, base, BuildParams{L: 10, M: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < 40; i++ {
+		vec := []float32{float32(i), float32(i % 7)}
+		if _, err := idx.Insert(vec, InsertParams{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := idx.Graph.ReachableFrom(idx.Navigating); got != 40 {
+		t.Errorf("reachable = %d, want 40", got)
+	}
+	res := idx.Search([]float32{35.1, 0.2}, 1, 20, nil)
+	want := idx.Base.Row(int(res[0].ID))
+	if vecmath.L2(want, []float32{35.1, 0.2}) > 4 {
+		t.Errorf("nearest after growth is far away: %v", want)
+	}
+}

@@ -1,0 +1,163 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/vecmath"
+)
+
+// This file implements the TEXMEX .fvecs / .ivecs container formats used by
+// the BIGANN corpora the paper evaluates on: each record is a little-endian
+// int32 dimension d followed by d values (float32 for fvecs, int32 for
+// ivecs). Supporting the on-disk format means the tooling in cmd/ works on
+// the real SIFT1M/GIST1M files when they are available, not only on the
+// synthetic stand-ins.
+
+// WriteFvecs writes m in .fvecs format.
+func WriteFvecs(w io.Writer, m vecmath.Matrix) error {
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 4)
+	for i := 0; i < m.Rows; i++ {
+		binary.LittleEndian.PutUint32(buf, uint32(m.Dim))
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("dataset: write fvecs header: %w", err)
+		}
+		for _, v := range m.Row(i) {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return fmt.Errorf("dataset: write fvecs value: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFvecs reads an entire .fvecs stream into a Matrix. All records must
+// share one dimension.
+func ReadFvecs(r io.Reader) (vecmath.Matrix, error) {
+	br := bufio.NewReader(r)
+	var rows [][]float32
+	buf := make([]byte, 4)
+	for {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return vecmath.Matrix{}, fmt.Errorf("dataset: read fvecs header: %w", err)
+		}
+		dim := int(int32(binary.LittleEndian.Uint32(buf)))
+		if dim <= 0 || dim > 1<<20 {
+			return vecmath.Matrix{}, fmt.Errorf("dataset: implausible fvecs dimension %d", dim)
+		}
+		row := make([]float32, dim)
+		for j := 0; j < dim; j++ {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return vecmath.Matrix{}, fmt.Errorf("dataset: truncated fvecs record: %w", err)
+			}
+			row[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return vecmath.Matrix{}, fmt.Errorf("dataset: empty fvecs stream")
+	}
+	return vecmath.MatrixFromSlices(rows), nil
+}
+
+// WriteIvecs writes ground-truth id lists in .ivecs format.
+func WriteIvecs(w io.Writer, gt [][]int32) error {
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 4)
+	for _, row := range gt {
+		binary.LittleEndian.PutUint32(buf, uint32(len(row)))
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("dataset: write ivecs header: %w", err)
+		}
+		for _, v := range row {
+			binary.LittleEndian.PutUint32(buf, uint32(v))
+			if _, err := bw.Write(buf); err != nil {
+				return fmt.Errorf("dataset: write ivecs value: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIvecs reads an .ivecs stream of id lists.
+func ReadIvecs(r io.Reader) ([][]int32, error) {
+	br := bufio.NewReader(r)
+	var out [][]int32
+	buf := make([]byte, 4)
+	for {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("dataset: read ivecs header: %w", err)
+		}
+		n := int(int32(binary.LittleEndian.Uint32(buf)))
+		if n < 0 || n > 1<<20 {
+			return nil, fmt.Errorf("dataset: implausible ivecs length %d", n)
+		}
+		row := make([]int32, n)
+		for j := 0; j < n; j++ {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("dataset: truncated ivecs record: %w", err)
+			}
+			row[j] = int32(binary.LittleEndian.Uint32(buf))
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// SaveFvecsFile writes m to path in .fvecs format.
+func SaveFvecsFile(path string, m vecmath.Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	if err := WriteFvecs(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFvecsFile reads a .fvecs file into a Matrix.
+func LoadFvecsFile(path string) (vecmath.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return vecmath.Matrix{}, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadFvecs(f)
+}
+
+// SaveIvecsFile writes gt to path in .ivecs format.
+func SaveIvecsFile(path string, gt [][]int32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	if err := WriteIvecs(f, gt); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadIvecsFile reads an .ivecs file of id lists.
+func LoadIvecsFile(path string) ([][]int32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadIvecs(f)
+}

@@ -1,0 +1,153 @@
+// Package distsearch implements partitioned ("distributed") NSG search: the
+// base set is split into r shards, an independent NSG is built per shard,
+// and a query fans out to every shard in parallel with results merged by
+// distance. This is the deployment pattern of the paper's DEEP100M
+// experiment (NSG-16core: 16 subset NSGs searched simultaneously) and the
+// Taobao production system (12- and 32-partition distributed search). The
+// paper's MPI machines become goroutines; the measured quantity —
+// single-query response time at a target precision — is preserved.
+package distsearch
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graphutil"
+	"repro/internal/knngraph"
+	"repro/internal/vecmath"
+)
+
+// Sharded is a collection of per-partition NSG indexes over one logical
+// base set.
+type Sharded struct {
+	Base    vecmath.Matrix
+	shards  []*core.NSG
+	localID [][]int32 // localID[s][j] = global id of shard s's row j
+}
+
+// Params configures BuildSharded.
+type Params struct {
+	Shards int
+	KNNK   int // k for each shard's kNN graph
+	Build  core.BuildParams
+	// UseNNDescent selects the approximate kNN builder (the at-scale path);
+	// false uses the exact builder.
+	UseNNDescent bool
+	Seed         int64
+}
+
+// DefaultParams returns settings for test-scale sharded experiments.
+func DefaultParams(shards int) Params {
+	return Params{Shards: shards, KNNK: 15, Build: core.DefaultBuildParams(), UseNNDescent: true, Seed: 1}
+}
+
+// BuildSharded randomly partitions base into p.Shards near-equal subsets
+// (the paper partitions "randomly and evenly") and builds one NSG per
+// shard. Shard builds run sequentially; each build parallelizes internally,
+// mirroring the paper's observation that building r subset NSGs
+// sequentially is faster than one big NSG.
+func BuildSharded(base vecmath.Matrix, p Params) (*Sharded, error) {
+	if p.Shards <= 0 {
+		return nil, fmt.Errorf("distsearch: shards must be positive, got %d", p.Shards)
+	}
+	if base.Rows < p.Shards*4 {
+		return nil, fmt.Errorf("distsearch: %d points cannot fill %d shards", base.Rows, p.Shards)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	perm := rng.Perm(base.Rows)
+
+	s := &Sharded{Base: base}
+	per := (base.Rows + p.Shards - 1) / p.Shards
+	for sh := 0; sh < p.Shards; sh++ {
+		lo := sh * per
+		hi := lo + per
+		if hi > base.Rows {
+			hi = base.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		ids := make([]int32, hi-lo)
+		sub := vecmath.NewMatrix(hi-lo, base.Dim)
+		for j, pi := range perm[lo:hi] {
+			ids[j] = int32(pi)
+			copy(sub.Row(j), base.Row(pi))
+		}
+		var knn *graphutil.Graph
+		var err error
+		k := p.KNNK
+		if k >= sub.Rows {
+			k = sub.Rows - 1
+		}
+		if p.UseNNDescent {
+			kp := knngraph.DefaultParams(k)
+			kp.Seed = p.Seed + int64(sh)
+			knn, err = knngraph.BuildNNDescent(sub, kp)
+		} else {
+			knn, err = knngraph.BuildExact(sub, k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("distsearch: shard %d kNN graph: %w", sh, err)
+		}
+		bp := p.Build
+		bp.Seed = p.Seed + int64(sh)
+		idx, _, err := core.NSGBuild(knn, sub, bp)
+		if err != nil {
+			return nil, fmt.Errorf("distsearch: shard %d NSG: %w", sh, err)
+		}
+		s.shards = append(s.shards, idx)
+		s.localID = append(s.localID, ids)
+	}
+	return s, nil
+}
+
+// Shards returns the number of partitions.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Search fans the query out to every shard in parallel, translates local
+// ids to global ids and merges by distance, returning the k nearest.
+func (s *Sharded) Search(q []float32, k, l int) []vecmath.Neighbor {
+	lists := make([][]vecmath.Neighbor, len(s.shards))
+	var wg sync.WaitGroup
+	for sh := range s.shards {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			local := s.shards[sh].Search(q, k, l, nil)
+			global := make([]vecmath.Neighbor, len(local))
+			for i, n := range local {
+				global[i] = vecmath.Neighbor{ID: s.localID[sh][n.ID], Dist: n.Dist}
+			}
+			lists[sh] = global
+		}(sh)
+	}
+	wg.Wait()
+	return vecmath.MergeNeighborLists(k, lists...)
+}
+
+// SearchSequential runs the same fan-out on a single goroutine — the
+// 1-core protocol, so experiments can separate partitioning effects from
+// parallel speedup.
+func (s *Sharded) SearchSequential(q []float32, k, l int) []vecmath.Neighbor {
+	lists := make([][]vecmath.Neighbor, len(s.shards))
+	for sh := range s.shards {
+		local := s.shards[sh].Search(q, k, l, nil)
+		global := make([]vecmath.Neighbor, len(local))
+		for i, n := range local {
+			global[i] = vecmath.Neighbor{ID: s.localID[sh][n.ID], Dist: n.Dist}
+		}
+		lists[sh] = global
+	}
+	return vecmath.MergeNeighborLists(k, lists...)
+}
+
+// IndexBytes sums the per-shard index footprints.
+func (s *Sharded) IndexBytes() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		total += sh.Graph.IndexBytes()
+	}
+	return total
+}

@@ -1,0 +1,143 @@
+package distsearch
+
+import (
+	"os"
+
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/vecmath"
+)
+
+func buildSharded(t *testing.T, n, shards int) (*Sharded, dataset.Dataset) {
+	t.Helper()
+	ds, err := dataset.ECommerceLike(dataset.Config{N: n, Queries: 30, GTK: 10, Dim: 32, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(shards)
+	p.UseNNDescent = false
+	s, err := BuildSharded(ds.Base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ds
+}
+
+func TestShardedRecall(t *testing.T) {
+	s, ds := buildSharded(t, 2000, 4)
+	if s.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", s.Shards())
+	}
+	got := make([][]int32, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		res := s.Search(ds.Queries.Row(qi), 10, 60)
+		ids := make([]int32, len(res))
+		for i, n := range res {
+			ids[i] = n.ID
+		}
+		got[qi] = ids
+	}
+	if recall := dataset.MeanRecall(got, ds.GT, 10); recall < 0.92 {
+		t.Errorf("sharded recall@10 = %.3f, want >= 0.92", recall)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	s, ds := buildSharded(t, 1200, 3)
+	for qi := 0; qi < 10; qi++ {
+		q := ds.Queries.Row(qi)
+		a := s.Search(q, 5, 40)
+		b := s.SearchSequential(q, 5, 40)
+		if len(a) != len(b) {
+			t.Fatalf("length mismatch %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("query %d pos %d: parallel %d vs sequential %d", qi, i, a[i].ID, b[i].ID)
+			}
+		}
+	}
+}
+
+func TestGlobalIDsValid(t *testing.T) {
+	s, ds := buildSharded(t, 1000, 4)
+	res := s.Search(ds.Queries.Row(0), 10, 40)
+	q := ds.Queries.Row(0)
+	for _, n := range res {
+		if n.ID < 0 || int(n.ID) >= ds.Base.Rows {
+			t.Fatalf("global id %d out of range", n.ID)
+		}
+		// The reported distance must match the global vector exactly.
+		if want := vecmath.L2(q, ds.Base.Row(int(n.ID))); n.Dist != want {
+			t.Fatalf("id %d: dist %v, want %v — local→global mapping broken", n.ID, n.Dist, want)
+		}
+	}
+}
+
+func TestEveryPointInExactlyOneShard(t *testing.T) {
+	s, _ := buildSharded(t, 1000, 4)
+	seen := make(map[int32]struct{})
+	for _, ids := range s.localID {
+		for _, id := range ids {
+			if _, dup := seen[id]; dup {
+				t.Fatalf("id %d in two shards", id)
+			}
+			seen[id] = struct{}{}
+		}
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("%d ids covered, want 1000", len(seen))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	base := vecmath.NewMatrix(10, 4)
+	if _, err := BuildSharded(base, DefaultParams(0)); err == nil {
+		t.Error("expected error for 0 shards")
+	}
+	if _, err := BuildSharded(base, DefaultParams(8)); err == nil {
+		t.Error("expected error for too many shards")
+	}
+}
+
+func TestShardedSaveLoad(t *testing.T) {
+	s, ds := buildSharded(t, 800, 3)
+	path := t.TempDir() + "/sharded.nsgs"
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, ds.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards() != s.Shards() {
+		t.Fatalf("shards = %d, want %d", got.Shards(), s.Shards())
+	}
+	q := ds.Queries.Row(0)
+	a := s.SearchSequential(q, 5, 40)
+	b := got.SearchSequential(q, 5, 40)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("search differs after reload: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	base := vecmath.NewMatrix(10, 4)
+	if _, err := Load(t.TempDir()+"/missing", base); err == nil {
+		t.Error("expected error for missing file")
+	}
+	bad := t.TempDir() + "/bad"
+	if err := writeBytes(bad, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad, base); err == nil {
+		t.Error("expected error for bad magic")
+	}
+}
+
+func writeBytes(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

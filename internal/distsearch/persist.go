@@ -1,0 +1,117 @@
+package distsearch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/vecmath"
+)
+
+// This file persists a sharded index: a header with the shard count, then
+// per shard the id mapping and the shard's NSG. Base vectors are not
+// stored (they live in the dataset file, as with core.NSG); Load re-attaches
+// them and reconstructs each shard's sub-matrix from the id map.
+
+const shardedMagic = 0x4e534753 // "NSGS"
+
+// Save writes the sharded index to path.
+func (s *Sharded) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("distsearch: %w", err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:], shardedMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(s.shards)))
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("distsearch: write header: %w", err)
+	}
+	for sh := range s.shards {
+		ids := s.localID[sh]
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], uint32(len(ids)))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("distsearch: write shard size: %w", err)
+		}
+		for _, id := range ids {
+			binary.LittleEndian.PutUint32(buf[:], uint32(id))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return fmt.Errorf("distsearch: write id map: %w", err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("distsearch: %w", err)
+		}
+		if err := s.shards[sh].Write(f); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("distsearch: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a sharded index from path and re-attaches the base vectors it
+// was built over.
+func Load(path string, base vecmath.Matrix) (*Sharded, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("distsearch: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("distsearch: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != shardedMagic {
+		return nil, fmt.Errorf("distsearch: %s is not a sharded NSG file", path)
+	}
+	nShards := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if nShards <= 0 || nShards > 1<<16 {
+		return nil, fmt.Errorf("distsearch: implausible shard count %d", nShards)
+	}
+	s := &Sharded{Base: base}
+	covered := 0
+	for sh := 0; sh < nShards; sh++ {
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("distsearch: read shard %d size: %w", sh, err)
+		}
+		size := int(binary.LittleEndian.Uint32(buf[:]))
+		if size <= 0 || size > base.Rows {
+			return nil, fmt.Errorf("distsearch: shard %d has implausible size %d", sh, size)
+		}
+		ids := make([]int32, size)
+		sub := vecmath.NewMatrix(size, base.Dim)
+		for j := 0; j < size; j++ {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, fmt.Errorf("distsearch: read shard %d ids: %w", sh, err)
+			}
+			id := int32(binary.LittleEndian.Uint32(buf[:]))
+			if id < 0 || int(id) >= base.Rows {
+				return nil, fmt.Errorf("distsearch: shard %d id %d out of range", sh, id)
+			}
+			ids[j] = id
+			copy(sub.Row(j), base.Row(int(id)))
+		}
+		idx, err := core.ReadNSG(br, sub)
+		if err != nil {
+			return nil, fmt.Errorf("distsearch: shard %d: %w", sh, err)
+		}
+		s.shards = append(s.shards, idx)
+		s.localID = append(s.localID, ids)
+		covered += size
+	}
+	if covered != base.Rows {
+		return nil, fmt.Errorf("distsearch: shards cover %d of %d base vectors", covered, base.Rows)
+	}
+	return s, nil
+}

@@ -1,0 +1,149 @@
+// Package dpg implements the Diversified Proximity Graph baseline (Li et
+// al., "Approximate Nearest Neighbor Search on High Dimensional Data"): an
+// angle-diversified half of a kNN graph, made undirected by reverse-edge
+// compensation. The compensation step is what inflates DPG's maximum
+// out-degree (Table 2 reports MOD up to 20899 on GIST1M), which in turn
+// forces ragged storage and a large index — the weakness the paper calls
+// out.
+package dpg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graphutil"
+	"repro/internal/vecmath"
+)
+
+// Params configures Build.
+type Params struct {
+	// Keep is how many of each node's kNN edges survive diversification
+	// (the paper's strategy keeps k/2).
+	Keep int
+	Seed int64
+}
+
+// Index is a built DPG.
+type Index struct {
+	Graph *graphutil.Graph
+	Base  vecmath.Matrix
+	rng   *rand.Rand
+}
+
+// Build diversifies a kNN graph: greedily keep the edges that maximize the
+// minimum pairwise angle at each node, then add every kept edge's reverse.
+func Build(knn *graphutil.Graph, base vecmath.Matrix, p Params) (*Index, error) {
+	n := base.Rows
+	if knn.N() != n {
+		return nil, fmt.Errorf("dpg: kNN graph has %d nodes, base has %d", knn.N(), n)
+	}
+	if p.Keep <= 0 {
+		p.Keep = maxInt(1, avgDegree(knn)/2)
+	}
+
+	kept := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		kept[i] = diversify(base, int32(i), knn.Adj[i], p.Keep)
+	}
+
+	// Reverse-edge compensation: make the graph undirected.
+	g := graphutil.New(n)
+	edgeSet := make([]map[int32]struct{}, n)
+	for i := range edgeSet {
+		edgeSet[i] = make(map[int32]struct{}, p.Keep*2)
+	}
+	addOnce := func(from, to int32) {
+		if from == to {
+			return
+		}
+		if _, dup := edgeSet[from][to]; dup {
+			return
+		}
+		edgeSet[from][to] = struct{}{}
+		g.AddEdge(from, to)
+	}
+	for i := 0; i < n; i++ {
+		for _, v := range kept[i] {
+			addOnce(int32(i), v)
+			addOnce(v, int32(i))
+		}
+	}
+	return &Index{Graph: g, Base: base, rng: rand.New(rand.NewSource(p.Seed))}, nil
+}
+
+// diversify greedily selects up to keep neighbors maximizing angular spread:
+// start from the nearest, then repeatedly add the candidate whose minimum
+// angle to the already kept edges is largest.
+func diversify(base vecmath.Matrix, node int32, cands []int32, keep int) []int32 {
+	if len(cands) <= keep {
+		return append([]int32{}, cands...)
+	}
+	v := base.Row(int(node))
+	dirs := make([][]float32, len(cands))
+	for i, c := range cands {
+		row := base.Row(int(c))
+		d := make([]float32, len(v))
+		for j := range v {
+			d[j] = row[j] - v[j]
+		}
+		vecmath.Normalize(d)
+		dirs[i] = d
+	}
+	selected := []int{0} // nearest first (kNN lists are ascending)
+	used := map[int]struct{}{0: {}}
+	for len(selected) < keep {
+		bestIdx, bestScore := -1, float32(2) // minimize max cosine = maximize min angle
+		for i := range cands {
+			if _, dup := used[i]; dup {
+				continue
+			}
+			// max cosine similarity to the selected set
+			var maxCos float32 = -2
+			for _, s := range selected {
+				c := vecmath.Dot(dirs[i], dirs[s])
+				if c > maxCos {
+					maxCos = c
+				}
+			}
+			if maxCos < bestScore {
+				bestScore, bestIdx = maxCos, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		used[bestIdx] = struct{}{}
+		selected = append(selected, bestIdx)
+	}
+	out := make([]int32, len(selected))
+	for i, s := range selected {
+		out[i] = cands[s]
+	}
+	return out
+}
+
+// Search runs Algorithm 1 from a random start node. Not safe for concurrent
+// use (shared RNG).
+func (x *Index) Search(q []float32, k, l int, counter *vecmath.Counter) []vecmath.Neighbor {
+	start := int32(x.rng.Intn(x.Graph.N()))
+	return core.SearchOnGraph(x.Graph.Adj, x.Base, q, []int32{start}, k, l, counter, nil).Neighbors
+}
+
+// IndexBytes uses ragged accounting: DPG's max degree is too large for the
+// fixed-stride layout the other methods use (Table 2 note).
+func (x *Index) IndexBytes() int64 { return x.Graph.IndexBytesRagged() }
+
+func avgDegree(g *graphutil.Graph) int {
+	if g.N() == 0 {
+		return 0
+	}
+	return g.Edges() / g.N()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

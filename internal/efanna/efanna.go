@@ -1,0 +1,68 @@
+package efanna
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graphutil"
+	"repro/internal/vecmath"
+)
+
+// Index is the composite Efanna structure: KD-tree forest for entry points,
+// kNN graph for refinement. Its index size is the sum of both structures —
+// the "large and complex indices" cost the paper points out in Section 2.3.
+type Index struct {
+	Forest *KDForest
+	Graph  *graphutil.Graph
+	Base   vecmath.Matrix
+	// TreeChecks is the distance budget spent in the forest to find entry
+	// points before graph refinement.
+	TreeChecks int
+}
+
+// New assembles an Efanna index from a prebuilt forest and kNN graph.
+func New(forest *KDForest, g *graphutil.Graph, base vecmath.Matrix, treeChecks int) (*Index, error) {
+	if g.N() != base.Rows {
+		return nil, fmt.Errorf("efanna: graph has %d nodes, base has %d", g.N(), base.Rows)
+	}
+	if treeChecks <= 0 {
+		treeChecks = 64
+	}
+	return &Index{Forest: forest, Graph: g, Base: base, TreeChecks: treeChecks}, nil
+}
+
+// Search locates entry points with the KD-tree forest, then refines with
+// Algorithm 1 on the kNN graph. counter may be nil.
+func (x *Index) Search(q []float32, k, l int, counter *vecmath.Counter) []vecmath.Neighbor {
+	entries := x.Forest.SearchForest(q, 8, x.TreeChecks, counter)
+	starts := make([]int32, len(entries))
+	for i, e := range entries {
+		starts[i] = e.ID
+	}
+	if len(starts) == 0 {
+		starts = []int32{0}
+	}
+	return core.SearchOnGraph(x.Graph.Adj, x.Base, q, starts, k, l, counter, nil).Neighbors
+}
+
+// IndexBytes reports the combined footprint: fixed-stride graph rows plus
+// roughly 12 bytes per tree node across the forest (split dim, value, two
+// child offsets amortized).
+func (x *Index) IndexBytes() int64 {
+	graphBytes := x.Graph.IndexBytes()
+	var treeBytes int64
+	for _, t := range x.Forest.trees {
+		treeBytes += subtreeBytes(t)
+	}
+	return graphBytes + treeBytes
+}
+
+func subtreeBytes(n *treeNode) int64 {
+	if n == nil {
+		return 0
+	}
+	if n.splitDim < 0 {
+		return int64(len(n.points))*4 + 8
+	}
+	return 12 + subtreeBytes(n.left) + subtreeBytes(n.right)
+}

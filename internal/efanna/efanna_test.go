@@ -1,0 +1,131 @@
+package efanna
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graphutil"
+	"repro/internal/knngraph"
+	"repro/internal/vecmath"
+)
+
+func testDataset(t *testing.T, n int) dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.SIFTLike(dataset.Config{N: n, Queries: 30, GTK: 10, Dim: 32, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestForestExactOnExhaustiveBudget(t *testing.T) {
+	// With checks >= n the best-bin-first search must behave like an exact
+	// scan for the 1-NN.
+	ds := testDataset(t, 300)
+	forest, err := BuildForest(ds.Base, DefaultForestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 10; qi++ {
+		got := forest.SearchForest(ds.Queries.Row(qi), 1, ds.Base.Rows*2, nil)
+		if got[0].ID != ds.GT[qi][0] {
+			t.Errorf("query %d: forest 1-NN = %d, want %d", qi, got[0].ID, ds.GT[qi][0])
+		}
+	}
+}
+
+func TestForestBudgetLimitsWork(t *testing.T) {
+	ds := testDataset(t, 500)
+	forest, err := BuildForest(ds.Base, DefaultForestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c vecmath.Counter
+	forest.SearchForest(ds.Queries.Row(0), 5, 64, &c)
+	if c.Count() > 64 {
+		t.Errorf("forest checked %d > budget 64", c.Count())
+	}
+	if c.Count() == 0 {
+		t.Error("forest did no work")
+	}
+}
+
+func TestForestHandlesDuplicatePoints(t *testing.T) {
+	// All-identical coordinates force degenerate splits; the builder must
+	// terminate and produce a searchable leaf.
+	base := vecmath.NewMatrix(100, 8)
+	forest, err := BuildForest(base, DefaultForestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := forest.SearchForest(make([]float32, 8), 3, 50, nil)
+	if len(got) != 3 {
+		t.Errorf("got %d results on duplicate data", len(got))
+	}
+}
+
+func TestForestValidation(t *testing.T) {
+	if _, err := BuildForest(vecmath.Matrix{Dim: 3}, DefaultForestParams()); err == nil {
+		t.Error("expected error on empty base")
+	}
+}
+
+func TestEfannaRecall(t *testing.T) {
+	ds := testDataset(t, 800)
+	forest, err := BuildForest(ds.Base, DefaultForestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := knngraph.BuildExact(ds.Base, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := New(forest, knn, ds.Base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]int32, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		res := idx.Search(ds.Queries.Row(qi), 10, 80, nil)
+		ids := make([]int32, len(res))
+		for i, n := range res {
+			ids[i] = n.ID
+		}
+		got[qi] = ids
+	}
+	if recall := dataset.MeanRecall(got, ds.GT, 10); recall < 0.90 {
+		t.Errorf("Efanna recall@10 = %.3f, want >= 0.90", recall)
+	}
+}
+
+func TestEfannaIndexLargerThanGraphAlone(t *testing.T) {
+	// Section 2.3's point: composite indices are big. The Efanna footprint
+	// must exceed the bare graph's.
+	ds := testDataset(t, 400)
+	forest, err := BuildForest(ds.Base, DefaultForestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := knngraph.BuildExact(ds.Base, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := New(forest, knn, ds.Base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.IndexBytes() <= knn.IndexBytes() {
+		t.Errorf("composite index %d <= graph alone %d", idx.IndexBytes(), knn.IndexBytes())
+	}
+}
+
+func TestEfannaValidation(t *testing.T) {
+	ds := testDataset(t, 100)
+	forest, err := BuildForest(ds.Base, DefaultForestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(forest, graphutil.New(5), ds.Base, 64); err == nil {
+		t.Error("expected error on graph/base size mismatch")
+	}
+}

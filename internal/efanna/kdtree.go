@@ -1,0 +1,241 @@
+// Package efanna implements the Efanna baseline: a forest of randomized
+// KD-trees provides entry points into a kNN graph, and Algorithm 1 refines
+// from there. The KD-tree forest on its own (SearchForest) doubles as the
+// repository's tree-based baseline standing in for Flann's randomized
+// KD-trees in Figure 8.
+package efanna
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/vecmath"
+)
+
+// treeNode is one node of a randomized KD-tree. Leaves hold point ids;
+// internal nodes split on a randomly chosen high-variance dimension at the
+// median.
+type treeNode struct {
+	splitDim    int
+	splitVal    float32
+	left, right *treeNode
+	points      []int32 // leaf only
+}
+
+// KDForest is a set of randomized KD-trees over one base matrix.
+type KDForest struct {
+	Base     vecmath.Matrix
+	trees    []*treeNode
+	leafSize int
+}
+
+// ForestParams configures BuildForest.
+type ForestParams struct {
+	Trees    int // number of randomized trees
+	LeafSize int // max points per leaf
+	// TopDims is the pool of highest-variance dimensions from which each
+	// split samples randomly (Silpa-Anan & Hartley use 5).
+	TopDims int
+	Seed    int64
+}
+
+// DefaultForestParams returns the conventional randomized KD-tree settings.
+func DefaultForestParams() ForestParams {
+	return ForestParams{Trees: 8, LeafSize: 16, TopDims: 5, Seed: 1}
+}
+
+// BuildForest constructs the randomized KD-tree forest.
+func BuildForest(base vecmath.Matrix, p ForestParams) (*KDForest, error) {
+	if base.Rows == 0 {
+		return nil, fmt.Errorf("efanna: empty base set")
+	}
+	if p.Trees <= 0 {
+		p.Trees = 8
+	}
+	if p.LeafSize <= 0 {
+		p.LeafSize = 16
+	}
+	if p.TopDims <= 0 {
+		p.TopDims = 5
+	}
+	f := &KDForest{Base: base, leafSize: p.LeafSize}
+	rng := rand.New(rand.NewSource(p.Seed))
+	ids := make([]int32, base.Rows)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	for t := 0; t < p.Trees; t++ {
+		own := append([]int32{}, ids...)
+		f.trees = append(f.trees, buildTree(base, own, p, rng))
+	}
+	return f, nil
+}
+
+func buildTree(base vecmath.Matrix, ids []int32, p ForestParams, rng *rand.Rand) *treeNode {
+	if len(ids) <= p.LeafSize {
+		return &treeNode{points: ids, splitDim: -1}
+	}
+	dim := pickSplitDim(base, ids, p.TopDims, rng)
+	vals := make([]float32, len(ids))
+	for i, id := range ids {
+		vals[i] = base.Row(int(id))[dim]
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return base.Row(int(ids[a]))[dim] < base.Row(int(ids[b]))[dim]
+	})
+	mid := len(ids) / 2
+	splitVal := base.Row(int(ids[mid]))[dim]
+	// Degenerate split (all values equal): make a leaf rather than recurse
+	// forever.
+	if base.Row(int(ids[0]))[dim] == base.Row(int(ids[len(ids)-1]))[dim] {
+		return &treeNode{points: ids, splitDim: -1}
+	}
+	// Ensure both sides are non-empty even with duplicated split values.
+	for mid > 0 && base.Row(int(ids[mid-1]))[dim] == splitVal {
+		mid--
+	}
+	if mid == 0 {
+		for mid < len(ids) && base.Row(int(ids[mid]))[dim] == splitVal {
+			mid++
+		}
+		if mid >= len(ids) {
+			return &treeNode{points: ids, splitDim: -1}
+		}
+		splitVal = base.Row(int(ids[mid]))[dim]
+	}
+	return &treeNode{
+		splitDim: dim,
+		splitVal: splitVal,
+		left:     buildTree(base, ids[:mid], p, rng),
+		right:    buildTree(base, ids[mid:], p, rng),
+	}
+}
+
+// pickSplitDim samples one of the topDims highest-variance dimensions.
+func pickSplitDim(base vecmath.Matrix, ids []int32, topDims int, rng *rand.Rand) int {
+	d := base.Dim
+	mean := make([]float64, d)
+	for _, id := range ids {
+		row := base.Row(int(id))
+		for j := 0; j < d; j++ {
+			mean[j] += float64(row[j])
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(ids))
+	}
+	vars := make([]float64, d)
+	for _, id := range ids {
+		row := base.Row(int(id))
+		for j := 0; j < d; j++ {
+			diff := float64(row[j]) - mean[j]
+			vars[j] += diff * diff
+		}
+	}
+	type dv struct {
+		dim int
+		v   float64
+	}
+	top := make([]dv, d)
+	for j := 0; j < d; j++ {
+		top[j] = dv{j, vars[j]}
+	}
+	sort.Slice(top, func(a, b int) bool { return top[a].v > top[b].v })
+	if topDims > d {
+		topDims = d
+	}
+	return top[rng.Intn(topDims)].dim
+}
+
+// SearchForest performs best-bin-first search across all trees with a
+// bounded number of leaf visits, returning the k nearest points examined.
+// maxChecks bounds the number of distance computations (Flann's "checks"
+// parameter). counter may be nil.
+func (f *KDForest) SearchForest(q []float32, k, maxChecks int, counter *vecmath.Counter) []vecmath.Neighbor {
+	top := vecmath.NewTopK(k)
+	checked := make(map[int32]struct{}, maxChecks)
+	// Priority queue of branch bounds across all trees.
+	pq := &branchQueue{}
+	for _, t := range f.trees {
+		pq.push(branch{node: t, bound: 0})
+	}
+	checks := 0
+	for pq.len() > 0 && checks < maxChecks {
+		b := pq.pop()
+		node := b.node
+		for node.splitDim >= 0 {
+			diff := q[node.splitDim] - node.splitVal
+			var nearer, further *treeNode
+			if diff < 0 {
+				nearer, further = node.left, node.right
+			} else {
+				nearer, further = node.right, node.left
+			}
+			pq.push(branch{node: further, bound: b.bound + diff*diff})
+			node = nearer
+		}
+		for _, id := range node.points {
+			if _, dup := checked[id]; dup {
+				continue
+			}
+			checked[id] = struct{}{}
+			top.Push(id, counter.L2(q, f.Base.Row(int(id))))
+			checks++
+			if checks >= maxChecks {
+				break
+			}
+		}
+	}
+	return top.Result()
+}
+
+// branch is a deferred subtree with a lower bound on the distance from the
+// query to its region.
+type branch struct {
+	node  *treeNode
+	bound float32
+}
+
+// branchQueue is a small binary min-heap on bound.
+type branchQueue struct {
+	items []branch
+}
+
+func (q *branchQueue) len() int { return len(q.items) }
+
+func (q *branchQueue) push(b branch) {
+	q.items = append(q.items, b)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.items[parent].bound <= q.items[i].bound {
+			break
+		}
+		q.items[parent], q.items[i] = q.items[i], q.items[parent]
+		i = parent
+	}
+}
+
+func (q *branchQueue) pop() branch {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.items) && q.items[l].bound < q.items[smallest].bound {
+			smallest = l
+		}
+		if r < len(q.items) && q.items[r].bound < q.items[smallest].bound {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

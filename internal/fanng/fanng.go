@@ -1,0 +1,135 @@
+// Package fanng implements the FANNG baseline (Harwood & Drummond, CVPR
+// 2016): a graph built by applying RNG-style occlusion pruning to dense
+// candidate lists, refined by traverse-and-add passes. FANNG searches with
+// the same greedy routine as every other graph method but, being based on
+// the plain RNG rule without the recursive MRNG acceptance, lacks
+// monotonicity — the deficiency Section 3.3 of the NSG paper analyzes.
+package fanng
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graphutil"
+	"repro/internal/vecmath"
+)
+
+// Params configures Build.
+type Params struct {
+	// CandidateK is how many nearest neighbors per node seed the occlusion
+	// pruning (FANNG prunes from a long sorted list).
+	CandidateK int
+	// MaxDegree caps the out-degree after pruning.
+	MaxDegree int
+	// TraversePasses is the number of traverse-and-add refinement passes:
+	// random (start,target) searches that add an edge whenever greedy
+	// search gets stuck before reaching the target.
+	TraversePasses int
+	Seed           int64
+}
+
+// DefaultParams returns settings matched to test-scale data.
+func DefaultParams() Params {
+	return Params{CandidateK: 50, MaxDegree: 30, TraversePasses: 2, Seed: 1}
+}
+
+// Index is a built FANNG graph.
+type Index struct {
+	Graph *graphutil.Graph
+	Base  vecmath.Matrix
+	rng   *rand.Rand
+}
+
+// Build constructs the FANNG from a dense kNN candidate graph. knn must
+// carry at least CandidateK neighbors per node (ascending by distance).
+func Build(knn *graphutil.Graph, base vecmath.Matrix, p Params) (*Index, error) {
+	n := base.Rows
+	if knn.N() != n {
+		return nil, fmt.Errorf("fanng: kNN graph has %d nodes, base has %d", knn.N(), n)
+	}
+	if p.CandidateK <= 0 {
+		p.CandidateK = 50
+	}
+	if p.MaxDegree <= 0 {
+		p.MaxDegree = 30
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	adj := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		v := base.Row(i)
+		lim := len(knn.Adj[i])
+		if lim > p.CandidateK {
+			lim = p.CandidateK
+		}
+		cands := make([]vecmath.Neighbor, 0, lim)
+		for _, nb := range knn.Adj[i][:lim] {
+			cands = append(cands, vecmath.Neighbor{ID: nb, Dist: vecmath.L2(v, base.Row(int(nb)))})
+		}
+		vecmath.SortNeighbors(cands)
+		adj[i] = occludePrune(base, v, cands, p.MaxDegree)
+	}
+	g := &graphutil.Graph{Adj: adj}
+	idx := &Index{Graph: g, Base: base, rng: rng}
+
+	// Traverse-and-add: for random (start, target) pairs, walk greedily
+	// toward target; if stuck at a local optimum that is not the target,
+	// add a direct edge from the stuck node to the target.
+	for pass := 0; pass < p.TraversePasses; pass++ {
+		for trial := 0; trial < n; trial++ {
+			s := int32(rng.Intn(n))
+			t := int32(rng.Intn(n))
+			if s == t {
+				continue
+			}
+			stuck, reached := greedyWalk(g, base, s, t)
+			if !reached && len(g.Adj[stuck]) < p.MaxDegree {
+				if !g.HasEdge(stuck, t) {
+					g.AddEdge(stuck, t)
+				}
+			}
+		}
+	}
+	return idx, nil
+}
+
+// occludePrune is the plain RNG occlusion rule on a sorted candidate list:
+// keep q unless a kept r is closer to q than v is. Identical geometry to
+// core.SelectMRNG; FANNG applies it to kNN candidates only, which is what
+// distinguishes its graph from the NSG.
+func occludePrune(base vecmath.Matrix, v []float32, cands []vecmath.Neighbor, maxDeg int) []int32 {
+	return core.SelectMRNG(base, v, cands, maxDeg)
+}
+
+// greedyWalk walks from s toward t choosing the neighbor closest to t.
+// Returns the final node and whether it reached t.
+func greedyWalk(g *graphutil.Graph, base vecmath.Matrix, s, t int32) (int32, bool) {
+	target := base.Row(int(t))
+	cur := s
+	curDist := vecmath.L2(base.Row(int(cur)), target)
+	for steps := 0; steps < g.N(); steps++ {
+		if cur == t {
+			return cur, true
+		}
+		best, bestDist := cur, curDist
+		for _, nb := range g.Adj[cur] {
+			d := vecmath.L2(base.Row(int(nb)), target)
+			if d < bestDist {
+				best, bestDist = nb, d
+			}
+		}
+		if best == cur {
+			return cur, false
+		}
+		cur, curDist = best, bestDist
+	}
+	return cur, cur == t
+}
+
+// Search runs Algorithm 1 from a random start (FANNG has no fixed entry
+// point). Not safe for concurrent use (shared RNG).
+func (x *Index) Search(q []float32, k, l int, counter *vecmath.Counter) []vecmath.Neighbor {
+	start := int32(x.rng.Intn(x.Graph.N()))
+	return core.SearchOnGraph(x.Graph.Adj, x.Base, q, []int32{start}, k, l, counter, nil).Neighbors
+}

@@ -1,0 +1,93 @@
+package fanng
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graphutil"
+	"repro/internal/knngraph"
+	"repro/internal/vecmath"
+)
+
+func TestBuildAndSearch(t *testing.T) {
+	ds, err := dataset.SIFTLike(dataset.Config{N: 800, Queries: 40, GTK: 10, Dim: 32, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := knngraph.BuildExact(ds.Base, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(knn, ds.Base, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := idx.Graph.Degrees()
+	if st.Avg <= 0 {
+		t.Fatal("graph has no edges")
+	}
+	got := make([][]int32, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		res := idx.Search(ds.Queries.Row(qi), 10, 100, nil)
+		ids := make([]int32, len(res))
+		for i, n := range res {
+			ids[i] = n.ID
+		}
+		got[qi] = ids
+	}
+	if recall := dataset.MeanRecall(got, ds.GT, 10); recall < 0.85 {
+		t.Errorf("FANNG recall@10 = %.3f, want >= 0.85", recall)
+	}
+}
+
+func TestOcclusionSparsifies(t *testing.T) {
+	ds, err := dataset.SIFTLike(dataset.Config{N: 500, Queries: 1, GTK: 1, Dim: 16, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := knngraph.BuildExact(ds.Base, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.TraversePasses = 0
+	idx, err := Build(knn, ds.Base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, limit := idx.Graph.Degrees().Avg, 50.0; got >= limit {
+		t.Errorf("pruned degree %.1f not below candidate k %v", got, limit)
+	}
+}
+
+func TestTraverseAndAddAddsEdges(t *testing.T) {
+	ds, err := dataset.Uniform(dataset.Config{N: 400, Queries: 1, GTK: 1, Dim: 32, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := knngraph.BuildExact(ds.Base, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := DefaultParams()
+	p0.TraversePasses = 0
+	a, err := Build(knn, ds.Base, p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := DefaultParams()
+	p2.TraversePasses = 3
+	b, err := Build(knn, ds.Base, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Graph.Edges() < a.Graph.Edges() {
+		t.Errorf("traverse-and-add removed edges: %d -> %d", a.Graph.Edges(), b.Graph.Edges())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Build(graphutil.New(5), vecmath.NewMatrix(3, 2), DefaultParams()); err == nil {
+		t.Error("expected error on size mismatch")
+	}
+}

@@ -1,0 +1,84 @@
+package graphutil
+
+import "fmt"
+
+// FlatGraph is the fixed-stride adjacency layout the paper's implementations
+// use at search time: every node owns Stride int32 slots in one contiguous
+// array, the first holding its out-degree and the rest its neighbor ids.
+// Table 2's memory accounting ("each node is allocated the same memory based
+// on the maximum out-degree of the graphs to enable the continuous memory
+// access") describes exactly this structure; it removes a pointer
+// indirection per node during greedy traversal and keeps neighbor lists on
+// one cache line each for typical degrees.
+type FlatGraph struct {
+	Data   []int32 // length N*Stride; node i occupies Data[i*Stride:(i+1)*Stride]
+	Stride int     // 1 + max out-degree
+	Nodes  int
+}
+
+// Flatten converts an adjacency-list graph to the fixed-stride layout.
+func Flatten(g *Graph) *FlatGraph {
+	maxDeg := g.Degrees().Max
+	stride := maxDeg + 1
+	f := &FlatGraph{
+		Data:   make([]int32, g.N()*stride),
+		Stride: stride,
+		Nodes:  g.N(),
+	}
+	for i, adj := range g.Adj {
+		row := f.Data[i*stride : (i+1)*stride]
+		row[0] = int32(len(adj))
+		copy(row[1:], adj)
+	}
+	return f
+}
+
+// Neighbors returns node i's adjacency as a subslice of the flat array.
+func (f *FlatGraph) Neighbors(i int32) []int32 {
+	row := f.Data[int(i)*f.Stride:]
+	deg := int(row[0])
+	return row[1 : 1+deg]
+}
+
+// Degree returns node i's out-degree.
+func (f *FlatGraph) Degree(i int32) int {
+	return int(f.Data[int(i)*f.Stride])
+}
+
+// N returns the number of nodes.
+func (f *FlatGraph) N() int { return f.Nodes }
+
+// Bytes returns the memory footprint: exactly the Table 2 accounting plus
+// the one degree slot per node.
+func (f *FlatGraph) Bytes() int64 {
+	return int64(len(f.Data)) * 4
+}
+
+// ToGraph converts back to the adjacency-list representation.
+func (f *FlatGraph) ToGraph() *Graph {
+	g := New(f.Nodes)
+	for i := 0; i < f.Nodes; i++ {
+		nb := f.Neighbors(int32(i))
+		g.Adj[i] = append([]int32{}, nb...)
+	}
+	return g
+}
+
+// Validate checks structural sanity: degrees within stride, ids in range.
+func (f *FlatGraph) Validate() error {
+	if f.Stride <= 0 || len(f.Data) != f.Nodes*f.Stride {
+		return fmt.Errorf("graphutil: flat graph shape invalid: %d nodes, stride %d, %d slots", f.Nodes, f.Stride, len(f.Data))
+	}
+	for i := 0; i < f.Nodes; i++ {
+		deg := f.Data[i*f.Stride]
+		if deg < 0 || int(deg) >= f.Stride {
+			return fmt.Errorf("graphutil: node %d degree %d exceeds stride %d", i, deg, f.Stride)
+		}
+		for _, v := range f.Neighbors(int32(i)) {
+			if v < 0 || int(v) >= f.Nodes {
+				return fmt.Errorf("graphutil: node %d has out-of-range edge %d", i, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,356 @@
+package graphutil
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vecmath"
+)
+
+func TestBasicEdges(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("HasEdge wrong")
+	}
+	if g.Edges() != 2 {
+		t.Errorf("Edges = %d, want 2", g.Edges())
+	}
+	if g.N() != 3 {
+		t.Errorf("N = %d, want 3", g.N())
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 0)
+	st := g.Degrees()
+	if st.Max != 2 || st.Min != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Avg != 1.0 {
+		t.Errorf("avg = %v, want 1", st.Avg)
+	}
+}
+
+func TestIndexBytes(t *testing.T) {
+	g := New(10)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	if got := g.IndexBytes(); got != 10*3*4 {
+		t.Errorf("IndexBytes = %d, want 120", got)
+	}
+	if got := g.IndexBytesRagged(); got != 3*4+10*4 {
+		t.Errorf("IndexBytesRagged = %d, want 52", got)
+	}
+}
+
+func TestSCCSingleCycle(t *testing.T) {
+	g := New(4)
+	for i := int32(0); i < 4; i++ {
+		g.AddEdge(i, (i+1)%4)
+	}
+	if c := g.SCCCount(); c != 1 {
+		t.Errorf("cycle SCC = %d, want 1", c)
+	}
+}
+
+func TestSCCDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 3)
+	if c := g.SCCCount(); c != 3 {
+		t.Errorf("SCC = %d, want 3 ({0,1},{2},{3})", c)
+	}
+}
+
+func TestSCCDAGIsAllSingletons(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	if c := g.SCCCount(); c != 5 {
+		t.Errorf("DAG SCC = %d, want 5", c)
+	}
+}
+
+func TestSCCDeepChainNoStackOverflow(t *testing.T) {
+	// The iterative Tarjan must handle chains far deeper than the goroutine
+	// stack would allow for recursion on huge graphs.
+	n := 200000
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(int32(i), int32(i+1))
+	}
+	if c := g.SCCCount(); c != n {
+		t.Errorf("chain SCC = %d, want %d", c, n)
+	}
+}
+
+// TestSCCMatchesBruteForce compares Tarjan against an O(n^2) reachability
+// definition of SCC on random small graphs.
+func TestSCCMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(12)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.25 {
+					g.AddEdge(int32(i), int32(j))
+				}
+			}
+		}
+		want := bruteSCC(g)
+		if got := g.SCCCount(); got != want {
+			t.Fatalf("trial %d: SCC = %d, brute = %d", trial, got, want)
+		}
+	}
+}
+
+func bruteSCC(g *Graph) int {
+	n := g.N()
+	reach := make([][]bool, n)
+	for i := range reach {
+		visited := make([]bool, n)
+		g.reach(int32(i), visited)
+		reach[i] = visited
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		if comp[i] != -1 {
+			continue
+		}
+		comp[i] = count
+		for j := i + 1; j < n; j++ {
+			if reach[i][j] && reach[j][i] {
+				comp[j] = count
+			}
+		}
+		count++
+	}
+	return count
+}
+
+func TestReachableAndUnreachable(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if n := g.ReachableFrom(0); n != 3 {
+		t.Errorf("ReachableFrom(0) = %d, want 3", n)
+	}
+	un := g.Unreachable(0)
+	if len(un) != 2 || un[0] != 3 || un[1] != 4 {
+		t.Errorf("Unreachable = %v, want [3 4]", un)
+	}
+}
+
+func TestNNPercent(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1) // node 0 links its NN
+	g.AddEdge(1, 0) // node 1 links its NN
+	g.AddEdge(2, 0) // node 2 does not (its NN is 1)
+	nn := []int32{1, 0, 1}
+	if p := g.NNPercent(nn); p < 66 || p > 67 {
+		t.Errorf("NNPercent = %v, want ~66.7", p)
+	}
+}
+
+func TestExactNearest(t *testing.T) {
+	base := vecmath.MatrixFromSlices([][]float32{{0}, {1}, {10}})
+	nn := ExactNearest(base)
+	if nn[0] != 1 || nn[1] != 0 || nn[2] != 1 {
+		t.Errorf("ExactNearest = %v, want [1 0 1]", nn)
+	}
+}
+
+func TestIsMonotonicPath(t *testing.T) {
+	base := vecmath.MatrixFromSlices([][]float32{{0}, {5}, {3}, {1}})
+	q := []float32{0}
+	if !IsMonotonicPath(base, []int32{1, 2, 3, 0}, q) {
+		t.Error("5→3→1→0 toward 0 should be monotonic")
+	}
+	if IsMonotonicPath(base, []int32{3, 2, 0}, q) {
+		t.Error("1→3→0 toward 0 is not monotonic")
+	}
+}
+
+func TestHasMonotonicPath(t *testing.T) {
+	// Points on a line: 0,1,2,3 at x=0,1,2,3. Edges 0→1→2→3 give monotonic
+	// paths toward 3 but none from 3 back to 0.
+	base := vecmath.MatrixFromSlices([][]float32{{0}, {1}, {2}, {3}})
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if !HasMonotonicPath(g, base, 0, 3) {
+		t.Error("expected monotonic path 0→3")
+	}
+	if HasMonotonicPath(g, base, 3, 0) {
+		t.Error("no path 3→0 should exist")
+	}
+	if !HasMonotonicPath(g, base, 2, 2) {
+		t.Error("trivial path p==q should hold")
+	}
+}
+
+func TestHasMonotonicPathRequiresMonotonicity(t *testing.T) {
+	// 0 at x=0, 1 at x=10, 2 at x=4. Edges 0→1, 1→2. Reaching 2 from 0 is
+	// possible but the hop 0→1 moves away from 2 (|0-4|=4 < |10-4|=6), so no
+	// monotonic path exists.
+	base := vecmath.MatrixFromSlices([][]float32{{0}, {10}, {4}})
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if HasMonotonicPath(g, base, 0, 2) {
+		t.Error("path exists but is not monotonic; oracle must reject it")
+	}
+}
+
+func TestGraphSerializationRoundTrip(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 3)
+	g.AddEdge(2, 0)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 4 || !got.HasEdge(0, 3) || !got.HasEdge(2, 0) || got.HasEdge(1, 0) {
+		t.Errorf("round-trip mismatch: %+v", got.Adj)
+	}
+}
+
+func TestGraphSerializationProperty(t *testing.T) {
+	f := func(edges []struct{ From, To uint8 }) bool {
+		g := New(256)
+		for _, e := range edges {
+			g.AddEdge(int32(e.From), int32(e.To))
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadFrom(&buf)
+		if err != nil {
+			return false
+		}
+		if got.N() != g.N() || got.Edges() != g.Edges() {
+			return false
+		}
+		for i := range g.Adj {
+			for j := range g.Adj[i] {
+				if got.Adj[i][j] != g.Adj[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Error("expected error on bad magic")
+	}
+	// Valid magic, edge target out of range.
+	g := New(2)
+	g.AddEdge(0, 1)
+	var buf bytes.Buffer
+	g.WriteTo(&buf)
+	b := buf.Bytes()
+	b[len(b)-4] = 99 // corrupt edge target
+	if _, err := ReadFrom(bytes.NewReader(b)); err == nil {
+		t.Error("expected error on out-of-range edge target")
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 3)
+	g.AddEdge(2, 0)
+	f := Flatten(g)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 4 || f.Stride != 3 {
+		t.Fatalf("N=%d stride=%d, want 4/3", f.N(), f.Stride)
+	}
+	if f.Degree(0) != 2 || f.Degree(1) != 0 {
+		t.Errorf("degrees wrong: %d %d", f.Degree(0), f.Degree(1))
+	}
+	nb := f.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 3 {
+		t.Errorf("Neighbors(0) = %v", nb)
+	}
+	back := f.ToGraph()
+	if back.Edges() != g.Edges() || !back.HasEdge(2, 0) {
+		t.Errorf("round trip lost edges")
+	}
+	if f.Bytes() != int64(4*3*4) {
+		t.Errorf("Bytes = %d", f.Bytes())
+	}
+}
+
+func TestFlattenPropertyRoundTrip(t *testing.T) {
+	f := func(edges []struct{ From, To uint8 }) bool {
+		g := New(256)
+		for _, e := range edges {
+			g.AddEdge(int32(e.From), int32(e.To))
+		}
+		fg := Flatten(g)
+		if fg.Validate() != nil {
+			return false
+		}
+		back := fg.ToGraph()
+		if back.Edges() != g.Edges() {
+			return false
+		}
+		for i := range g.Adj {
+			for j := range g.Adj[i] {
+				if back.Adj[i][j] != g.Adj[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlatGraphValidateCatchesCorruption(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	f := Flatten(g)
+	f.Data[0] = 99 // degree beyond stride
+	if err := f.Validate(); err == nil {
+		t.Error("expected degree-overflow error")
+	}
+	f.Data[0] = 1
+	f.Data[1] = 77 // edge target out of range
+	if err := f.Validate(); err == nil {
+		t.Error("expected out-of-range edge error")
+	}
+}

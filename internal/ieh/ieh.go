@@ -1,0 +1,70 @@
+// Package ieh implements the IEH baseline (Jin et al., "Fast and accurate
+// hashing via iterative nearest neighbors expansion", IEEE Cybernetics
+// 2014), per the paper's Section 2.3 description: locality-sensitive
+// hashing supplies starting positions and greedy expansion on a kNN graph
+// refines them. Like Efanna, it buys a better Algorithm-1 entry point at
+// the cost of a second index structure — the "large and complex indices"
+// trade-off NSG is designed to avoid.
+package ieh
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graphutil"
+	"repro/internal/lsh"
+	"repro/internal/vecmath"
+)
+
+// Index couples an LSH table set with a kNN graph.
+type Index struct {
+	Hash  *lsh.Index
+	Graph *graphutil.Graph
+	Base  vecmath.Matrix
+	// Entries is how many hash candidates seed the graph expansion.
+	Entries int
+	// Probes is the multi-probe budget per hash table.
+	Probes int
+}
+
+// New assembles an IEH index from a prebuilt LSH structure and kNN graph.
+func New(hash *lsh.Index, g *graphutil.Graph, base vecmath.Matrix, entries, probes int) (*Index, error) {
+	if g.N() != base.Rows {
+		return nil, fmt.Errorf("ieh: graph has %d nodes, base has %d", g.N(), base.Rows)
+	}
+	if entries <= 0 {
+		entries = 8
+	}
+	if probes <= 0 {
+		probes = 4
+	}
+	return &Index{Hash: hash, Graph: g, Base: base, Entries: entries, Probes: probes}, nil
+}
+
+// Build constructs both substructures with default parameters.
+func Build(base vecmath.Matrix, knn *graphutil.Graph, seed int64) (*Index, error) {
+	h, err := lsh.Build(base, lsh.Params{Tables: 8, Bits: 12, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("ieh: %w", err)
+	}
+	return New(h, knn, base, 8, 4)
+}
+
+// Search finds hash-based entry points, then expands on the kNN graph with
+// Algorithm 1. counter may be nil.
+func (x *Index) Search(q []float32, k, l int, counter *vecmath.Counter) []vecmath.Neighbor {
+	seeds := x.Hash.Search(q, x.Entries, x.Probes, counter)
+	starts := make([]int32, 0, len(seeds))
+	for _, s := range seeds {
+		starts = append(starts, s.ID)
+	}
+	if len(starts) == 0 {
+		starts = []int32{0}
+	}
+	return core.SearchOnGraph(x.Graph.Adj, x.Base, q, starts, k, l, counter, nil).Neighbors
+}
+
+// IndexBytes reports the combined footprint of both structures.
+func (x *Index) IndexBytes() int64 {
+	return x.Hash.IndexBytes() + x.Graph.IndexBytes()
+}

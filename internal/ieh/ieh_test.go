@@ -1,0 +1,109 @@
+package ieh
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graphutil"
+	"repro/internal/knngraph"
+	"repro/internal/vecmath"
+)
+
+func TestSearchRecall(t *testing.T) {
+	ds, err := dataset.SIFTLike(dataset.Config{N: 800, Queries: 40, GTK: 10, Dim: 32, Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := knngraph.BuildExact(ds.Base, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ds.Base, knn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]int32, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		res := idx.Search(ds.Queries.Row(qi), 10, 80, nil)
+		ids := make([]int32, len(res))
+		for i, n := range res {
+			ids[i] = n.ID
+		}
+		got[qi] = ids
+	}
+	if recall := dataset.MeanRecall(got, ds.GT, 10); recall < 0.90 {
+		t.Errorf("IEH recall@10 = %.3f, want >= 0.90", recall)
+	}
+}
+
+func TestHashEntriesBeatRandomOnClusters(t *testing.T) {
+	// IEH's reason to exist: hash seeds land near the query's region, so
+	// fewer expansions are needed than from an arbitrary start. Proxy: the
+	// first seed's distance is typically far below the dataset diameter.
+	ds, err := dataset.SIFTLike(dataset.Config{N: 600, Queries: 20, GTK: 5, Dim: 32, Seed: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := knngraph.BuildExact(ds.Base, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ds.Base, knn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	better := 0
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		q := ds.Queries.Row(qi)
+		seeds := idx.Hash.Search(q, 1, idx.Probes, nil)
+		if len(seeds) == 0 {
+			continue
+		}
+		// Compare the hash seed against the median random point distance.
+		worse := 0
+		for trial := 0; trial < 20; trial++ {
+			if vecmath.L2(q, ds.Base.Row((qi*97+trial*31)%ds.Base.Rows)) > seeds[0].Dist {
+				worse++
+			}
+		}
+		if worse >= 10 {
+			better++
+		}
+	}
+	if better < ds.Queries.Rows/2 {
+		t.Errorf("hash seeds better than random for only %d/%d queries", better, ds.Queries.Rows)
+	}
+}
+
+func TestCompositeIndexLargerThanGraph(t *testing.T) {
+	ds, err := dataset.Uniform(dataset.Config{N: 400, Queries: 1, GTK: 1, Dim: 16, Seed: 65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := knngraph.BuildExact(ds.Base, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ds.Base, knn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.IndexBytes() <= knn.IndexBytes() {
+		t.Errorf("composite %d <= graph alone %d", idx.IndexBytes(), knn.IndexBytes())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	base := vecmath.NewMatrix(10, 4)
+	if _, err := New(nil, graphutil.New(5), base, 0, 0); err == nil {
+		t.Error("expected error on size mismatch")
+	}
+	g := graphutil.New(10)
+	idx, err := New(nil, g, base, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Entries != 8 || idx.Probes != 4 {
+		t.Errorf("defaults not applied: %d %d", idx.Entries, idx.Probes)
+	}
+}

@@ -1,0 +1,107 @@
+package ivfpq
+
+import (
+	"math/rand"
+
+	"repro/internal/vecmath"
+)
+
+// kmeans runs Lloyd's algorithm with k-means++ seeding on the rows of data,
+// returning k centroids. iters bounds the Lloyd iterations. Empty clusters
+// are re-seeded from the point farthest from its centroid.
+func kmeans(data vecmath.Matrix, k, iters int, rng *rand.Rand) vecmath.Matrix {
+	n := data.Rows
+	if k > n {
+		k = n
+	}
+	centroids := vecmath.NewMatrix(k, data.Dim)
+
+	// k-means++ seeding.
+	first := rng.Intn(n)
+	copy(centroids.Row(0), data.Row(first))
+	minDist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		minDist[i] = float64(vecmath.L2(data.Row(i), centroids.Row(0)))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range minDist {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			for i, d := range minDist {
+				acc += d
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centroids.Row(c), data.Row(pick))
+		for i := 0; i < n; i++ {
+			d := float64(vecmath.L2(data.Row(i), centroids.Row(c)))
+			if d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < iters; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, float32(0)
+			for c := 0; c < k; c++ {
+				d := vecmath.L2(data.Row(i), centroids.Row(c))
+				if c == 0 || d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, data.Dim)
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			row := data.Row(i)
+			for j, v := range row {
+				sums[c][j] += float64(v)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed from the globally farthest point.
+				far, farD := 0, float32(-1)
+				for i := 0; i < n; i++ {
+					d := vecmath.L2(data.Row(i), centroids.Row(assign[i]))
+					if d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids.Row(c), data.Row(far))
+				continue
+			}
+			row := centroids.Row(c)
+			for j := range row {
+				row[j] = float32(sums[c][j] / float64(counts[c]))
+			}
+		}
+	}
+	return centroids
+}

@@ -1,0 +1,49 @@
+// Package kgraph implements the KGraph baseline: greedy best-first search
+// (Algorithm 1) directly on a kNN graph with random starting nodes, in the
+// style of GNNS/KGraph. The kNN graph approximates the Delaunay graph, so
+// search works, but the out-degree required for high recall is large —
+// which is precisely the weakness the paper's Table 2 and Figure 6
+// demonstrate.
+package kgraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graphutil"
+	"repro/internal/vecmath"
+)
+
+// Index wraps a kNN graph for search.
+type Index struct {
+	Graph *graphutil.Graph
+	Base  vecmath.Matrix
+	rng   *rand.Rand
+	// Starts is the number of random entry points per query. GNNS-style
+	// search uses a handful to reduce the chance of a bad basin.
+	Starts int
+}
+
+// New wraps a prebuilt kNN graph. starts controls how many random entry
+// points each query uses (minimum 1).
+func New(g *graphutil.Graph, base vecmath.Matrix, starts int, seed int64) (*Index, error) {
+	if g.N() != base.Rows {
+		return nil, fmt.Errorf("kgraph: graph has %d nodes, base has %d", g.N(), base.Rows)
+	}
+	if starts < 1 {
+		starts = 1
+	}
+	return &Index{Graph: g, Base: base, rng: rand.New(rand.NewSource(seed)), Starts: starts}, nil
+}
+
+// Search runs Algorithm 1 from random entry points. Not safe for concurrent
+// use (shared RNG), matching the single-thread protocol of the paper's
+// search experiments.
+func (x *Index) Search(q []float32, k, l int, counter *vecmath.Counter) []vecmath.Neighbor {
+	starts := make([]int32, 0, x.Starts)
+	for len(starts) < x.Starts {
+		starts = append(starts, int32(x.rng.Intn(x.Graph.N())))
+	}
+	return core.SearchOnGraph(x.Graph.Adj, x.Base, q, starts, k, l, counter, nil).Neighbors
+}

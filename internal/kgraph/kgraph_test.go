@@ -1,0 +1,69 @@
+package kgraph
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graphutil"
+	"repro/internal/knngraph"
+	"repro/internal/vecmath"
+)
+
+func TestSearchRecall(t *testing.T) {
+	ds, err := dataset.Uniform(dataset.Config{N: 800, Queries: 40, GTK: 10, Dim: 16, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := knngraph.BuildExact(ds.Base, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := New(knn, ds.Base, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]int32, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		res := idx.Search(ds.Queries.Row(qi), 10, 80, nil)
+		ids := make([]int32, len(res))
+		for i, n := range res {
+			ids[i] = n.ID
+		}
+		got[qi] = ids
+	}
+	if recall := dataset.MeanRecall(got, ds.GT, 10); recall < 0.90 {
+		t.Errorf("KGraph recall@10 = %.3f, want >= 0.90", recall)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := graphutil.New(5)
+	if _, err := New(g, vecmath.NewMatrix(3, 2), 1, 1); err == nil {
+		t.Error("expected error on size mismatch")
+	}
+	idx, err := New(g, vecmath.NewMatrix(5, 2), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Starts != 1 {
+		t.Errorf("Starts = %d, want clamped to 1", idx.Starts)
+	}
+}
+
+func TestClusteredKNNGraphDisconnects(t *testing.T) {
+	// The paper's Table 4 finding that motivates NSG's connectivity repair:
+	// on clustered data a raw kNN graph fragments into multiple strongly
+	// connected components, so random-start greedy search strands whole
+	// queries. This is expected KGraph behavior, not a bug.
+	ds, err := dataset.SIFTLike(dataset.Config{N: 800, Queries: 1, GTK: 1, Dim: 32, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := knngraph.BuildExact(ds.Base, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scc := knn.SCCCount(); scc < 2 {
+		t.Skipf("kNN graph happened to be connected (SCC=%d)", scc)
+	}
+}

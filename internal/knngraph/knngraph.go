@@ -1,0 +1,318 @@
+// Package knngraph builds k-nearest-neighbor graphs, the substrate NSG's
+// Algorithm 2 consumes. Two builders are provided: an exact parallel
+// brute-force builder (the small-scale reference) and NN-Descent (Dong et
+// al., WWW 2011), the algorithm the paper uses for its million-scale
+// experiments. The paper's DEEP100M runs swap in Faiss-GPU for this step;
+// both are interchangeable producers of the same artifact.
+package knngraph
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graphutil"
+	"repro/internal/vecmath"
+)
+
+// BuildExact constructs the exact kNN graph by parallel brute force:
+// node i's adjacency holds its k nearest other points, ascending by
+// distance. O(n^2 d) — intended for reference and test-scale data.
+func BuildExact(base vecmath.Matrix, k int) (*graphutil.Graph, error) {
+	if k <= 0 || k >= base.Rows {
+		return nil, fmt.Errorf("knngraph: k=%d out of range for n=%d", k, base.Rows)
+	}
+	g := graphutil.New(base.Rows)
+	parallelFor(base.Rows, func(i int) {
+		x := base.Row(i)
+		top := vecmath.NewTopK(k)
+		for j := 0; j < base.Rows; j++ {
+			if j == i {
+				continue
+			}
+			top.Push(int32(j), vecmath.L2(x, base.Row(j)))
+		}
+		res := top.Result()
+		adj := make([]int32, len(res))
+		for idx, n := range res {
+			adj[idx] = n.ID
+		}
+		g.Adj[i] = adj
+	})
+	return g, nil
+}
+
+// nndNeighbor is NN-Descent's working entry: a candidate neighbor with its
+// distance and the "new" flag that drives the local-join bookkeeping.
+type nndNeighbor struct {
+	id    int32
+	dist  float32
+	isNew bool
+}
+
+// Params configures NN-Descent.
+type Params struct {
+	K          int     // neighbors per node in the output graph
+	Rho        float64 // sample rate for local joins (paper default 1.0; 0.5 is faster)
+	Iters      int     // maximum iterations
+	Delta      float64 // early-termination threshold on update rate
+	Seed       int64
+	SampleRand int // size of the random initialization per node; defaults to K
+}
+
+// DefaultParams returns the NN-Descent settings used across the experiments.
+func DefaultParams(k int) Params {
+	return Params{K: k, Rho: 0.5, Iters: 12, Delta: 0.001, Seed: 1}
+}
+
+// BuildNNDescent constructs an approximate kNN graph with NN-Descent.
+// The returned graph has exactly K neighbors per node, ascending by
+// distance.
+func BuildNNDescent(base vecmath.Matrix, p Params) (*graphutil.Graph, error) {
+	n := base.Rows
+	if p.K <= 0 || p.K >= n {
+		return nil, fmt.Errorf("knngraph: K=%d out of range for n=%d", p.K, n)
+	}
+	if p.Iters <= 0 {
+		p.Iters = 12
+	}
+	if p.Rho <= 0 || p.Rho > 1 {
+		p.Rho = 0.5
+	}
+	if p.SampleRand <= 0 {
+		p.SampleRand = p.K
+	}
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	lists := make([][]nndNeighbor, n)
+	var mu []sync.Mutex = make([]sync.Mutex, n)
+
+	// Random initialization: each node gets SampleRand distinct random
+	// neighbors marked new.
+	for i := 0; i < n; i++ {
+		seen := map[int32]struct{}{int32(i): {}}
+		list := make([]nndNeighbor, 0, p.K+1)
+		for len(list) < p.SampleRand {
+			j := int32(rng.Intn(n))
+			if _, dup := seen[j]; dup {
+				continue
+			}
+			seen[j] = struct{}{}
+			list = append(list, nndNeighbor{id: j, dist: vecmath.L2(base.Row(i), base.Row(int(j))), isNew: true})
+		}
+		sortNND(list)
+		lists[i] = list
+	}
+
+	maxSample := int(p.Rho * float64(p.K))
+	if maxSample < 1 {
+		maxSample = 1
+	}
+
+	for iter := 0; iter < p.Iters; iter++ {
+		// Phase 1: sample new/old forward neighbors, build reverse lists.
+		newFwd := make([][]int32, n)
+		oldFwd := make([][]int32, n)
+		for i := 0; i < n; i++ {
+			var newList, oldList []int32
+			sampled := 0
+			for idx := range lists[i] {
+				nb := &lists[i][idx]
+				if nb.isNew {
+					if sampled < maxSample {
+						newList = append(newList, nb.id)
+						nb.isNew = false
+						sampled++
+					}
+				} else {
+					oldList = append(oldList, nb.id)
+				}
+			}
+			if len(oldList) > maxSample {
+				rng.Shuffle(len(oldList), func(a, b int) { oldList[a], oldList[b] = oldList[b], oldList[a] })
+				oldList = oldList[:maxSample]
+			}
+			newFwd[i] = newList
+			oldFwd[i] = oldList
+		}
+		newRev := make([][]int32, n)
+		oldRev := make([][]int32, n)
+		for i := 0; i < n; i++ {
+			for _, j := range newFwd[i] {
+				newRev[j] = append(newRev[j], int32(i))
+			}
+			for _, j := range oldFwd[i] {
+				oldRev[j] = append(oldRev[j], int32(i))
+			}
+		}
+
+		// Phase 2: local joins. For each node, pair up its new×(new∪old)
+		// neighbors and try to improve both ends.
+		var updates atomic.Int64
+		parallelFor(n, func(i int) {
+			var local int64
+			newList := newFwd[i]
+			if len(newRev[i]) > 0 {
+				merged := append(append([]int32{}, newList...), sampleIDs(newRev[i], maxSample, int64(i)+p.Seed)...)
+				newList = merged
+			}
+			oldList := oldFwd[i]
+			if len(oldRev[i]) > 0 {
+				oldList = append(append([]int32{}, oldList...), sampleIDs(oldRev[i], maxSample, int64(i)*31+p.Seed)...)
+			}
+			for a := 0; a < len(newList); a++ {
+				u := newList[a]
+				for b := a + 1; b < len(newList); b++ {
+					v := newList[b]
+					if u == v {
+						continue
+					}
+					local += tryInsertPair(base, lists, mu, u, v, p.K)
+				}
+				for _, v := range oldList {
+					if u == v {
+						continue
+					}
+					local += tryInsertPair(base, lists, mu, u, v, p.K)
+				}
+			}
+			updates.Add(local)
+		})
+		if float64(updates.Load()) <= p.Delta*float64(n)*float64(p.K) {
+			break
+		}
+	}
+
+	g := graphutil.New(n)
+	for i := 0; i < n; i++ {
+		list := lists[i]
+		k := p.K
+		if k > len(list) {
+			k = len(list)
+		}
+		adj := make([]int32, k)
+		for j := 0; j < k; j++ {
+			adj[j] = list[j].id
+		}
+		g.Adj[i] = adj
+	}
+	return g, nil
+}
+
+// tryInsertPair computes δ(u,v) once and offers the edge to both endpoint
+// lists, returning the number of successful insertions (0..2).
+func tryInsertPair(base vecmath.Matrix, lists [][]nndNeighbor, mu []sync.Mutex, u, v int32, k int) int64 {
+	d := vecmath.L2(base.Row(int(u)), base.Row(int(v)))
+	var c int64
+	if insertNeighbor(lists, mu, u, v, d, k) {
+		c++
+	}
+	if insertNeighbor(lists, mu, v, u, d, k) {
+		c++
+	}
+	return c
+}
+
+// insertNeighbor offers (id,dist) to node's bounded neighbor list, keeping
+// it sorted ascending and at most k long. Returns true if the list changed.
+func insertNeighbor(lists [][]nndNeighbor, mu []sync.Mutex, node, id int32, dist float32, k int) bool {
+	mu[node].Lock()
+	defer mu[node].Unlock()
+	list := lists[node]
+	if len(list) >= k && dist >= list[len(list)-1].dist {
+		return false
+	}
+	for _, nb := range list {
+		if nb.id == id {
+			return false
+		}
+	}
+	pos := sort.Search(len(list), func(i int) bool { return list[i].dist > dist })
+	list = append(list, nndNeighbor{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = nndNeighbor{id: id, dist: dist, isNew: true}
+	if len(list) > k {
+		list = list[:k]
+	}
+	lists[node] = list
+	return true
+}
+
+func sortNND(list []nndNeighbor) {
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].dist != list[j].dist {
+			return list[i].dist < list[j].dist
+		}
+		return list[i].id < list[j].id
+	})
+}
+
+// sampleIDs returns up to max ids sampled without replacement.
+func sampleIDs(ids []int32, max int, seed int64) []int32 {
+	if len(ids) <= max {
+		return ids
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := append([]int32{}, ids...)
+	rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+	return out[:max]
+}
+
+// Accuracy measures the recall of an approximate kNN graph against the exact
+// one: the average fraction of each node's true k nearest neighbors present
+// in its adjacency list.
+func Accuracy(approx, exact *graphutil.Graph) float64 {
+	if approx.N() != exact.N() || approx.N() == 0 {
+		return 0
+	}
+	var total float64
+	for i := range exact.Adj {
+		truth := make(map[int32]struct{}, len(exact.Adj[i]))
+		for _, v := range exact.Adj[i] {
+			truth[v] = struct{}{}
+		}
+		if len(truth) == 0 {
+			continue
+		}
+		hit := 0
+		for _, v := range approx.Adj[i] {
+			if _, ok := truth[v]; ok {
+				hit++
+			}
+		}
+		total += float64(hit) / float64(len(truth))
+	}
+	return total / float64(exact.N())
+}
+
+func parallelFor(n int, body func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

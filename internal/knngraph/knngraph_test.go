@@ -1,0 +1,155 @@
+package knngraph
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graphutil"
+	"repro/internal/vecmath"
+)
+
+func testData(t *testing.T, n, dim int) vecmath.Matrix {
+	t.Helper()
+	ds, err := dataset.Uniform(dataset.Config{N: n, Queries: 1, GTK: 1, Dim: dim, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Base
+}
+
+func TestBuildExactSmall(t *testing.T) {
+	base := vecmath.MatrixFromSlices([][]float32{{0}, {1}, {3}, {7}})
+	g, err := BuildExact(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// node 0 (x=0): nearest are 1 (d=1) then 2 (d=9)
+	if g.Adj[0][0] != 1 || g.Adj[0][1] != 2 {
+		t.Errorf("adj[0] = %v, want [1 2]", g.Adj[0])
+	}
+	// node 3 (x=7): nearest are 2 (d=16) then 1 (d=36)
+	if g.Adj[3][0] != 2 || g.Adj[3][1] != 1 {
+		t.Errorf("adj[3] = %v, want [2 1]", g.Adj[3])
+	}
+}
+
+func TestBuildExactValidation(t *testing.T) {
+	base := vecmath.NewMatrix(3, 2)
+	if _, err := BuildExact(base, 0); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, err := BuildExact(base, 3); err == nil {
+		t.Error("expected error for k>=n")
+	}
+}
+
+func TestBuildExactInvariants(t *testing.T) {
+	base := testData(t, 200, 8)
+	k := 10
+	g, err := BuildExact(base, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Adj {
+		if len(g.Adj[i]) != k {
+			t.Fatalf("node %d has %d neighbors, want %d", i, len(g.Adj[i]), k)
+		}
+		prev := float32(-1)
+		seen := map[int32]struct{}{}
+		for _, v := range g.Adj[i] {
+			if v == int32(i) {
+				t.Fatalf("node %d contains self-edge", i)
+			}
+			if _, dup := seen[v]; dup {
+				t.Fatalf("node %d has duplicate neighbor %d", i, v)
+			}
+			seen[v] = struct{}{}
+			d := vecmath.L2(base.Row(i), base.Row(int(v)))
+			if d < prev {
+				t.Fatalf("node %d neighbors not ascending", i)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestNNDescentHighRecall(t *testing.T) {
+	base := testData(t, 600, 16)
+	k := 10
+	exact, err := BuildExact(base, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := BuildNNDescent(base, DefaultParams(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(approx, exact)
+	if acc < 0.90 {
+		t.Errorf("NN-Descent recall = %.3f, want >= 0.90", acc)
+	}
+}
+
+func TestNNDescentInvariants(t *testing.T) {
+	base := testData(t, 300, 8)
+	k := 8
+	g, err := BuildNNDescent(base, DefaultParams(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 300 {
+		t.Fatalf("N = %d", g.N())
+	}
+	for i := range g.Adj {
+		if len(g.Adj[i]) != k {
+			t.Fatalf("node %d has %d neighbors, want %d", i, len(g.Adj[i]), k)
+		}
+		seen := map[int32]struct{}{}
+		prev := float32(-1)
+		for _, v := range g.Adj[i] {
+			if v == int32(i) {
+				t.Fatalf("node %d has self-edge", i)
+			}
+			if _, dup := seen[v]; dup {
+				t.Fatalf("node %d has duplicate neighbor", i)
+			}
+			seen[v] = struct{}{}
+			d := vecmath.L2(base.Row(i), base.Row(int(v)))
+			if d < prev {
+				t.Fatalf("node %d adjacency not ascending by distance", i)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestNNDescentDeterministicInit(t *testing.T) {
+	// NN-Descent's parallel local joins make full determinism impractical
+	// (matching real implementations), but validation must be stable.
+	base := testData(t, 50, 4)
+	if _, err := BuildNNDescent(base, Params{K: 0}); err == nil {
+		t.Error("expected error for K=0")
+	}
+	if _, err := BuildNNDescent(base, Params{K: 50}); err == nil {
+		t.Error("expected error for K>=n")
+	}
+}
+
+func TestAccuracyBounds(t *testing.T) {
+	base := testData(t, 100, 4)
+	g, err := BuildExact(base, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := Accuracy(g, g); a != 1 {
+		t.Errorf("self accuracy = %v, want 1", a)
+	}
+	empty := graphutil.New(100)
+	if a := Accuracy(empty, g); a != 0 {
+		t.Errorf("empty accuracy = %v, want 0", a)
+	}
+	mismatched := graphutil.New(5)
+	if a := Accuracy(mismatched, g); a != 0 {
+		t.Errorf("mismatched-size accuracy = %v, want 0", a)
+	}
+}

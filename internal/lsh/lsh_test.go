@@ -1,0 +1,121 @@
+package lsh
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/vecmath"
+)
+
+func TestSearchFindsNeighbors(t *testing.T) {
+	ds, err := dataset.SIFTLike(dataset.Config{N: 1000, Queries: 40, GTK: 10, Dim: 32, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ds.Base, Params{Tables: 10, Bits: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]int32, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		res := idx.Search(ds.Queries.Row(qi), 10, 16, nil)
+		ids := make([]int32, len(res))
+		for i, n := range res {
+			ids[i] = n.ID
+		}
+		got[qi] = ids
+	}
+	if recall := dataset.MeanRecall(got, ds.GT, 10); recall < 0.5 {
+		t.Errorf("LSH recall@10 = %.3f, want >= 0.5 with generous probing", recall)
+	}
+}
+
+func TestMoreProbesMoreRecall(t *testing.T) {
+	ds, err := dataset.SIFTLike(dataset.Config{N: 800, Queries: 30, GTK: 10, Dim: 32, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ds.Base, Params{Tables: 6, Bits: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recallAt := func(probes int) float64 {
+		got := make([][]int32, ds.Queries.Rows)
+		for qi := 0; qi < ds.Queries.Rows; qi++ {
+			res := idx.Search(ds.Queries.Row(qi), 10, probes, nil)
+			ids := make([]int32, len(res))
+			for i, n := range res {
+				ids[i] = n.ID
+			}
+			got[qi] = ids
+		}
+		return dataset.MeanRecall(got, ds.GT, 10)
+	}
+	lo, hi := recallAt(1), recallAt(24)
+	if hi < lo {
+		t.Errorf("recall fell with more probes: %.3f -> %.3f", lo, hi)
+	}
+}
+
+func TestCounterCountsRerankOnly(t *testing.T) {
+	ds, err := dataset.SIFTLike(dataset.Config{N: 500, Queries: 1, GTK: 1, Dim: 32, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ds.Base, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c vecmath.Counter
+	idx.Search(ds.Queries.Row(0), 5, 4, &c)
+	if c.Count() == 0 {
+		t.Error("no distances counted")
+	}
+	if c.Count() > uint64(ds.Base.Rows) {
+		t.Errorf("counted %d > n; candidates must be deduplicated", c.Count())
+	}
+}
+
+func TestProbeSequence(t *testing.T) {
+	margins := []float32{0.5, -0.1, 2.0}
+	h := uint32(0b101)
+	seq := probeSequence(h, margins, 4)
+	if len(seq) != 4 {
+		t.Fatalf("len = %d, want 4", len(seq))
+	}
+	if seq[0] != h {
+		t.Error("first probe must be the home bucket")
+	}
+	// Cheapest flip is bit 1 (|m|=0.1), then bit 0 (0.5), then bit 2 (2.0).
+	if seq[1] != h^0b010 || seq[2] != h^0b001 || seq[3] != h^0b100 {
+		t.Errorf("probe order wrong: %03b", seq)
+	}
+}
+
+func TestProbeSequenceTwoBit(t *testing.T) {
+	margins := []float32{0.1, 0.2}
+	seq := probeSequence(0, margins, 4)
+	if len(seq) != 4 {
+		t.Fatalf("len = %d, want 4 (home + 2 single + 1 double)", len(seq))
+	}
+	if seq[3] != 0b11 {
+		t.Errorf("two-bit probe = %b, want 11", seq[3])
+	}
+}
+
+func TestValidationAndDefaults(t *testing.T) {
+	if _, err := Build(vecmath.Matrix{Dim: 3}, DefaultParams()); err == nil {
+		t.Error("expected error on empty base")
+	}
+	base := vecmath.NewMatrix(10, 4)
+	idx, err := Build(base, Params{Tables: 0, Bits: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.tables) != 8 || idx.bits != 12 {
+		t.Errorf("defaults not applied: tables=%d bits=%d", len(idx.tables), idx.bits)
+	}
+	if idx.IndexBytes() <= 0 {
+		t.Error("IndexBytes must be positive")
+	}
+}

@@ -1,0 +1,193 @@
+// Package mrng constructs the exact proximity graphs the paper analyzes:
+// the Monotonic Relative Neighborhood Graph (the paper's Section 3.3
+// contribution), the classical Relative Neighborhood Graph it is derived
+// from, and the Nearest Neighbor Graph used in the monotonicity argument of
+// Section 3.3 / Figure 4.
+//
+// These builders are quadratic and exist as the ground truth that NSG
+// approximates; property tests verify the theorems on them (MRNG ⊃ NNG,
+// MRNG is an MSNET, RNG ⊆ MRNG edge-rule relationship, 60° degree bound).
+package mrng
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graphutil"
+	"repro/internal/vecmath"
+)
+
+// BuildMRNG constructs the exact MRNG of base (Definition 5) by the naive
+// O(n² log n + n²c) procedure of Section 3.4: for each node p, rank all
+// other nodes by distance and accept candidate q unless some already
+// accepted neighbor r lies in lune(p,q) — i.e. unless pq is the longest
+// edge of triangle pqr. Ties are broken by node index, matching the paper's
+// isosceles disambiguation rule.
+func BuildMRNG(base vecmath.Matrix) (*graphutil.Graph, error) {
+	n := base.Rows
+	if n < 2 {
+		return nil, fmt.Errorf("mrng: need at least 2 points, have %d", n)
+	}
+	g := graphutil.New(n)
+	for p := 0; p < n; p++ {
+		cands := rankByDistance(base, p)
+		var selected []vecmath.Neighbor
+		for _, q := range cands {
+			if accepts(base, selected, q) {
+				selected = append(selected, q)
+			}
+		}
+		adj := make([]int32, len(selected))
+		for i, s := range selected {
+			adj[i] = s.ID
+		}
+		g.Adj[p] = adj
+	}
+	return g, nil
+}
+
+// accepts implements the MRNG edge rule for candidate q against the already
+// selected out-neighbors of p (which are in ascending distance order, so
+// every r is at least as close to p as q is). The edge pq is rejected iff
+// some selected r lies strictly inside lune(p,q): δ(p,r) < δ(p,q) and
+// δ(q,r) < δ(p,q). Equivalently pq must not be the strict longest edge of
+// triangle pqr; equality falls to the index tie-break already encoded in the
+// candidate ordering.
+func accepts(base vecmath.Matrix, selected []vecmath.Neighbor, q vecmath.Neighbor) bool {
+	qv := base.Row(int(q.ID))
+	for _, r := range selected {
+		dqr := vecmath.L2(qv, base.Row(int(r.ID)))
+		if r.Dist < q.Dist && dqr < q.Dist {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildRNG constructs the exact Relative Neighborhood Graph (Toussaint
+// 1980): the undirected edge pq exists iff no third point lies strictly
+// inside lune(p,q). Returned as a directed graph with both directions
+// present, adjacency ascending by distance.
+func BuildRNG(base vecmath.Matrix) (*graphutil.Graph, error) {
+	n := base.Rows
+	if n < 2 {
+		return nil, fmt.Errorf("mrng: need at least 2 points, have %d", n)
+	}
+	g := graphutil.New(n)
+	for p := 0; p < n; p++ {
+		pv := base.Row(p)
+		cands := rankByDistance(base, p)
+		for _, q := range cands {
+			qv := base.Row(int(q.ID))
+			empty := true
+			for r := 0; r < n; r++ {
+				if r == p || int32(r) == q.ID {
+					continue
+				}
+				rv := base.Row(r)
+				if vecmath.L2(pv, rv) < q.Dist && vecmath.L2(qv, rv) < q.Dist {
+					empty = false
+					break
+				}
+			}
+			if empty {
+				g.Adj[p] = append(g.Adj[p], q.ID)
+			}
+		}
+	}
+	return g, nil
+}
+
+// BuildNNG constructs the Nearest Neighbor Graph (Definition 6): each node
+// points at its single nearest neighbor, ties broken by smallest index.
+func BuildNNG(base vecmath.Matrix) (*graphutil.Graph, error) {
+	n := base.Rows
+	if n < 2 {
+		return nil, fmt.Errorf("mrng: need at least 2 points, have %d", n)
+	}
+	g := graphutil.New(n)
+	nn := graphutil.ExactNearest(base)
+	for i, id := range nn {
+		g.Adj[i] = []int32{id}
+	}
+	return g, nil
+}
+
+// IsMSNET exhaustively verifies Definition 4: a monotonic path exists
+// between every ordered pair of nodes. O(n³)-ish; test-scale only.
+func IsMSNET(g *graphutil.Graph, base vecmath.Matrix) bool {
+	n := g.N()
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			if p == q {
+				continue
+			}
+			if !graphutil.HasMonotonicPath(g, base, int32(p), int32(q)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MinAngleDeg returns the minimum pairwise angle, in degrees, between
+// out-edges sharing a node. Lemma 2's degree bound rests on this angle
+// being ≥ 60° in an MRNG.
+func MinAngleDeg(g *graphutil.Graph, base vecmath.Matrix) float64 {
+	min := 360.0
+	for p := 0; p < g.N(); p++ {
+		pv := base.Row(p)
+		adj := g.Adj[p]
+		for i := 0; i < len(adj); i++ {
+			for j := i + 1; j < len(adj); j++ {
+				a := angleDeg(pv, base.Row(int(adj[i])), base.Row(int(adj[j])))
+				if a < min {
+					min = a
+				}
+			}
+		}
+	}
+	return min
+}
+
+func angleDeg(apex, u, v []float32) float64 {
+	du := make([]float32, len(apex))
+	dv := make([]float32, len(apex))
+	for i := range apex {
+		du[i] = u[i] - apex[i]
+		dv[i] = v[i] - apex[i]
+	}
+	nu, nv := float64(vecmath.Norm(du)), float64(vecmath.Norm(dv))
+	if nu == 0 || nv == 0 {
+		return 0
+	}
+	cos := float64(vecmath.Dot(du, dv)) / (nu * nv)
+	if cos > 1 {
+		cos = 1
+	}
+	if cos < -1 {
+		cos = -1
+	}
+	return math.Acos(cos) * 180 / math.Pi
+}
+
+// rankByDistance returns every node other than p, ascending by distance to
+// p with index tie-break (the paper's isosceles disambiguation).
+func rankByDistance(base vecmath.Matrix, p int) []vecmath.Neighbor {
+	pv := base.Row(p)
+	out := make([]vecmath.Neighbor, 0, base.Rows-1)
+	for j := 0; j < base.Rows; j++ {
+		if j == p {
+			continue
+		}
+		out = append(out, vecmath.Neighbor{ID: int32(j), Dist: vecmath.L2(pv, base.Row(j))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,177 @@
+package mrng
+
+import (
+	"fmt"
+
+	"repro/internal/graphutil"
+	"repro/internal/vecmath"
+)
+
+// BuildMSNETFromRNG implements the spirit of Dearholt et al.'s construction
+// (Section 2.3 of the paper): start from the RNG — which generally lacks
+// the edges to be monotonic — and add edges until a monotonic path exists
+// between every ordered pair. Dearholt's original picks the minimum edge
+// set via an O(n² log n + n³) optimization; this practical variant repairs
+// each failing pair (p,q) with the direct edge p→q (always a monotonic
+// path of length one), which upper-bounds the minimal solution and
+// preserves the property the paper cares about: the result is an MSNET
+// built by *augmenting* the RNG, at clearly superquadratic cost — the very
+// cost the MRNG construction avoids.
+func BuildMSNETFromRNG(base vecmath.Matrix) (*graphutil.Graph, int, error) {
+	g, err := BuildRNG(base)
+	if err != nil {
+		return nil, 0, err
+	}
+	added := 0
+	n := base.Rows
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			if p == q {
+				continue
+			}
+			if graphutil.HasMonotonicPath(g, base, int32(p), int32(q)) {
+				continue
+			}
+			g.AddEdge(int32(p), int32(q))
+			added++
+		}
+	}
+	return g, added, nil
+}
+
+// BuildDelaunay2D computes the Delaunay triangulation of 2-d points with
+// the Bowyer–Watson algorithm, returned as an undirected graph (both edge
+// directions present). The paper's Section 2.3 cites the Delaunay graph as
+// the classical MSNET whose degree explodes with dimension; this 2-d
+// implementation exists so tests can machine-check the "Delaunay graphs are
+// monotonic search networks" claim on its home turf.
+func BuildDelaunay2D(base vecmath.Matrix) (*graphutil.Graph, error) {
+	if base.Dim != 2 {
+		return nil, fmt.Errorf("mrng: Delaunay triangulation implemented for 2-d points, have %d-d", base.Dim)
+	}
+	n := base.Rows
+	if n < 3 {
+		return nil, fmt.Errorf("mrng: need at least 3 points, have %d", n)
+	}
+
+	type tri struct{ a, b, c int32 }
+
+	// Super-triangle enclosing all points (indices n, n+1, n+2).
+	var minX, minY, maxX, maxY float64
+	for i := 0; i < n; i++ {
+		x, y := float64(base.Row(i)[0]), float64(base.Row(i)[1])
+		if i == 0 || x < minX {
+			minX = x
+		}
+		if i == 0 || x > maxX {
+			maxX = x
+		}
+		if i == 0 || y < minY {
+			minY = y
+		}
+		if i == 0 || y > maxY {
+			maxY = y
+		}
+	}
+	dx, dy := maxX-minX, maxY-minY
+	d := dx
+	if dy > d {
+		d = dy
+	}
+	if d == 0 {
+		d = 1
+	}
+	midX, midY := (minX+maxX)/2, (minY+maxY)/2
+	super := [3][2]float64{
+		{midX - 20*d, midY - d},
+		{midX, midY + 20*d},
+		{midX + 20*d, midY - d},
+	}
+	coord := func(i int32) (float64, float64) {
+		if int(i) < n {
+			return float64(base.Row(int(i))[0]), float64(base.Row(int(i))[1])
+		}
+		s := super[int(i)-n]
+		return s[0], s[1]
+	}
+
+	// circumcircleContains reports whether point p lies inside the
+	// circumcircle of triangle t (standard in-circle determinant).
+	circumcircleContains := func(t tri, p int32) bool {
+		ax, ay := coord(t.a)
+		bx, by := coord(t.b)
+		cx, cy := coord(t.c)
+		px, py := coord(p)
+		axp, ayp := ax-px, ay-py
+		bxp, byp := bx-px, by-py
+		cxp, cyp := cx-px, cy-py
+		det := (axp*axp+ayp*ayp)*(bxp*cyp-cxp*byp) -
+			(bxp*bxp+byp*byp)*(axp*cyp-cxp*ayp) +
+			(cxp*cxp+cyp*cyp)*(axp*byp-bxp*ayp)
+		// Orientation of abc flips the sign convention.
+		orient := (bx-ax)*(cy-ay) - (cx-ax)*(by-ay)
+		if orient > 0 {
+			return det > 0
+		}
+		return det < 0
+	}
+
+	tris := []tri{{int32(n), int32(n + 1), int32(n + 2)}}
+	for p := int32(0); p < int32(n); p++ {
+		// Find triangles whose circumcircle contains p.
+		var bad []tri
+		var keep []tri
+		for _, t := range tris {
+			if circumcircleContains(t, p) {
+				bad = append(bad, t)
+			} else {
+				keep = append(keep, t)
+			}
+		}
+		// Boundary of the cavity: edges belonging to exactly one bad
+		// triangle.
+		type edge struct{ u, v int32 }
+		norm := func(u, v int32) edge {
+			if u > v {
+				u, v = v, u
+			}
+			return edge{u, v}
+		}
+		count := map[edge]int{}
+		for _, t := range bad {
+			count[norm(t.a, t.b)]++
+			count[norm(t.b, t.c)]++
+			count[norm(t.c, t.a)]++
+		}
+		tris = keep
+		for e, c := range count {
+			if c == 1 {
+				tris = append(tris, tri{e.u, e.v, p})
+			}
+		}
+	}
+
+	g := graphutil.New(n)
+	seen := map[[2]int32]struct{}{}
+	addUndirected := func(u, v int32) {
+		if int(u) >= n || int(v) >= n || u == v {
+			return
+		}
+		key := [2]int32{u, v}
+		if u > v {
+			key = [2]int32{v, u}
+		}
+		if _, dup := seen[key]; dup {
+			return
+		}
+		seen[key] = struct{}{}
+		g.AddEdge(u, v)
+		g.AddEdge(v, u)
+	}
+	for _, t := range tris {
+		addUndirected(t.a, t.b)
+		addUndirected(t.b, t.c)
+		addUndirected(t.c, t.a)
+	}
+	return g, nil
+}

@@ -1,0 +1,149 @@
+package mrng
+
+import (
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+func TestMSNETFromRNGIsMonotonic(t *testing.T) {
+	// Dearholt-style repair must turn any RNG into an MSNET.
+	for seed := int64(0); seed < 5; seed++ {
+		base := randomPointsRaw(40, 2, seed)
+		g, added, err := BuildMSNETFromRNG(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsMSNET(g, base) {
+			t.Fatalf("seed %d: repaired RNG is not an MSNET", seed)
+		}
+		if added < 0 {
+			t.Fatalf("negative added edges")
+		}
+	}
+}
+
+func TestMSNETContainsRNG(t *testing.T) {
+	base := randomPointsRaw(35, 3, 7)
+	rng, err := BuildRNG(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := BuildMSNETFromRNG(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range rng.Adj {
+		for _, q := range rng.Adj[p] {
+			if !ms.HasEdge(int32(p), q) {
+				t.Fatalf("RNG edge %d→%d missing from repaired MSNET", p, q)
+			}
+		}
+	}
+}
+
+func TestMRNGCheaperThanMSNETRepair(t *testing.T) {
+	// The design argument of Section 3.3: the MRNG achieves monotonicity
+	// directly, without the RNG-then-repair detour, and stays sparse. Both
+	// must be MSNETs; the MRNG must not need more edges than RNG+repair on
+	// typical data (it may tie on tiny inputs).
+	base := randomPointsRaw(50, 2, 9)
+	mg, err := BuildMRNG(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := BuildMSNETFromRNG(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsMSNET(mg, base) || !IsMSNET(ms, base) {
+		t.Fatal("both constructions must be MSNETs")
+	}
+	if mg.Edges() > 2*ms.Edges() {
+		t.Errorf("MRNG edges %d far above repaired-RNG %d", mg.Edges(), ms.Edges())
+	}
+}
+
+func TestDelaunay2DBasic(t *testing.T) {
+	// A unit square: Delaunay has the four sides plus one diagonal.
+	base := vecmath.MatrixFromSlices([][]float32{
+		{0, 0}, {1, 0}, {1, 1}, {0, 1},
+	})
+	g, err := BuildDelaunay2D(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	undirected := g.Edges() / 2
+	if undirected != 5 {
+		t.Errorf("square Delaunay has %d undirected edges, want 5", undirected)
+	}
+	for p := range g.Adj {
+		for _, q := range g.Adj[p] {
+			if !g.HasEdge(q, int32(p)) {
+				t.Fatalf("edge %d→%d not symmetric", p, q)
+			}
+		}
+	}
+}
+
+func TestDelaunay2DIsMSNET(t *testing.T) {
+	// The classical claim the paper cites (Section 2.3): Delaunay graphs
+	// are monotonic search networks.
+	for seed := int64(0); seed < 5; seed++ {
+		base := randomPointsRaw(30, 2, 100+seed)
+		g, err := BuildDelaunay2D(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsMSNET(g, base) {
+			t.Fatalf("seed %d: Delaunay graph is not an MSNET", seed)
+		}
+	}
+}
+
+func TestDelaunay2DContainsNNG(t *testing.T) {
+	// NNG ⊆ Delaunay is classical; check on random points.
+	base := randomPointsRaw(40, 2, 11)
+	g, err := BuildDelaunay2D(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nng, err := BuildNNG(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range nng.Adj {
+		if !g.HasEdge(int32(p), nng.Adj[p][0]) {
+			t.Fatalf("node %d not linked to its nearest neighbor in Delaunay", p)
+		}
+	}
+}
+
+func TestDelaunay2DContainsRNG(t *testing.T) {
+	// RNG ⊆ Delaunay (Toussaint): every RNG edge appears.
+	base := randomPointsRaw(35, 2, 12)
+	g, err := BuildDelaunay2D(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := BuildRNG(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range rg.Adj {
+		for _, q := range rg.Adj[p] {
+			if !g.HasEdge(int32(p), q) {
+				t.Fatalf("RNG edge %d→%d missing from Delaunay", p, q)
+			}
+		}
+	}
+}
+
+func TestDelaunay2DValidation(t *testing.T) {
+	if _, err := BuildDelaunay2D(vecmath.NewMatrix(5, 3)); err == nil {
+		t.Error("expected error for non-2d input")
+	}
+	if _, err := BuildDelaunay2D(vecmath.NewMatrix(2, 2)); err == nil {
+		t.Error("expected error for n<3")
+	}
+}

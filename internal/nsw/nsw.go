@@ -1,0 +1,78 @@
+// Package nsw implements Navigable Small World graphs (Malkov, Ponomarenko,
+// Logvinov, Krylov — Information Systems 2014), the predecessor of HNSW and
+// one of the approximations the paper's Section 2.3 analyzes: points are
+// inserted one at a time, each connected bidirectionally to its f nearest
+// neighbors among the already-inserted points (found by greedy search on
+// the graph so far). Early links become long-range shortcuts, giving the
+// small-world routing property; the price is the high degree and the
+// connectivity issues the paper quotes as NSW's weakness — both observable
+// in this implementation's stats.
+package nsw
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graphutil"
+	"repro/internal/vecmath"
+)
+
+// Params configures Build.
+type Params struct {
+	F        int // neighbors per insertion (bidirectional)
+	EfInsert int // search pool during insertion
+	Seed     int64
+}
+
+// DefaultParams returns conventional NSW settings at test scale.
+func DefaultParams() Params {
+	return Params{F: 10, EfInsert: 40, Seed: 1}
+}
+
+// Index is a built NSW graph.
+type Index struct {
+	Graph *graphutil.Graph
+	Base  vecmath.Matrix
+	rng   *rand.Rand
+	// Starts is the number of random entry points per search (NSW uses
+	// multi-start to mitigate local minima).
+	Starts int
+}
+
+// Build inserts every vector in order.
+func Build(base vecmath.Matrix, p Params) (*Index, error) {
+	n := base.Rows
+	if n == 0 {
+		return nil, fmt.Errorf("nsw: empty base set")
+	}
+	if p.F <= 0 {
+		p.F = 10
+	}
+	if p.EfInsert < p.F {
+		p.EfInsert = 4 * p.F
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := graphutil.New(n)
+
+	for i := 1; i < n; i++ {
+		q := base.Row(i)
+		start := int32(rng.Intn(i))
+		res := core.SearchOnGraph(g.Adj[:i], base.Slice(0, i), q, []int32{start}, p.F, p.EfInsert, nil, nil)
+		for _, nb := range res.Neighbors {
+			g.AddEdge(int32(i), nb.ID)
+			g.AddEdge(nb.ID, int32(i))
+		}
+	}
+	return &Index{Graph: g, Base: base, rng: rng, Starts: 2}, nil
+}
+
+// Search runs Algorithm 1 from Starts random entry points. Not safe for
+// concurrent use (shared RNG).
+func (x *Index) Search(q []float32, k, l int, counter *vecmath.Counter) []vecmath.Neighbor {
+	starts := make([]int32, 0, x.Starts)
+	for len(starts) < x.Starts {
+		starts = append(starts, int32(x.rng.Intn(x.Graph.N())))
+	}
+	return core.SearchOnGraph(x.Graph.Adj, x.Base, q, starts, k, l, counter, nil).Neighbors
+}

@@ -1,0 +1,96 @@
+package nsw
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/knngraph"
+	"repro/internal/vecmath"
+)
+
+func TestBuildAndSearch(t *testing.T) {
+	ds, err := dataset.SIFTLike(dataset.Config{N: 800, Queries: 40, GTK: 10, Dim: 32, Seed: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ds.Base, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]int32, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		res := idx.Search(ds.Queries.Row(qi), 10, 80, nil)
+		ids := make([]int32, len(res))
+		for i, n := range res {
+			ids[i] = n.ID
+		}
+		got[qi] = ids
+	}
+	if recall := dataset.MeanRecall(got, ds.GT, 10); recall < 0.85 {
+		t.Errorf("NSW recall@10 = %.3f, want >= 0.85", recall)
+	}
+}
+
+func TestUndirectedEdges(t *testing.T) {
+	ds, err := dataset.Uniform(dataset.Config{N: 300, Queries: 1, GTK: 1, Dim: 8, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ds.Base, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range idx.Graph.Adj {
+		for _, q := range idx.Graph.Adj[p] {
+			if !idx.Graph.HasEdge(q, int32(p)) {
+				t.Fatalf("edge %d→%d has no reverse", p, q)
+			}
+		}
+	}
+}
+
+func TestHigherDegreeThanNSGStyle(t *testing.T) {
+	// The paper's Section 3.1 complaint about NSW: its optimal degree (and
+	// hence graph size) is large. Compare its average degree against a
+	// degree-capped MRNG-pruned graph on the same data.
+	ds, err := dataset.SIFTLike(dataset.Config{N: 600, Queries: 1, GTK: 1, Dim: 32, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ds.Base, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NSW degree is ~2F by construction (F out + F reverse on average).
+	if avg := idx.Graph.Degrees().Avg; avg < float64(DefaultParams().F) {
+		t.Errorf("NSW avg degree %.1f below F — insertion is broken", avg)
+	}
+	knn, err := knngraph.BuildExact(ds.Base, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsgIdx, _, err := core.NSGBuild(knn, ds.Base, core.BuildParams{L: 40, M: 15, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nsgAvg, nswAvg := nsgIdx.Graph.Degrees().Avg, idx.Graph.Degrees().Avg; nsgAvg >= nswAvg {
+		t.Errorf("MRNG-pruned NSG degree %.1f not below NSW %.1f", nsgAvg, nswAvg)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Build(vecmath.Matrix{Dim: 4}, DefaultParams()); err == nil {
+		t.Error("expected error on empty base")
+	}
+	// Single point: trivially built, searchable.
+	one := vecmath.NewMatrix(1, 4)
+	idx, err := Build(one, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := idx.Search(make([]float32, 4), 1, 10, nil)
+	if len(res) != 1 || res[0].ID != 0 {
+		t.Errorf("single-point search = %+v", res)
+	}
+}

@@ -1,0 +1,60 @@
+// Package scan implements exact nearest-neighbor search by serial scan —
+// the paper's accuracy reference ("Serial Scan") and, in its parallel form,
+// the "Serial-16core" baseline of Figure 7.
+package scan
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/vecmath"
+)
+
+// Search scans the whole base set and returns the exact k nearest neighbors
+// of q. counter may be nil.
+func Search(base vecmath.Matrix, q []float32, k int, counter *vecmath.Counter) []vecmath.Neighbor {
+	top := vecmath.NewTopK(k)
+	for i := 0; i < base.Rows; i++ {
+		top.Push(int32(i), counter.L2(q, base.Row(i)))
+	}
+	return top.Result()
+}
+
+// SearchParallel scans with workers goroutines (the Serial-16core protocol:
+// one query at a time, the scan itself parallelized). workers <= 0 uses
+// GOMAXPROCS.
+func SearchParallel(base vecmath.Matrix, q []float32, k, workers int) []vecmath.Neighbor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > base.Rows {
+		workers = base.Rows
+	}
+	if workers <= 1 {
+		return Search(base, q, k, nil)
+	}
+	chunk := (base.Rows + workers - 1) / workers
+	partials := make([][]vecmath.Neighbor, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > base.Rows {
+			hi = base.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			top := vecmath.NewTopK(k)
+			for i := lo; i < hi; i++ {
+				top.Push(int32(i), vecmath.L2(q, base.Row(i)))
+			}
+			partials[w] = top.Result()
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return vecmath.MergeNeighborLists(k, partials...)
+}

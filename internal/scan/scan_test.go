@@ -1,0 +1,66 @@
+package scan
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/vecmath"
+)
+
+func TestSearchExact(t *testing.T) {
+	ds, err := dataset.Uniform(dataset.Config{N: 500, Queries: 20, GTK: 10, Dim: 16, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		got := Search(ds.Base, ds.Queries.Row(qi), 10, nil)
+		for i, n := range got {
+			if n.ID != ds.GT[qi][i] {
+				t.Fatalf("query %d pos %d: got %d, want %d", qi, i, n.ID, ds.GT[qi][i])
+			}
+		}
+	}
+}
+
+func TestSearchCountsN(t *testing.T) {
+	base := vecmath.NewMatrix(123, 4)
+	var c vecmath.Counter
+	Search(base, make([]float32, 4), 5, &c)
+	if c.Count() != 123 {
+		t.Errorf("counted %d, want 123", c.Count())
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	ds, err := dataset.Uniform(dataset.Config{N: 700, Queries: 10, GTK: 10, Dim: 8, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		q := ds.Queries.Row(qi)
+		serial := Search(ds.Base, q, 10, nil)
+		parallel := SearchParallel(ds.Base, q, 10, 4)
+		if len(serial) != len(parallel) {
+			t.Fatalf("length mismatch %d vs %d", len(serial), len(parallel))
+		}
+		for i := range serial {
+			if serial[i].ID != parallel[i].ID {
+				t.Fatalf("query %d pos %d: serial %d vs parallel %d", qi, i, serial[i].ID, parallel[i].ID)
+			}
+		}
+	}
+}
+
+func TestParallelEdgeWorkers(t *testing.T) {
+	base := vecmath.NewMatrix(10, 2)
+	for i := 0; i < 10; i++ {
+		base.Row(i)[0] = float32(i)
+	}
+	q := []float32{3.2, 0}
+	for _, workers := range []int{0, 1, 100} {
+		got := SearchParallel(base, q, 3, workers)
+		if got[0].ID != 3 {
+			t.Errorf("workers=%d: nearest = %d, want 3", workers, got[0].ID)
+		}
+	}
+}

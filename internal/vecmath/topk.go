@@ -1,0 +1,121 @@
+package vecmath
+
+import "sort"
+
+// Neighbor pairs a point id with its (squared) distance to some query. It is
+// the unit of currency between every index and the benchmark harness.
+type Neighbor struct {
+	ID   int32
+	Dist float32
+}
+
+// SortNeighbors orders ns ascending by distance, breaking ties by id so that
+// results are deterministic across runs.
+func SortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].ID < ns[j].ID
+	})
+}
+
+// TopK is a bounded max-heap that keeps the k smallest-distance neighbors
+// seen so far. It is the standard structure for brute-force scans and for
+// merging shard results.
+type TopK struct {
+	k    int
+	heap []Neighbor // max-heap on Dist
+}
+
+// NewTopK returns a collector for the k nearest neighbors. k must be > 0.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		panic("vecmath: TopK requires k > 0")
+	}
+	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
+}
+
+// Push offers a candidate. It is kept only if fewer than k candidates are
+// held or it beats the current worst.
+func (t *TopK) Push(id int32, dist float32) {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, Neighbor{ID: id, Dist: dist})
+		t.up(len(t.heap) - 1)
+		return
+	}
+	if dist >= t.heap[0].Dist {
+		return
+	}
+	t.heap[0] = Neighbor{ID: id, Dist: dist}
+	t.down(0)
+}
+
+// Worst returns the largest distance currently held, or +Inf semantics via
+// ok=false when fewer than k candidates are held.
+func (t *TopK) Worst() (float32, bool) {
+	if len(t.heap) < t.k {
+		return 0, false
+	}
+	return t.heap[0].Dist, true
+}
+
+// Len returns the number of candidates currently held.
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Result returns the held neighbors sorted ascending by distance. The
+// collector is left empty afterwards.
+func (t *TopK) Result() []Neighbor {
+	out := t.heap
+	t.heap = nil
+	SortNeighbors(out)
+	return out
+}
+
+func (t *TopK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].Dist >= t.heap[i].Dist {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *TopK) down(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.heap[l].Dist > t.heap[largest].Dist {
+			largest = l
+		}
+		if r < n && t.heap[r].Dist > t.heap[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}
+
+// MergeNeighborLists merges several ascending neighbor lists into the k
+// nearest overall, deduplicating ids. Shard searches use it to combine
+// per-partition results (the paper's DEEP100M and Taobao experiments).
+func MergeNeighborLists(k int, lists ...[]Neighbor) []Neighbor {
+	seen := make(map[int32]struct{})
+	top := NewTopK(k)
+	for _, list := range lists {
+		for _, n := range list {
+			if _, dup := seen[n.ID]; dup {
+				continue
+			}
+			seen[n.ID] = struct{}{}
+			top.Push(n.ID, n.Dist)
+		}
+	}
+	return top.Result()
+}

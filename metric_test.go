@@ -1,0 +1,164 @@
+package nsg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMetricString(t *testing.T) {
+	if L2.String() != "l2" || Cosine.String() != "cosine" || InnerProduct.String() != "inner-product" {
+		t.Error("metric names wrong")
+	}
+	if Metric(99).String() == "" {
+		t.Error("unknown metric must still render")
+	}
+}
+
+func TestBuildMetricValidation(t *testing.T) {
+	if _, err := BuildMetric(nil, L2, DefaultOptions()); err == nil {
+		t.Error("expected error on empty input")
+	}
+	if _, err := BuildMetric([][]float32{{1}, {2}}, Metric(42), DefaultOptions()); err == nil {
+		t.Error("expected error on unknown metric")
+	}
+}
+
+func TestCosineMetric(t *testing.T) {
+	// Vectors along distinct directions with varying magnitudes: cosine
+	// must ignore magnitude.
+	vecs := [][]float32{
+		{10, 0, 0},  // 0: along x, large
+		{0.1, 0, 0}, // 1: along x, tiny
+		{0, 5, 0},   // 2: along y
+		{0, 0, 2},   // 3: along z
+		{3, 3, 0},   // 4: diagonal xy
+		{0, 4, 4},   // 5: diagonal yz
+	}
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	idx, err := BuildMetric(vecs, Cosine, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, scores := idx.Search([]float32{1, 0.01, 0}, 2)
+	// Both x-aligned vectors must rank first regardless of magnitude.
+	got := map[int32]bool{ids[0]: true, ids[1]: true}
+	if !got[0] || !got[1] {
+		t.Errorf("cosine top-2 = %v, want {0,1}", ids)
+	}
+	if scores[0] < 0.99 {
+		t.Errorf("top cosine score = %v, want ~1", scores[0])
+	}
+}
+
+func TestInnerProductMetric(t *testing.T) {
+	// MIPS must prefer large-norm aligned vectors — the case plain L2 gets
+	// wrong.
+	vecs := [][]float32{
+		{1, 0},  // 0: small aligned
+		{10, 0}, // 1: large aligned — the MIPS answer
+		{0, 1},  // 2: orthogonal
+		{-5, 0}, // 3: anti-aligned
+	}
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	idx, err := BuildMetric(vecs, InnerProduct, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float32{1, 0}
+	ids, scores := idx.Search(q, 1)
+	if ids[0] != 1 {
+		t.Fatalf("MIPS answer = %d, want 1 (the large-norm vector)", ids[0])
+	}
+	if scores[0] != 10 {
+		t.Errorf("MIPS score = %v, want 10", scores[0])
+	}
+}
+
+func TestInnerProductMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, dim := 800, 16
+	vecs := make([][]float32, n)
+	for i := range vecs {
+		v := make([]float32, dim)
+		scale := rng.Float32()*3 + 0.1 // varied norms to stress the reduction
+		for j := range v {
+			v[j] = (rng.Float32() - 0.5) * scale
+		}
+		vecs[i] = v
+	}
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	idx, err := BuildMetric(vecs, InnerProduct, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	trials := 30
+	for trial := 0; trial < trials; trial++ {
+		q := make([]float32, dim)
+		for j := range q {
+			q[j] = rng.Float32() - 0.5
+		}
+		best, bestDot := -1, float32(math.Inf(-1))
+		for i, v := range vecs {
+			var dot float32
+			for j := range v {
+				dot += v[j] * q[j]
+			}
+			if dot > bestDot {
+				best, bestDot = i, dot
+			}
+		}
+		ids, _ := idx.SearchWithPool(q, 1, 100)
+		if int(ids[0]) == best {
+			hits++
+		}
+	}
+	if hits < trials*8/10 {
+		t.Errorf("MIPS top-1 agreement %d/%d, want >= 80%%", hits, trials)
+	}
+}
+
+func TestL2MetricMatchesPlainIndex(t *testing.T) {
+	vecs := randomVectors(400, 8, 10)
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	a, err := Build(vecs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildMetric(vecs, L2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vecs[7]
+	aIDs, _ := a.SearchWithPool(q, 5, 50)
+	bIDs, _ := b.SearchWithPool(q, 5, 50)
+	for i := range aIDs {
+		if aIDs[i] != bIDs[i] {
+			t.Fatalf("L2 metric index diverges from plain index: %v vs %v", aIDs, bIDs)
+		}
+	}
+	if b.Len() != 400 || b.Dim() != 8 || b.Metric() != L2 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestMetricQueryDimPanics(t *testing.T) {
+	vecs := randomVectors(100, 4, 11)
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	idx, err := BuildMetric(vecs, Cosine, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong query dimension")
+		}
+	}()
+	idx.Search(make([]float32, 9), 1)
+}

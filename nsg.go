@@ -1,0 +1,251 @@
+// Package nsg is the public API of this repository: a Go implementation of
+// the Navigating Spreading-out Graph index for approximate nearest neighbor
+// search (Fu, Xiang, Wang, Cai — "Fast Approximate Nearest Neighbor Search
+// With The Navigating Spreading-out Graph", PVLDB 12, 2019).
+//
+// Quickstart:
+//
+//	vectors := [][]float32{...}          // your data, one row per point
+//	index, err := nsg.Build(vectors, nsg.DefaultOptions())
+//	if err != nil { ... }
+//	ids, dists := index.Search(query, 10) // 10 approximate nearest neighbors
+//
+// Build constructs an approximate kNN graph with NN-Descent and then runs
+// the paper's Algorithm 2 (navigating node, search-collect-select with the
+// MRNG edge rule, DFS connectivity repair). Search runs the paper's
+// Algorithm 1 greedy best-first search from the navigating node; the
+// SearchL knob (or the per-call SearchWithPool) trades time for recall.
+//
+// Indexes can be persisted with Save and re-opened with Load; vectors are
+// stored alongside the graph so a loaded index is self-contained.
+package nsg
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/graphutil"
+	"repro/internal/knngraph"
+	"repro/internal/vecmath"
+)
+
+// Options controls index construction and default search behaviour.
+type Options struct {
+	// GraphK is the number of neighbors in the intermediate kNN graph
+	// (the paper's k). Larger values improve graph quality at higher
+	// indexing cost.
+	GraphK int
+	// BuildL is the candidate pool size for Algorithm 2's per-node search
+	// (the paper's l).
+	BuildL int
+	// MaxDegree caps every node's out-degree (the paper's m).
+	MaxDegree int
+	// SearchL is the default search pool size used by Search. Raise it for
+	// higher recall, lower it for speed. Must be >= the k passed to Search
+	// (it is promoted automatically if smaller).
+	SearchL int
+	// ExactKNN switches the intermediate kNN graph to the exact O(n²)
+	// builder. Slower but deterministic; useful below ~5k points.
+	ExactKNN bool
+	// Seed makes randomized steps reproducible.
+	Seed int64
+}
+
+// DefaultOptions returns settings that work well from a few thousand up to
+// a few hundred thousand points.
+func DefaultOptions() Options {
+	return Options{GraphK: 20, BuildL: 50, MaxDegree: 30, SearchL: 60, Seed: 1}
+}
+
+func (o *Options) fillDefaults() {
+	d := DefaultOptions()
+	if o.GraphK <= 0 {
+		o.GraphK = d.GraphK
+	}
+	if o.BuildL <= 0 {
+		o.BuildL = d.BuildL
+	}
+	if o.MaxDegree <= 0 {
+		o.MaxDegree = d.MaxDegree
+	}
+	if o.SearchL <= 0 {
+		o.SearchL = d.SearchL
+	}
+}
+
+// Index is a built NSG over a copy of the caller's vectors.
+type Index struct {
+	inner *core.NSG
+	opts  Options
+	// dead tracks tombstoned ids between Delete and Compact; nil until the
+	// first Delete.
+	dead *core.Tombstones
+}
+
+// Build indexes the given vectors. All vectors must share one dimension and
+// there must be at least two of them.
+func Build(vectors [][]float32, opts Options) (*Index, error) {
+	if len(vectors) < 2 {
+		return nil, fmt.Errorf("nsg: need at least 2 vectors, have %d", len(vectors))
+	}
+	opts.fillDefaults()
+	base := vecmath.MatrixFromSlices(vectors)
+	return buildFromMatrix(base, opts)
+}
+
+// BuildFromFlat indexes row-major flat data without copying per-row slices:
+// data holds n*dim values. The matrix takes ownership of data.
+func BuildFromFlat(data []float32, dim int, opts Options) (*Index, error) {
+	if dim <= 0 || len(data)%dim != 0 {
+		return nil, fmt.Errorf("nsg: data length %d not a multiple of dim %d", len(data), dim)
+	}
+	n := len(data) / dim
+	if n < 2 {
+		return nil, fmt.Errorf("nsg: need at least 2 vectors, have %d", n)
+	}
+	opts.fillDefaults()
+	return buildFromMatrix(vecmath.Matrix{Data: data, Rows: n, Dim: dim}, opts)
+}
+
+func buildFromMatrix(base vecmath.Matrix, opts Options) (*Index, error) {
+	k := opts.GraphK
+	if k >= base.Rows {
+		k = base.Rows - 1
+	}
+	var (
+		kg  *graphutil.Graph
+		err error
+	)
+	if opts.ExactKNN {
+		kg, err = knngraph.BuildExact(base, k)
+	} else {
+		params := knngraph.DefaultParams(k)
+		params.Seed = opts.Seed
+		kg, err = knngraph.BuildNNDescent(base, params)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("nsg: kNN graph: %w", err)
+	}
+	g, _, err := core.NSGBuild(kg, base, core.BuildParams{L: opts.BuildL, M: opts.MaxDegree, Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("nsg: build: %w", err)
+	}
+	return &Index{inner: g, opts: opts}, nil
+}
+
+// Len returns the number of indexed vectors.
+func (x *Index) Len() int { return x.inner.Base.Rows }
+
+// Dim returns the vector dimension.
+func (x *Index) Dim() int { return x.inner.Base.Dim }
+
+// Vector returns the stored vector with the given id. The returned slice
+// aliases the index's storage; do not modify it.
+func (x *Index) Vector(id int) []float32 { return x.inner.Base.Row(id) }
+
+// Search returns the ids and squared L2 distances of the k approximate
+// nearest neighbors of query, using the index's default search pool size.
+func (x *Index) Search(query []float32, k int) ([]int32, []float32) {
+	return x.SearchWithPool(query, k, x.opts.SearchL)
+}
+
+// SearchWithPool is Search with an explicit pool size l (the paper's search
+// parameter): higher l gives higher recall and more work. l < k is promoted
+// to k. Tombstoned ids (see Delete) are filtered from results.
+func (x *Index) SearchWithPool(query []float32, k, l int) ([]int32, []float32) {
+	res := x.inner.SearchLive(query, k, l, x.dead, nil)
+	ids := make([]int32, len(res))
+	dists := make([]float32, len(res))
+	for i, n := range res {
+		ids[i] = n.ID
+		dists[i] = n.Dist
+	}
+	return ids, dists
+}
+
+// Stats describes the built graph.
+type Stats struct {
+	N          int     // indexed vectors
+	AvgDegree  float64 // average out-degree
+	MaxDegree  int     // maximum out-degree
+	IndexBytes int64   // graph footprint with fixed-stride rows
+}
+
+// Stats reports graph statistics.
+func (x *Index) Stats() Stats {
+	s := x.inner.Stats()
+	return Stats{N: s.N, AvgDegree: s.AvgDegree, MaxDegree: s.MaxDegree, IndexBytes: s.IndexBytes}
+}
+
+const fileMagic = 0x4e534742 // "NSGB" — bundled index+vectors format
+
+// Save writes the index, including its vectors, to path.
+func (x *Index) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nsg: %w", err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(x.inner.Base.Rows))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(x.inner.Base.Dim))
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("nsg: write header: %w", err)
+	}
+	buf := make([]byte, 4)
+	for _, v := range x.inner.Base.Data {
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("nsg: write vectors: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("nsg: %w", err)
+	}
+	if err := x.inner.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reopens an index written by Save.
+func Load(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nsg: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("nsg: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != fileMagic {
+		return nil, fmt.Errorf("nsg: %s is not an NSG bundle", path)
+	}
+	rows := int(binary.LittleEndian.Uint32(hdr[4:]))
+	dim := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if rows <= 0 || dim <= 0 || rows > 1<<30 || dim > 1<<20 {
+		return nil, fmt.Errorf("nsg: implausible shape %dx%d", rows, dim)
+	}
+	base := vecmath.NewMatrix(rows, dim)
+	buf := make([]byte, 4)
+	for i := range base.Data {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("nsg: truncated vectors: %w", err)
+		}
+		base.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+	}
+	inner, err := core.ReadNSG(br, base)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner, opts: DefaultOptions()}, nil
+}

@@ -1,0 +1,224 @@
+package nsg
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func randomVectors(n, dim int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func bruteforce(vectors [][]float32, q []float32, k int) []int32 {
+	type pair struct {
+		id int32
+		d  float32
+	}
+	best := make([]pair, 0, len(vectors))
+	for i, v := range vectors {
+		var d float32
+		for j := range v {
+			diff := v[j] - q[j]
+			d += diff * diff
+		}
+		best = append(best, pair{int32(i), d})
+	}
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(best); j++ {
+			if best[j].d < best[min].d {
+				min = j
+			}
+		}
+		best[i], best[min] = best[min], best[i]
+	}
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = best[i].id
+	}
+	return out
+}
+
+func TestBuildAndSearch(t *testing.T) {
+	vecs := randomVectors(2000, 24, 1)
+	idx, err := Build(vecs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 2000 || idx.Dim() != 24 {
+		t.Fatalf("shape %dx%d", idx.Len(), idx.Dim())
+	}
+	queries := randomVectors(50, 24, 2)
+	hits, total := 0, 0
+	for _, q := range queries {
+		want := bruteforce(vecs, q, 10)
+		truth := map[int32]bool{}
+		for _, id := range want {
+			truth[id] = true
+		}
+		ids, dists := idx.Search(q, 10)
+		if len(ids) != 10 || len(dists) != 10 {
+			t.Fatalf("got %d ids %d dists", len(ids), len(dists))
+		}
+		for i := 1; i < len(dists); i++ {
+			if dists[i] < dists[i-1] {
+				t.Fatal("distances not ascending")
+			}
+		}
+		for _, id := range ids {
+			total++
+			if truth[id] {
+				hits++
+			}
+		}
+	}
+	recall := float64(hits) / float64(total)
+	if recall < 0.9 {
+		t.Errorf("public API recall@10 = %.3f, want >= 0.9", recall)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, DefaultOptions()); err == nil {
+		t.Error("expected error on empty input")
+	}
+	if _, err := Build([][]float32{{1}}, DefaultOptions()); err == nil {
+		t.Error("expected error on single vector")
+	}
+	if _, err := BuildFromFlat([]float32{1, 2, 3}, 2, DefaultOptions()); err == nil {
+		t.Error("expected error on misaligned flat data")
+	}
+	if _, err := BuildFromFlat([]float32{1, 2}, 2, DefaultOptions()); err == nil {
+		t.Error("expected error on single flat vector")
+	}
+}
+
+func TestBuildFromFlat(t *testing.T) {
+	flat := make([]float32, 500*8)
+	rng := rand.New(rand.NewSource(3))
+	for i := range flat {
+		flat[i] = rng.Float32()
+	}
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	idx, err := BuildFromFlat(flat, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 500 || idx.Dim() != 8 {
+		t.Fatalf("shape %dx%d", idx.Len(), idx.Dim())
+	}
+	q := idx.Vector(7)
+	ids, dists := idx.Search(q, 1)
+	if ids[0] != 7 || dists[0] != 0 {
+		t.Errorf("self-query returned %d at %v", ids[0], dists[0])
+	}
+}
+
+func TestSearchWithPoolTradesAccuracy(t *testing.T) {
+	vecs := randomVectors(1500, 16, 4)
+	idx, err := Build(vecs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := randomVectors(30, 16, 5)
+	recallAt := func(l int) float64 {
+		hits, total := 0, 0
+		for _, q := range queries {
+			want := bruteforce(vecs, q, 10)
+			truth := map[int32]bool{}
+			for _, id := range want {
+				truth[id] = true
+			}
+			ids, _ := idx.SearchWithPool(q, 10, l)
+			for _, id := range ids {
+				total++
+				if truth[id] {
+					hits++
+				}
+			}
+		}
+		return float64(hits) / float64(total)
+	}
+	if lo, hi := recallAt(10), recallAt(150); hi < lo-0.02 {
+		t.Errorf("recall should rise with pool size: l=10 %.3f, l=150 %.3f", lo, hi)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	vecs := randomVectors(800, 12, 6)
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	idx, err := Build(vecs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.nsg")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != idx.Len() || got.Dim() != idx.Dim() {
+		t.Fatalf("shape changed: %dx%d", got.Len(), got.Dim())
+	}
+	q := vecs[3]
+	aIDs, aD := idx.SearchWithPool(q, 5, 40)
+	bIDs, bD := got.SearchWithPool(q, 5, 40)
+	for i := range aIDs {
+		if aIDs[i] != bIDs[i] || aD[i] != bD[i] {
+			t.Fatalf("search differs after reload: %v/%v vs %v/%v", aIDs, aD, bIDs, bD)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.nsg")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestStats(t *testing.T) {
+	vecs := randomVectors(600, 8, 7)
+	opts := DefaultOptions()
+	opts.MaxDegree = 12
+	opts.ExactKNN = true
+	idx, err := Build(vecs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := idx.Stats()
+	if st.N != 600 {
+		t.Errorf("N = %d", st.N)
+	}
+	if st.MaxDegree > 13 {
+		t.Errorf("max degree %d exceeds cap (+1 repair slack)", st.MaxDegree)
+	}
+	if st.IndexBytes <= 0 {
+		t.Error("IndexBytes must be positive")
+	}
+}
+
+func TestOptionsDefaultsFilled(t *testing.T) {
+	vecs := randomVectors(300, 8, 8)
+	idx, err := Build(vecs, Options{}) // all zero: defaults must apply
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := idx.Search(vecs[0], 3)
+	if len(ids) != 3 {
+		t.Errorf("search with default options returned %d results", len(ids))
+	}
+}

@@ -1,0 +1,31 @@
+package nsg
+
+import "repro/internal/vecmath"
+
+// SearchStats reports the work one query performed, for capacity planning
+// and parameter tuning: Hops is the number of greedy expansions (the
+// paper's path length l in its o·l cost model) and DistanceComputations the
+// number of exact distance evaluations.
+type SearchStats struct {
+	Hops                 int
+	DistanceComputations uint64
+}
+
+// SearchWithStats is SearchWithPool plus per-query work accounting.
+func (x *Index) SearchWithStats(query []float32, k, l int) ([]int32, []float32, SearchStats) {
+	var counter vecmath.Counter
+	res := x.inner.SearchWithHops(query, k, l, &counter)
+	neighbors := res.Neighbors
+	if x.dead != nil && x.dead.Len() > 0 {
+		// Re-run through the tombstone-aware path for the filtered result;
+		// stats reflect the unfiltered traversal, which is the work done.
+		neighbors = x.inner.SearchLive(query, k, l, x.dead, nil)
+	}
+	ids := make([]int32, len(neighbors))
+	dists := make([]float32, len(neighbors))
+	for i, n := range neighbors {
+		ids[i] = n.ID
+		dists[i] = n.Dist
+	}
+	return ids, dists, SearchStats{Hops: res.Hops, DistanceComputations: counter.Count()}
+}

@@ -1,0 +1,56 @@
+package nsg
+
+import "testing"
+
+func TestSearchWithStats(t *testing.T) {
+	vecs := randomVectors(800, 8, 50)
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	idx, err := Build(vecs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := randomVectors(1, 8, 51)[0]
+	ids, dists, st := idx.SearchWithStats(q, 5, 40)
+	if len(ids) != 5 || len(dists) != 5 {
+		t.Fatalf("shape %d/%d", len(ids), len(dists))
+	}
+	if st.Hops <= 0 {
+		t.Error("hops not recorded")
+	}
+	if st.DistanceComputations == 0 {
+		t.Error("distance computations not recorded")
+	}
+	if st.DistanceComputations >= uint64(len(vecs)) {
+		t.Errorf("counted %d >= n: search degraded to a scan", st.DistanceComputations)
+	}
+	// Results must match the plain search path.
+	plainIDs, _ := idx.SearchWithPool(q, 5, 40)
+	for i := range ids {
+		if ids[i] != plainIDs[i] {
+			t.Fatalf("stats path diverges from plain search: %v vs %v", ids, plainIDs)
+		}
+	}
+}
+
+func TestSearchWithStatsRespectsTombstones(t *testing.T) {
+	vecs := randomVectors(400, 8, 52)
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	idx, err := Build(vecs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vecs[9]
+	ids, _, _ := idx.SearchWithStats(q, 1, 40)
+	if ids[0] != 9 {
+		t.Fatalf("self-query = %d", ids[0])
+	}
+	if err := idx.Delete(9); err != nil {
+		t.Fatal(err)
+	}
+	ids, _, _ = idx.SearchWithStats(q, 1, 40)
+	if ids[0] == 9 {
+		t.Error("tombstoned id returned by SearchWithStats")
+	}
+}
