@@ -1,8 +1,11 @@
 package nsg
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+
+	"repro/internal/core"
 )
 
 // BatchResult holds one query's answer within a batch.
@@ -14,22 +17,55 @@ type BatchResult struct {
 // SearchBatch answers many queries concurrently on workers goroutines
 // (GOMAXPROCS when workers <= 0). Each individual query still runs the
 // paper's single-threaded Algorithm 1; only queries are parallelized, the
-// same throughput model as the paper's multi-core deployments. The index is
+// same throughput model as the paper's multi-core deployments. Each worker
+// goroutine reuses one SearchContext for its whole share of the batch, so
+// per-query allocations are limited to the result slices. The index is
 // read-only during search, so concurrent queries are safe.
 func (x *Index) SearchBatch(queries [][]float32, k, l, workers int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	forEachQuery(len(queries), workers, x.getCtx, x.putCtx, func(ctx *core.SearchContext, i int) {
+		ids, dists := x.searchIntoFresh(ctx, queries[i], k, l)
+		out[i] = BatchResult{IDs: ids, Dists: dists}
+	})
+	return out
+}
+
+// SearchBatch answers many queries concurrently, like Index.SearchBatch but
+// reporting scores in the index's metric (see MetricIndex.Search for the
+// score conventions). One SearchContext is reused per worker goroutine.
+func (x *MetricIndex) SearchBatch(queries [][]float32, k, l, workers int) []BatchResult {
+	// Validate dimensions before fanning out: a panic on a worker goroutine
+	// would be unrecoverable for the caller, unlike the serial path's.
+	for i, q := range queries {
+		if len(q) != x.dim {
+			panic(fmt.Sprintf("nsg: query %d dim %d != index dim %d", i, len(q), x.dim))
+		}
+	}
+	out := make([]BatchResult, len(queries))
+	forEachQuery(len(queries), workers, x.idx.getCtx, x.idx.putCtx, func(ctx *core.SearchContext, i int) {
+		ids, scores := x.searchWithPoolCtx(ctx, queries[i], k, l)
+		out[i] = BatchResult{IDs: ids, Dists: scores}
+	})
+	return out
+}
+
+// forEachQuery runs fn(ctx, i) for i in [0,n) on the requested number of
+// worker goroutines, handing each worker one search context for its whole
+// share of the work.
+func forEachQuery(n, workers int, getCtx func() *core.SearchContext, putCtx func(*core.SearchContext), fn func(ctx *core.SearchContext, i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(queries) {
-		workers = len(queries)
+	if workers > n {
+		workers = n
 	}
-	out := make([]BatchResult, len(queries))
 	if workers <= 1 {
-		for i, q := range queries {
-			ids, dists := x.SearchWithPool(q, k, l)
-			out[i] = BatchResult{IDs: ids, Dists: dists}
+		ctx := getCtx()
+		for i := 0; i < n; i++ {
+			fn(ctx, i)
 		}
-		return out
+		putCtx(ctx)
+		return
 	}
 	var wg sync.WaitGroup
 	next := make(chan int, workers)
@@ -37,16 +73,16 @@ func (x *Index) SearchBatch(queries [][]float32, k, l, workers int) []BatchResul
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ctx := getCtx()
 			for i := range next {
-				ids, dists := x.SearchWithPool(queries[i], k, l)
-				out[i] = BatchResult{IDs: ids, Dists: dists}
+				fn(ctx, i)
 			}
+			putCtx(ctx)
 		}()
 	}
-	for i := range queries {
+	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
-	return out
 }

@@ -44,3 +44,31 @@ func TestSearchBatchWorkerEdgeCases(t *testing.T) {
 		t.Error("empty batch should return empty results")
 	}
 }
+
+func TestMetricSearchBatchMatchesSerial(t *testing.T) {
+	vecs := randomVectors(600, 10, 16)
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	for _, metric := range []Metric{L2, Cosine, InnerProduct} {
+		idx, err := BuildMetric(vecs, metric, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", metric, err)
+		}
+		queries := randomVectors(25, 10, 17)
+		batch := idx.SearchBatch(queries, 5, 40, 4)
+		if len(batch) != len(queries) {
+			t.Fatalf("%v: batch results = %d, want %d", metric, len(batch), len(queries))
+		}
+		for i, q := range queries {
+			ids, scores := idx.SearchWithPool(q, 5, 40)
+			if len(batch[i].IDs) != len(ids) {
+				t.Fatalf("%v query %d: batch %d results vs serial %d", metric, i, len(batch[i].IDs), len(ids))
+			}
+			for j := range ids {
+				if batch[i].IDs[j] != ids[j] || batch[i].Dists[j] != scores[j] {
+					t.Fatalf("%v query %d: batch %v/%v vs serial %v/%v", metric, i, batch[i].IDs, batch[i].Dists, ids, scores)
+				}
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ package nsg
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -459,14 +460,92 @@ func BenchmarkPublicAPISearch(b *testing.B) {
 	}
 }
 
+// --- SearchContext reuse: the zero-allocation serving path ---
+
+// BenchmarkSearchAllocs pins the PR's allocation claim with numbers:
+// ContextReuse must report 0 allocs/op (all scratch lives in the reused
+// SearchContext; results alias the context), while Fresh shows the cost of
+// the context-free entry point that copies results out per call.
+func BenchmarkSearchAllocs(b *testing.B) {
+	ds, _, idx := loadBenchData(b)
+	b.Run("ContextReuse", func(b *testing.B) {
+		ctx := core.NewSearchContext()
+		idx.SearchCtx(ctx, ds.Queries.Row(0), 10, 60, nil) // warm buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := idx.SearchCtx(ctx, ds.Queries.Row(i%ds.Queries.Rows), 10, 60, nil); len(res) == 0 {
+				b.Fatal("empty result")
+			}
+		}
+	})
+	b.Run("Fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := idx.Search(ds.Queries.Row(i%ds.Queries.Rows), 10, 60, nil); len(res) == 0 {
+				b.Fatal("empty result")
+			}
+		}
+	})
+}
+
+// BenchmarkPublicSearchAllocs measures the public API steady state: the
+// only allocations per query should be the two returned slices.
+func BenchmarkPublicSearchAllocs(b *testing.B) {
+	ds, _, _ := loadBenchData(b)
+	idx, err := BuildFromFlat(append([]float32{}, ds.Base.Data...), ds.Base.Dim, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx.Search(ds.Queries.Row(0), 10) // warm the context pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, _ := idx.Search(ds.Queries.Row(i%ds.Queries.Rows), 10)
+		if len(ids) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkSearchBatch sweeps the batch path's worker counts; each worker
+// reuses one context for its whole share of the batch.
+func BenchmarkSearchBatch(b *testing.B) {
+	ds, _, _ := loadBenchData(b)
+	idx, err := BuildFromFlat(append([]float32{}, ds.Base.Data...), ds.Base.Dim, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]float32, ds.Queries.Rows)
+	for i := range queries {
+		queries[i] = ds.Queries.Row(i)
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := idx.SearchBatch(queries, 10, 60, workers)
+				if len(out) != len(queries) {
+					b.Fatal("short batch result")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationLayout compares the adjacency-list representation against
 // the fixed-stride flat layout the paper serves from (Table 2's note on
 // continuous memory access).
 func BenchmarkAblationLayout(b *testing.B) {
-	_, _, idx := loadBenchData(b)
+	ds, _, idx := loadBenchData(b)
 	flat := idx.Freeze()
+	// NSG.Search itself now serves from the flat layout, so the ragged
+	// baseline has to invoke the adjacency-list engine explicitly.
 	b.Run("AdjacencyList", func(b *testing.B) {
-		benchSearch(b, func(q []float32) []vecmath.Neighbor { return idx.Search(q, 10, 60, nil) })
+		benchSearch(b, func(q []float32) []vecmath.Neighbor {
+			return core.SearchOnGraph(idx.Graph.Adj, ds.Base, q, []int32{idx.Navigating}, 10, 60, nil, nil).Neighbors
+		})
 	})
 	b.Run("FlatFixedStride", func(b *testing.B) {
 		benchSearch(b, func(q []float32) []vecmath.Neighbor { return flat.Search(q, 10, 60, nil) })

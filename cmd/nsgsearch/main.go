@@ -32,6 +32,7 @@ func run(args []string, stdout io.Writer) error {
 	gtPath := fs.String("gt", "", "optional ground truth (.ivecs)")
 	k := fs.Int("k", 10, "neighbors to retrieve")
 	l := fs.Int("l", 60, "search pool size (higher = more accurate, slower)")
+	workers := fs.Int("workers", 1, "concurrent search workers (0 = GOMAXPROCS); each worker reuses one search context")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,13 +51,17 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("query dim %d != index dim %d", queries.Dim, idx.Dim())
 	}
 
-	results := make([][]int32, queries.Rows)
-	start := time.Now()
+	qs := make([][]float32, queries.Rows)
 	for qi := 0; qi < queries.Rows; qi++ {
-		ids, _ := idx.SearchWithPool(queries.Row(qi), *k, *l)
-		results[qi] = ids
+		qs[qi] = queries.Row(qi)
 	}
+	start := time.Now()
+	batch := idx.SearchBatch(qs, *k, *l, *workers)
 	elapsed := time.Since(start)
+	results := make([][]int32, queries.Rows)
+	for qi, r := range batch {
+		results[qi] = r.IDs
+	}
 	fmt.Fprintf(stdout, "%d queries in %.3fs (%.0f QPS, %.3f ms/query)\n",
 		queries.Rows, elapsed.Seconds(),
 		float64(queries.Rows)/elapsed.Seconds(),

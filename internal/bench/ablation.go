@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -31,11 +32,12 @@ func Ablation(w io.Writer, c ExpConfig) error {
 	}
 
 	fmt.Fprintf(w, "Ablations on SIFT-like (n=%d), recall@10 and distance computations at l=60\n", n)
-	fmt.Fprintf(w, "%-34s %9s %12s %10s\n", "variant", "recall", "dist/query", "avg deg")
+	fmt.Fprintf(w, "%-34s %9s %12s %10s %10s\n", "variant", "recall", "dist/query", "avg deg", "QPS")
 
 	score := func(name string, g *graphutil.Graph, search func(q []float32, counter *vecmath.Counter) []vecmath.Neighbor) {
 		var counter vecmath.Counter
 		got := make([][]int32, ds.Queries.Rows)
+		start := time.Now()
 		for qi := 0; qi < ds.Queries.Rows; qi++ {
 			res := search(ds.Queries.Row(qi), &counter)
 			ids := make([]int32, len(res))
@@ -44,18 +46,29 @@ func Ablation(w io.Writer, c ExpConfig) error {
 			}
 			got[qi] = ids
 		}
+		qps := float64(ds.Queries.Rows) / time.Since(start).Seconds()
 		avgDeg := 0.0
 		if g != nil {
 			avgDeg = g.Degrees().Avg
 		}
-		fmt.Fprintf(w, "%-34s %9.4f %12.0f %10.1f\n", name,
+		fmt.Fprintf(w, "%-34s %9.4f %12.0f %10.1f %10.0f\n", name,
 			dataset.MeanRecall(got, ds.GT, 10),
-			float64(counter.Count())/float64(ds.Queries.Rows), avgDeg)
+			float64(counter.Count())/float64(ds.Queries.Rows), avgDeg, qps)
 	}
 
-	// 1. Full NSG (reference).
+	// 1. Full NSG (reference): flat fixed-stride layout, reused context.
+	ctx := core.NewSearchContext()
 	score("NSG (full Algorithm 2)", idx.Graph, func(q []float32, cnt *vecmath.Counter) []vecmath.Neighbor {
-		return idx.Search(q, 10, 60, cnt)
+		return idx.SearchCtx(ctx, q, 10, 60, cnt)
+	})
+
+	// 1b. Layout/allocation ablation: same graph and entry point through
+	// the ragged adjacency lists with a freshly allocated context per query
+	// (the seed's allocation behavior). Recall and distance counts are
+	// identical by construction; only QPS moves.
+	score("NSG + ragged lists, fresh scratch", idx.Graph, func(q []float32, cnt *vecmath.Counter) []vecmath.Neighbor {
+		fresh := core.NewSearchContext()
+		return core.SearchOnGraphListCtx(fresh, idx.Graph.Adj, ds.Base, q, []int32{idx.Navigating}, 10, 60, cnt, nil).Neighbors
 	})
 
 	// 2. Entry point: random instead of the navigating node, same graph.

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"repro/internal/graphutil"
 	"repro/internal/vecmath"
 )
 
@@ -42,6 +43,17 @@ type pool struct {
 
 func newPool(l int) *pool {
 	return &pool{elems: make([]element, 0, l+1), cap: l}
+}
+
+// reset empties the pool and retargets it to capacity l, reusing the backing
+// array whenever it is large enough.
+func (p *pool) reset(l int) {
+	p.cap = l
+	if cap(p.elems) < l+1 {
+		p.elems = make([]element, 0, l+1)
+	} else {
+		p.elems = p.elems[:0]
+	}
 }
 
 // insert offers a candidate. Returns the insertion position, or -1 if the
@@ -91,23 +103,37 @@ type SearchResult struct {
 	Hops      int
 }
 
-// SearchOnGraph is Algorithm 1: greedy best-first search over adjacency
-// lists adj on the points in base, starting from the nodes in starts,
-// returning the k nearest candidates to query found with a pool of size l.
-// visited, when non-nil, receives every node whose distance to the query was
-// computed — the "search-and-collect" hook Algorithm 2 uses to gather
-// pruning candidates. counter may be nil.
-func SearchOnGraph(adj [][]int32, base vecmath.Matrix, query []float32, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor) SearchResult {
+// adjacencySource abstracts the two graph layouts Algorithm 1 traverses:
+// ragged adjacency lists (mutable graphs, build time) and the fixed-stride
+// flat array (immutable serving layout). The search body is instantiated
+// once per concrete layout so both compile to direct calls; having a single
+// body guarantees the two layouts produce byte-identical results.
+type adjacencySource interface {
+	neighbors(id int32) []int32
+}
+
+type listAdj struct{ adj [][]int32 }
+
+func (a listAdj) neighbors(id int32) []int32 { return a.adj[id] }
+
+type flatAdj struct{ g *graphutil.FlatGraph }
+
+func (a flatAdj) neighbors(id int32) []int32 { return a.g.Neighbors(id) }
+
+// searchCtx is Algorithm 1: greedy best-first search from starts, keeping
+// the best l candidates and returning the nearest k. All scratch state lives
+// in ctx, so the steady state allocates nothing; the returned Neighbors
+// slice aliases ctx.out and is valid until ctx's next search.
+func searchCtx[A adjacencySource](ctx *SearchContext, a A, n int, base vecmath.Matrix, query []float32, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor) SearchResult {
 	if l < k {
 		l = k
 	}
-	p := newPool(l)
-	seen := make(map[int32]struct{}, l*4)
+	ctx.begin(n, l)
+	p := &ctx.pool
 	for _, s := range starts {
-		if _, dup := seen[s]; dup {
+		if !ctx.visited.Visit(s) {
 			continue
 		}
-		seen[s] = struct{}{}
 		d := counter.L2(query, base.Row(int(s)))
 		if visited != nil {
 			*visited = append(*visited, vecmath.Neighbor{ID: s, Dist: d})
@@ -129,11 +155,10 @@ func SearchOnGraph(adj [][]int32, base vecmath.Matrix, query []float32, starts [
 		curID := cur.id
 		hops++
 		lowest := len(p.elems) // lowest insertion position this expansion
-		for _, nb := range adj[curID] {
-			if _, dup := seen[nb]; dup {
+		for _, nb := range a.neighbors(curID) {
+			if !ctx.visited.Visit(nb) {
 				continue
 			}
-			seen[nb] = struct{}{}
 			d := counter.L2(query, base.Row(int(nb)))
 			if visited != nil {
 				*visited = append(*visited, vecmath.Neighbor{ID: nb, Dist: d})
@@ -152,9 +177,47 @@ func SearchOnGraph(adj [][]int32, base vecmath.Matrix, query []float32, starts [
 	if k > len(p.elems) {
 		k = len(p.elems)
 	}
-	out := make([]vecmath.Neighbor, k)
+	out := ctx.out[:0]
 	for i := 0; i < k; i++ {
-		out[i] = vecmath.Neighbor{ID: p.elems[i].id, Dist: p.elems[i].dist}
+		out = append(out, vecmath.Neighbor{ID: p.elems[i].id, Dist: p.elems[i].dist})
 	}
+	ctx.out = out
 	return SearchResult{Neighbors: out, Hops: hops}
+}
+
+// SearchOnGraphCtx is Algorithm 1 over the fixed-stride flat layout with
+// caller-owned scratch: pass the same ctx on every query from a goroutine
+// and the steady state performs zero heap allocations. The returned
+// Neighbors slice aliases the context and is valid only until the context's
+// next search — copy it to retain. visited, when non-nil, receives every
+// node whose distance to the query was computed. counter may be nil.
+func SearchOnGraphCtx(ctx *SearchContext, g *graphutil.FlatGraph, base vecmath.Matrix, query []float32, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor) SearchResult {
+	return searchCtx(ctx, flatAdj{g: g}, g.Nodes, base, query, starts, k, l, counter, visited)
+}
+
+// SearchOnGraphListCtx is SearchOnGraphCtx over ragged adjacency lists; it
+// exists for graphs that are still mutating (Algorithm 2's connectivity
+// repair, incremental inserts), where maintaining a flat copy per mutation
+// would cost more than the layout saves.
+func SearchOnGraphListCtx(ctx *SearchContext, adj [][]int32, base vecmath.Matrix, query []float32, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor) SearchResult {
+	return searchCtx(ctx, listAdj{adj: adj}, len(adj), base, query, starts, k, l, counter, visited)
+}
+
+// SearchOnGraph is Algorithm 1: greedy best-first search over adjacency
+// lists adj on the points in base, starting from the nodes in starts,
+// returning the k nearest candidates to query found with a pool of size l.
+// visited, when non-nil, receives every node whose distance to the query was
+// computed — the "search-and-collect" hook Algorithm 2 uses to gather
+// pruning candidates. counter may be nil.
+//
+// The returned slice is caller-owned. Hot loops should prefer
+// SearchOnGraphCtx (or the ctx-taking index methods), which reuse all
+// scratch state; this signature draws a context from a pool and copies the
+// result out.
+func SearchOnGraph(adj [][]int32, base vecmath.Matrix, query []float32, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor) SearchResult {
+	ctx := getCtx()
+	res := searchCtx(ctx, listAdj{adj: adj}, len(adj), base, query, starts, k, l, counter, visited)
+	out := copyNeighbors(res.Neighbors)
+	putCtx(ctx)
+	return SearchResult{Neighbors: out, Hops: res.Hops}
 }

@@ -19,54 +19,26 @@ type FlatNSG struct {
 // Freeze converts the index into its serving layout.
 func (x *NSG) Freeze() *FlatNSG {
 	return &FlatNSG{
-		Flat:       graphutil.Flatten(x.Graph),
+		Flat:       x.FlatView(),
 		Navigating: x.Navigating,
 		Base:       x.Base,
 	}
 }
 
 // Search runs Algorithm 1 over the flat layout, identical in results to
-// NSG.Search on the graph it was frozen from.
+// NSG.Search on the graph it was frozen from. The result is caller-owned;
+// hot loops should prefer SearchCtx.
 func (x *FlatNSG) Search(query []float32, k, l int, counter *vecmath.Counter) []vecmath.Neighbor {
-	if l < k {
-		l = k
-	}
-	p := newPool(l)
-	seen := make(map[int32]struct{}, l*4)
-	seen[x.Navigating] = struct{}{}
-	d := counter.L2(query, x.Base.Row(int(x.Navigating)))
-	p.insert(x.Navigating, d)
-
-	next := 0
-	for next < len(p.elems) {
-		if p.elems[next].checked {
-			next++
-			continue
-		}
-		cur := &p.elems[next]
-		cur.checked = true
-		curID := cur.id
-		lowest := len(p.elems)
-		for _, nb := range x.Flat.Neighbors(curID) {
-			if _, dup := seen[nb]; dup {
-				continue
-			}
-			seen[nb] = struct{}{}
-			dd := counter.L2(query, x.Base.Row(int(nb)))
-			if pos := p.insert(nb, dd); pos >= 0 && pos < lowest {
-				lowest = pos
-			}
-		}
-		if lowest < next {
-			next = lowest
-		}
-	}
-	if k > len(p.elems) {
-		k = len(p.elems)
-	}
-	out := make([]vecmath.Neighbor, k)
-	for i := 0; i < k; i++ {
-		out[i] = vecmath.Neighbor{ID: p.elems[i].id, Dist: p.elems[i].dist}
-	}
+	ctx := getCtx()
+	out := copyNeighbors(x.SearchCtx(ctx, query, k, l, counter))
+	putCtx(ctx)
 	return out
+}
+
+// SearchCtx is Search with caller-owned scratch; zero allocations on the
+// steady state. The returned slice aliases ctx and is valid until ctx's
+// next search.
+func (x *FlatNSG) SearchCtx(ctx *SearchContext, query []float32, k, l int, counter *vecmath.Counter) []vecmath.Neighbor {
+	ctx.startBuf[0] = x.Navigating
+	return SearchOnGraphCtx(ctx, x.Flat, x.Base, query, ctx.startBuf[:], k, l, counter, nil).Neighbors
 }

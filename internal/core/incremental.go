@@ -54,9 +54,12 @@ func (x *NSG) Insert(vec []float32, p InsertParams) (int32, error) {
 	x.Base.Rows++
 	x.Graph.Adj = append(x.Graph.Adj, nil)
 
-	// Step 1: search-collect from the navigating node.
-	var visited []vecmath.Neighbor
-	SearchOnGraph(x.Graph.Adj[:id], x.Base, vec, []int32{x.Navigating}, 1, p.L, nil, &visited)
+	// Step 1: search-collect from the navigating node, on the list layout
+	// (the graph is mutating) with pooled scratch.
+	ctx := getCtx()
+	visited := ctx.collect[:0]
+	ctx.startBuf[0] = x.Navigating
+	SearchOnGraphListCtx(ctx, x.Graph.Adj[:id], x.Base, vec, ctx.startBuf[:], 1, p.L, nil, &visited)
 	cands := dedupeSorted(visited, id)
 
 	// Step 2: MRNG-select the new node's out-edges.
@@ -70,6 +73,10 @@ func (x *NSG) Insert(vec []float32, p InsertParams) (int32, error) {
 			selected = []int32{x.Navigating}
 		}
 	}
+	// cands aliases ctx's scratch; nothing below reads it, so the context
+	// can go back to the pool.
+	ctx.collect = visited[:0]
+	putCtx(ctx)
 	x.Graph.Adj[id] = selected
 
 	// Step 3: reverse offers with overflow re-prune, keeping the new node
@@ -90,6 +97,9 @@ func (x *NSG) Insert(vec []float32, p InsertParams) (int32, error) {
 			x.Graph.AddEdge(nb, id)
 		}
 	}
+	// The graph and base changed shape: drop the flat-layout and
+	// reachability caches so the next search/Stats rebuilds them.
+	x.invalidateDerived()
 	return id, nil
 }
 
@@ -139,16 +149,28 @@ func (t *Tombstones) Len() int { return len(t.dead) }
 
 // SearchLive runs Search and filters tombstoned ids, over-fetching so k
 // live results come back whenever enough live points exist in the pool.
+// The result is caller-owned; hot loops should prefer SearchLiveCtx.
 func (x *NSG) SearchLive(query []float32, k, l int, t *Tombstones, counter *vecmath.Counter) []vecmath.Neighbor {
+	ctx := getCtx()
+	out := copyNeighbors(x.SearchLiveCtx(ctx, query, k, l, t, counter))
+	putCtx(ctx)
+	return out
+}
+
+// SearchLiveCtx is SearchLive with caller-owned scratch; the tombstone
+// filter runs in place on the context's result buffer, so the steady state
+// allocates nothing. The returned slice aliases ctx and is valid until
+// ctx's next search.
+func (x *NSG) SearchLiveCtx(ctx *SearchContext, query []float32, k, l int, t *Tombstones, counter *vecmath.Counter) []vecmath.Neighbor {
 	if t == nil || t.Len() == 0 {
-		return x.Search(query, k, l, counter)
+		return x.SearchCtx(ctx, query, k, l, counter)
 	}
 	fetch := k + t.Len()
 	if l < fetch {
 		l = fetch
 	}
-	res := x.Search(query, fetch, l, counter)
-	out := make([]vecmath.Neighbor, 0, k)
+	res := x.SearchCtx(ctx, query, fetch, l, counter)
+	out := res[:0]
 	for _, n := range res {
 		if t.Deleted(n.ID) {
 			continue
@@ -212,5 +234,9 @@ func (x *NSG) Compact(t *Tombstones, p InsertParams) (*NSG, []int32, error) {
 	out.Navigating = SearchOnGraph(out.Graph.Adj, out.Base, centroid, []int32{0}, 1, p.L, nil, nil).Neighbors[0].ID
 	// One repair pass in case pruning stranded anything.
 	repairConnectivity(out.Graph, out.Base, out.Navigating, BuildParams{L: p.L, M: p.M})
+	// Drop caches populated during the incremental inserts and freeze the
+	// final serving layout.
+	out.invalidateDerived()
+	out.FlatView()
 	return out, remap, nil
 }

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graphutil"
 	"repro/internal/vecmath"
@@ -37,11 +38,45 @@ func DefaultBuildParams() BuildParams {
 
 // NSG is the built index: the pruned graph, its fixed entry point, and the
 // base vectors it indexes.
+//
+// Alongside the mutable adjacency lists, the index caches a fixed-stride
+// flat copy of the graph (graphutil.FlatGraph) — the serving layout the
+// paper's Table 2 describes — plus the reachable-node count Stats reports.
+// Both caches are built at construction/load, invalidated by mutations
+// (Insert), and rebuilt lazily, so searches always traverse the flat layout.
 type NSG struct {
 	Graph      *graphutil.Graph
 	Navigating int32 // the navigating node: search always starts here
 	Base       vecmath.Matrix
 	M          int // degree cap the index was built with
+
+	flatMu sync.Mutex
+	flat   atomic.Pointer[graphutil.FlatGraph]
+	reach  atomic.Int64 // cached ReachableFrom(Navigating)+1; 0 = unknown
+}
+
+// FlatView returns the fixed-stride adjacency the searcher traverses,
+// flattening the graph on first use and caching the result until the next
+// mutation. Safe for concurrent use; the returned graph is immutable.
+func (x *NSG) FlatView() *graphutil.FlatGraph {
+	if f := x.flat.Load(); f != nil {
+		return f
+	}
+	x.flatMu.Lock()
+	defer x.flatMu.Unlock()
+	if f := x.flat.Load(); f != nil {
+		return f
+	}
+	f := graphutil.Flatten(x.Graph)
+	x.flat.Store(f)
+	return f
+}
+
+// invalidateDerived drops the flat-layout and reachability caches after a
+// graph mutation; they rebuild lazily on next use.
+func (x *NSG) invalidateDerived() {
+	x.flat.Store(nil)
+	x.reach.Store(0)
 }
 
 // BuildStats reports what Algorithm 2 did, feeding Tables 2-4.
@@ -67,19 +102,34 @@ func NSGBuild(knn *graphutil.Graph, base vecmath.Matrix, p BuildParams) (*NSG, B
 		p.M = 30
 	}
 
+	// The kNN graph is read-only for steps ii-iii; flatten it once so every
+	// search-collect pass runs on the contiguous layout.
+	knnFlat := graphutil.Flatten(knn)
+
 	// Step ii: navigating node = approximate medoid. Search the kNN graph
 	// for the centroid starting from a random node.
 	centroid := vecmath.Centroid(base)
 	rng := rand.New(rand.NewSource(p.Seed))
 	start := int32(rng.Intn(n))
-	nav := SearchOnGraph(knn.Adj, base, centroid, []int32{start}, 1, p.L, nil, nil).Neighbors[0].ID
+	navCtx := getCtx()
+	navCtx.startBuf[0] = start
+	nav := SearchOnGraphCtx(navCtx, knnFlat, base, centroid, navCtx.startBuf[:], 1, p.L, nil, nil).Neighbors[0].ID
+	putCtx(navCtx)
 
-	// Step iii: per-node search-collect-select.
+	// Step iii: per-node search-collect-select, one reused SearchContext
+	// (pool, visited stamps, collect scratch) per worker goroutine.
 	adj := make([][]int32, n)
-	parallelFor(n, func(i int) {
+	workers := parallelWorkers(n)
+	ctxs := make([]*SearchContext, workers)
+	for w := range ctxs {
+		ctxs[w] = NewSearchContext()
+	}
+	parallelForWorkers(workers, n, func(w, i int) {
+		ctx := ctxs[w]
 		v := base.Row(i)
-		var visited []vecmath.Neighbor
-		SearchOnGraph(knn.Adj, base, v, []int32{nav}, 1, p.L, nil, &visited)
+		visited := ctx.collect[:0]
+		ctx.startBuf[0] = nav
+		SearchOnGraphCtx(ctx, knnFlat, base, v, ctx.startBuf[:], 1, p.L, nil, &visited)
 		// Merge in v's kNN-graph neighbors: the approximate NNG edges are
 		// essential for monotonicity (Section 3.3, Figure 4).
 		for _, nb := range knn.Adj[i] {
@@ -90,6 +140,7 @@ func NSGBuild(knn *graphutil.Graph, base vecmath.Matrix, p BuildParams) (*NSG, B
 			cands = cands[:p.C]
 		}
 		adj[i] = SelectMRNG(base, v, cands, p.M)
+		ctx.collect = visited[:0]
 	})
 
 	// Reverse-edge insertion ("InterInsert" in the reference
@@ -106,7 +157,10 @@ func NSGBuild(knn *graphutil.Graph, base vecmath.Matrix, p BuildParams) (*NSG, B
 	// Step iv: DFS spanning repair from the navigating node.
 	stats.TreeRepairEdges, stats.TreePasses = repairConnectivity(g, base, nav, p)
 
-	return &NSG{Graph: g, Navigating: nav, Base: base, M: p.M}, stats, nil
+	idx := &NSG{Graph: g, Navigating: nav, Base: base, M: p.M}
+	// Freeze the serving layout once at construction.
+	idx.flat.Store(graphutil.Flatten(g))
+	return idx, stats, nil
 }
 
 // SelectMRNG applies the MRNG edge-selection rule (Definition 5) to a
@@ -194,6 +248,7 @@ func interInsert(adj [][]int32, base vecmath.Matrix, m int) {
 // graph. Returns (edges added, passes run).
 func repairConnectivity(g *graphutil.Graph, base vecmath.Matrix, nav int32, p BuildParams) (int, int) {
 	added, passes := 0, 0
+	ctx := NewSearchContext() // the graph mutates between passes; reuse one context over the list layout
 	for {
 		passes++
 		unreached := g.Unreachable(nav)
@@ -204,7 +259,8 @@ func repairConnectivity(g *graphutil.Graph, base vecmath.Matrix, nav int32, p Bu
 			// Search for u from the navigating node; the result is the
 			// nearest *reachable* node because search can only visit the
 			// reachable component.
-			res := SearchOnGraph(g.Adj, base, base.Row(int(u)), []int32{nav}, 1, p.L, nil, nil)
+			ctx.startBuf[0] = nav
+			res := SearchOnGraphListCtx(ctx, g.Adj, base, base.Row(int(u)), ctx.startBuf[:], 1, p.L, nil, nil)
 			if len(res.Neighbors) == 0 {
 				continue
 			}
@@ -221,18 +277,39 @@ func repairConnectivity(g *graphutil.Graph, base vecmath.Matrix, nav int32, p Bu
 }
 
 // Search runs Algorithm 1 on the NSG from the navigating node, returning the
-// k nearest candidates using a pool of size l. counter may be nil.
+// k nearest candidates using a pool of size l. counter may be nil. The
+// result is caller-owned; hot loops should prefer SearchCtx.
 func (x *NSG) Search(query []float32, k, l int, counter *vecmath.Counter) []vecmath.Neighbor {
-	return SearchOnGraph(x.Graph.Adj, base(x), query, []int32{x.Navigating}, k, l, counter, nil).Neighbors
+	ctx := getCtx()
+	out := copyNeighbors(x.SearchCtx(ctx, query, k, l, counter))
+	putCtx(ctx)
+	return out
+}
+
+// SearchCtx is Search with caller-owned scratch: reuse ctx across queries
+// from one goroutine and the steady state performs zero allocations. The
+// returned slice aliases ctx and is valid until ctx's next search.
+func (x *NSG) SearchCtx(ctx *SearchContext, query []float32, k, l int, counter *vecmath.Counter) []vecmath.Neighbor {
+	return x.SearchWithHopsCtx(ctx, query, k, l, counter).Neighbors
 }
 
 // SearchWithHops is Search but also reports the greedy path length, used by
 // the complexity-scaling experiments (Figures 9-11).
 func (x *NSG) SearchWithHops(query []float32, k, l int, counter *vecmath.Counter) SearchResult {
-	return SearchOnGraph(x.Graph.Adj, base(x), query, []int32{x.Navigating}, k, l, counter, nil)
+	ctx := getCtx()
+	res := x.SearchWithHopsCtx(ctx, query, k, l, counter)
+	res.Neighbors = copyNeighbors(res.Neighbors)
+	putCtx(ctx)
+	return res
 }
 
-func base(x *NSG) vecmath.Matrix { return x.Base }
+// SearchWithHopsCtx is the context-taking root of every NSG query path: it
+// traverses the cached flat layout from the navigating node.
+func (x *NSG) SearchWithHopsCtx(ctx *SearchContext, query []float32, k, l int, counter *vecmath.Counter) SearchResult {
+	f := x.FlatView()
+	ctx.startBuf[0] = x.Navigating
+	return SearchOnGraphCtx(ctx, f, x.Base, query, ctx.startBuf[:], k, l, counter, nil)
+}
 
 // Stats summarizes the index the way Table 2 reports it.
 type IndexStats struct {
@@ -243,7 +320,9 @@ type IndexStats struct {
 	Reachable  int // nodes reachable from the navigating node
 }
 
-// Stats computes degree and memory statistics.
+// Stats computes degree and memory statistics. The reachability count — a
+// full graph traversal — is computed once and cached until the graph
+// mutates, so Stats is cheap enough to call from serving loops.
 func (x *NSG) Stats() IndexStats {
 	d := x.Graph.Degrees()
 	return IndexStats{
@@ -251,8 +330,17 @@ func (x *NSG) Stats() IndexStats {
 		AvgDegree:  d.Avg,
 		MaxDegree:  d.Max,
 		IndexBytes: x.Graph.IndexBytes(),
-		Reachable:  x.Graph.ReachableFrom(x.Navigating),
+		Reachable:  x.reachableCount(),
 	}
+}
+
+func (x *NSG) reachableCount() int {
+	if v := x.reach.Load(); v > 0 {
+		return int(v - 1)
+	}
+	r := x.Graph.ReachableFrom(x.Navigating)
+	x.reach.Store(int64(r) + 1)
+	return r
 }
 
 const nsgFileMagic = 0x4e534746 // "NSGF"
@@ -299,7 +387,10 @@ func ReadNSG(r io.Reader, base vecmath.Matrix) (*NSG, error) {
 	if int(nav) >= g.N() || nav < 0 {
 		return nil, fmt.Errorf("core: navigating node %d out of range", nav)
 	}
-	return &NSG{Graph: g, Navigating: nav, Base: base, M: m}, nil
+	x := &NSG{Graph: g, Navigating: nav, Base: base, M: m}
+	// Freeze the serving layout once at load.
+	x.flat.Store(graphutil.Flatten(g))
+	return x, nil
 }
 
 // SaveFile writes the index to path.
@@ -379,14 +470,30 @@ func NearPowerOfTwo(v int) int {
 	return 1 << int(math.Ceil(math.Log2(float64(v))))
 }
 
-func parallelFor(n int, body func(i int)) {
+// parallelWorkers returns the worker count parallelForWorkers will use for n
+// items, so callers can preallocate per-worker state (search contexts).
+func parallelWorkers(n int) int {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+func parallelFor(n int, body func(i int)) {
+	parallelForWorkers(parallelWorkers(n), n, func(_, i int) { body(i) })
+}
+
+// parallelForWorkers runs body(worker, i) for i in [0,n) on the given number
+// of goroutines; worker identifies the executing goroutine so bodies can
+// reuse per-worker scratch without locking.
+func parallelForWorkers(workers, n int, body func(worker, i int)) {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			body(i)
+			body(0, i)
 		}
 		return
 	}
@@ -394,12 +501,12 @@ func parallelFor(n int, body func(i int)) {
 	next := make(chan int, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				body(i)
+				body(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/graphutil"
+	"repro/internal/vecmath"
+)
+
+// SearchContext holds every piece of per-query scratch state Algorithm 1
+// needs: the fixed-capacity candidate pool, an epoch-stamped visited array
+// (replacing the per-query map the seed implementation allocated), the
+// result buffer, and a one-slot start-node buffer. A context is prepared
+// lazily on first use and grows to the largest (n, l) it has served, after
+// which a search performs zero heap allocations.
+//
+// Concurrency contract: a SearchContext may be owned by only one goroutine
+// at a time. Serving loops keep one context per worker goroutine (or draw
+// from a sync.Pool, as the public nsg.Index does) and reuse it across
+// queries; the index itself stays read-only and fully shareable.
+type SearchContext struct {
+	pool     pool
+	visited  graphutil.EpochVisited
+	out      []vecmath.Neighbor
+	startBuf [1]int32
+	// collect is scratch for build-time visited-collection (search-collect
+	// passes reuse it so Algorithm 2 workers do not reallocate per node).
+	collect []vecmath.Neighbor
+}
+
+// NewSearchContext returns an empty context; buffers are sized on first use.
+func NewSearchContext() *SearchContext { return &SearchContext{} }
+
+// begin prepares the context for one search over n nodes with pool size l.
+func (c *SearchContext) begin(n, l int) {
+	c.pool.reset(l)
+	c.visited.Reset(n)
+	if cap(c.out) < l {
+		c.out = make([]vecmath.Neighbor, 0, l)
+	} else {
+		c.out = c.out[:0]
+	}
+}
+
+// ctxFree recycles contexts for the legacy context-free entry points
+// (SearchOnGraph, NSG.Search, ...), which keeps them allocation-light
+// without changing their signatures or result-ownership semantics.
+var ctxFree = sync.Pool{New: func() any { return NewSearchContext() }}
+
+func getCtx() *SearchContext  { return ctxFree.Get().(*SearchContext) }
+func putCtx(c *SearchContext) { ctxFree.Put(c) }
+
+// copyNeighbors clones a context-owned result into caller-owned memory.
+func copyNeighbors(src []vecmath.Neighbor) []vecmath.Neighbor {
+	out := make([]vecmath.Neighbor, len(src))
+	copy(out, src)
+	return out
+}

@@ -1,0 +1,58 @@
+package graphutil
+
+// EpochVisited is a reusable visited set over nodes 0..n-1. Instead of
+// allocating a fresh map or bool slice per traversal, each membership stamp
+// is an epoch number: bumping the epoch (Reset) invalidates every stamp in
+// O(1), so the backing array is allocated once and reused across an
+// unbounded number of traversals. This is the standard trick behind
+// zero-allocation graph search loops (HNSW's visited-list pool uses the
+// same structure).
+//
+// An EpochVisited is owned by one goroutine at a time; it has no internal
+// locking.
+type EpochVisited struct {
+	stamp []uint32
+	epoch uint32
+}
+
+// Reset prepares the set for a traversal over n nodes, clearing all
+// membership. The backing array is grown when needed and kept otherwise;
+// growth doubles so callers whose n creeps upward one node at a time
+// (incremental insert loops) amortize to O(1) per reset.
+func (v *EpochVisited) Reset(n int) {
+	if len(v.stamp) < n {
+		grown := 2 * len(v.stamp)
+		if grown < n {
+			grown = n
+		}
+		v.stamp = make([]uint32, grown)
+		v.epoch = 0
+	}
+	v.epoch++
+	if v.epoch == 0 {
+		// Epoch counter wrapped (after ~4 billion resets): clear the stale
+		// stamps once so no old stamp can collide with the restarted epoch.
+		for i := range v.stamp {
+			v.stamp[i] = 0
+		}
+		v.epoch = 1
+	}
+}
+
+// Visit marks id as visited and reports whether it was unvisited before —
+// the compare-and-mark every graph search loop performs per neighbor.
+func (v *EpochVisited) Visit(id int32) bool {
+	if v.stamp[id] == v.epoch {
+		return false
+	}
+	v.stamp[id] = v.epoch
+	return true
+}
+
+// Visited reports whether id has been visited since the last Reset.
+func (v *EpochVisited) Visited(id int32) bool {
+	return v.stamp[id] == v.epoch
+}
+
+// Cap returns the number of node slots currently allocated.
+func (v *EpochVisited) Cap() int { return len(v.stamp) }

@@ -1,0 +1,60 @@
+package graphutil
+
+import "testing"
+
+func TestEpochVisitedBasic(t *testing.T) {
+	var v EpochVisited
+	v.Reset(10)
+	if !v.Visit(3) {
+		t.Fatal("first visit of 3 reported as already visited")
+	}
+	if v.Visit(3) {
+		t.Fatal("second visit of 3 reported as new")
+	}
+	if !v.Visited(3) || v.Visited(4) {
+		t.Fatal("Visited mismatch")
+	}
+	v.Reset(10)
+	if v.Visited(3) {
+		t.Fatal("Reset did not clear membership")
+	}
+	if !v.Visit(3) {
+		t.Fatal("visit after Reset reported as already visited")
+	}
+}
+
+func TestEpochVisitedGrow(t *testing.T) {
+	var v EpochVisited
+	v.Reset(4)
+	v.Visit(2)
+	v.Reset(100) // grow mid-life
+	if v.Cap() < 100 {
+		t.Fatalf("cap %d < 100 after grow", v.Cap())
+	}
+	for id := int32(0); id < 100; id++ {
+		if v.Visited(id) {
+			t.Fatalf("node %d visited after grow+reset", id)
+		}
+	}
+	if !v.Visit(99) || v.Visit(99) {
+		t.Fatal("visit semantics broken after grow")
+	}
+}
+
+func TestEpochVisitedWraparound(t *testing.T) {
+	var v EpochVisited
+	v.Reset(4)
+	v.Visit(1)
+	// Force the epoch counter to the wrap point and reset across it.
+	v.epoch = ^uint32(0)
+	v.stamp[2] = v.epoch // pretend 2 was visited in the last epoch
+	v.Reset(4)
+	if v.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", v.epoch)
+	}
+	for id := int32(0); id < 4; id++ {
+		if v.Visited(id) {
+			t.Fatalf("node %d leaked membership across epoch wrap", id)
+		}
+	}
+}

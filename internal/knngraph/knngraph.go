@@ -26,21 +26,33 @@ func BuildExact(base vecmath.Matrix, k int) (*graphutil.Graph, error) {
 		return nil, fmt.Errorf("knngraph: k=%d out of range for n=%d", k, base.Rows)
 	}
 	g := graphutil.New(base.Rows)
+	// Collectors and result buffers are pooled and reused across rows
+	// (TopK.Reset + ResultInto) so the O(n^2) scan allocates only the
+	// retained adjacency lists.
+	type exactScratch struct {
+		top *vecmath.TopK
+		res []vecmath.Neighbor
+	}
+	scratch := sync.Pool{New: func() any {
+		return &exactScratch{top: vecmath.NewTopK(k)}
+	}}
 	parallelFor(base.Rows, func(i int) {
+		s := scratch.Get().(*exactScratch)
+		s.top.Reset(k)
 		x := base.Row(i)
-		top := vecmath.NewTopK(k)
 		for j := 0; j < base.Rows; j++ {
 			if j == i {
 				continue
 			}
-			top.Push(int32(j), vecmath.L2(x, base.Row(j)))
+			s.top.Push(int32(j), vecmath.L2(x, base.Row(j)))
 		}
-		res := top.Result()
-		adj := make([]int32, len(res))
-		for idx, n := range res {
+		s.res = s.top.ResultInto(s.res)
+		adj := make([]int32, len(s.res))
+		for idx, n := range s.res {
 			adj[idx] = n.ID
 		}
 		g.Adj[i] = adj
+		scratch.Put(s)
 	})
 	return g, nil
 }

@@ -36,6 +36,21 @@ func NewTopK(k int) *TopK {
 	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
 }
 
+// Reset empties the collector and retargets it to k, reusing the backing
+// array so a collector can serve many scans without reallocating. k must be
+// > 0.
+func (t *TopK) Reset(k int) {
+	if k <= 0 {
+		panic("vecmath: TopK requires k > 0")
+	}
+	t.k = k
+	if cap(t.heap) < k {
+		t.heap = make([]Neighbor, 0, k)
+	} else {
+		t.heap = t.heap[:0]
+	}
+}
+
 // Push offers a candidate. It is kept only if fewer than k candidates are
 // held or it beats the current worst.
 func (t *TopK) Push(id int32, dist float32) {
@@ -70,6 +85,16 @@ func (t *TopK) Result() []Neighbor {
 	t.heap = nil
 	SortNeighbors(out)
 	return out
+}
+
+// ResultInto appends the held neighbors, sorted ascending by distance, to
+// dst (reset to length zero first) and returns it. Unlike Result, the
+// collector keeps ownership of its backing array, so a following Reset
+// reuses it — the zero-allocation companion for scan loops.
+func (t *TopK) ResultInto(dst []Neighbor) []Neighbor {
+	dst = append(dst[:0], t.heap...)
+	SortNeighbors(dst)
+	return dst
 }
 
 func (t *TopK) up(i int) {

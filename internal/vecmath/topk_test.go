@@ -1,0 +1,55 @@
+package vecmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTopKResetReuse drives one collector through many scans with varying k
+// and checks each result against a sort-based reference.
+func TestTopKResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	top := NewTopK(1)
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(12)
+		n := rng.Intn(60)
+		top.Reset(k)
+		var ref []Neighbor
+		for i := 0; i < n; i++ {
+			d := rng.Float32()
+			top.Push(int32(i), d)
+			ref = append(ref, Neighbor{ID: int32(i), Dist: d})
+		}
+		SortNeighbors(ref)
+		if len(ref) > k {
+			ref = ref[:k]
+		}
+		// ResultInto must agree with Result and leave the collector's
+		// backing array in place for the next Reset.
+		into := top.ResultInto(nil)
+		got := top.Result()
+		if len(into) != len(got) {
+			t.Fatalf("trial %d: ResultInto returned %d, Result %d", trial, len(into), len(got))
+		}
+		for i := range got {
+			if into[i] != got[i] {
+				t.Fatalf("trial %d: ResultInto[%d] = %v, Result %v", trial, i, into[i], got[i])
+			}
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: result[%d] = %v, want %v", trial, i, got[i], ref[i])
+			}
+		}
+		// Result() hands out the backing array, so the next Reset must
+		// reallocate rather than scribble over the returned slice.
+		top.Reset(k)
+		top.Push(0, 0)
+		if len(ref) > 0 && len(got) > 0 && &got[0] == &top.heap[0] {
+			t.Fatal("Reset after Result reused the handed-out backing array")
+		}
+	}
+}

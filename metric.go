@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/vecmath"
 )
 
@@ -126,6 +127,16 @@ func (x *MetricIndex) Search(query []float32, k int) ([]int32, []float32) {
 
 // SearchWithPool is Search with an explicit pool size.
 func (x *MetricIndex) SearchWithPool(query []float32, k, l int) ([]int32, []float32) {
+	ctx := x.idx.getCtx()
+	ids, scores := x.searchWithPoolCtx(ctx, query, k, l)
+	x.idx.putCtx(ctx)
+	return ids, scores
+}
+
+// searchWithPoolCtx applies the metric's query transform, runs the ctx
+// search on the underlying L2 index, and re-scores results in the caller's
+// metric. SearchBatch threads one context per worker through here.
+func (x *MetricIndex) searchWithPoolCtx(ctx *core.SearchContext, query []float32, k, l int) ([]int32, []float32) {
 	if len(query) != x.dim {
 		panic(fmt.Sprintf("nsg: query dim %d != index dim %d", len(query), x.dim))
 	}
@@ -141,7 +152,7 @@ func (x *MetricIndex) SearchWithPool(query []float32, k, l int) ([]int32, []floa
 		copy(q, query)
 		// Augmented query coordinate is 0; MIPS order is preserved.
 	}
-	ids, _ := x.idx.SearchWithPool(q, k, l)
+	ids, _ := x.idx.searchIntoFresh(ctx, q, k, l)
 	scores := make([]float32, len(ids))
 	for i, id := range ids {
 		scores[i] = x.score(query, id)

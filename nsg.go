@@ -18,6 +18,26 @@
 //
 // Indexes can be persisted with Save and re-opened with Load; vectors are
 // stored alongside the graph so a loaded index is self-contained.
+//
+// # Search contexts and the zero-allocation hot path
+//
+// Queries traverse a fixed-stride flat copy of the graph (the contiguous
+// layout the paper credits for its query throughput) and draw their scratch
+// state — candidate pool, epoch-stamped visited array, result buffer — from
+// a reused SearchContext instead of allocating per query. The simple API
+// (Search, SearchWithPool, SearchBatch) manages contexts transparently
+// through an internal sync.Pool, so on the steady state a query allocates
+// nothing beyond the returned id/distance slices.
+//
+// The concurrency contract is: the index is read-only during search and may
+// be queried from any number of goroutines concurrently; each context is
+// owned by one goroutine at a time (the pool enforces this for the simple
+// API, and SearchBatch keeps one context per worker). Add/Delete/Compact
+// mutate the index and must not run concurrently with searches.
+//
+// For throughput-bound workloads prefer SearchBatch, which fans queries out
+// across worker goroutines, each reusing one context for its whole share of
+// the batch.
 package nsg
 
 import (
@@ -27,6 +47,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/graphutil"
@@ -85,7 +106,20 @@ type Index struct {
 	// dead tracks tombstoned ids between Delete and Compact; nil until the
 	// first Delete.
 	dead *core.Tombstones
+	// ctxPool recycles per-goroutine search scratch so the simple API is
+	// allocation-free on the steady state while staying safe to call from
+	// any number of goroutines.
+	ctxPool sync.Pool
 }
+
+func (x *Index) getCtx() *core.SearchContext {
+	if c, _ := x.ctxPool.Get().(*core.SearchContext); c != nil {
+		return c
+	}
+	return core.NewSearchContext()
+}
+
+func (x *Index) putCtx(c *core.SearchContext) { x.ctxPool.Put(c) }
 
 // Build indexes the given vectors. All vectors must share one dimension and
 // there must be at least two of them.
@@ -157,8 +191,20 @@ func (x *Index) Search(query []float32, k int) ([]int32, []float32) {
 // SearchWithPool is Search with an explicit pool size l (the paper's search
 // parameter): higher l gives higher recall and more work. l < k is promoted
 // to k. Tombstoned ids (see Delete) are filtered from results.
+//
+// The only allocations on the steady state are the two returned slices;
+// all traversal scratch is drawn from the index's context pool.
 func (x *Index) SearchWithPool(query []float32, k, l int) ([]int32, []float32) {
-	res := x.inner.SearchLive(query, k, l, x.dead, nil)
+	ctx := x.getCtx()
+	ids, dists := x.searchIntoFresh(ctx, query, k, l)
+	x.putCtx(ctx)
+	return ids, dists
+}
+
+// searchIntoFresh runs the tombstone-aware ctx search and copies the
+// context-owned result into fresh caller-owned slices.
+func (x *Index) searchIntoFresh(ctx *core.SearchContext, query []float32, k, l int) ([]int32, []float32) {
+	res := x.inner.SearchLiveCtx(ctx, query, k, l, x.dead, nil)
 	ids := make([]int32, len(res))
 	dists := make([]float32, len(res))
 	for i, n := range res {
@@ -199,10 +245,22 @@ func (x *Index) Save(path string) error {
 	if _, err := bw.Write(hdr); err != nil {
 		return fmt.Errorf("nsg: write header: %w", err)
 	}
-	buf := make([]byte, 4)
-	for _, v := range x.inner.Base.Data {
-		binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
-		if _, err := bw.Write(buf); err != nil {
+	// Encode vectors in large chunks: one Write per vecIOChunk floats
+	// instead of one per float keeps a million-vector save at a handful of
+	// buffer-boundary crossings rather than hundreds of millions.
+	buf := make([]byte, vecIOChunk*4)
+	data := x.inner.Base.Data
+	for off := 0; off < len(data); off += vecIOChunk {
+		end := off + vecIOChunk
+		if end > len(data) {
+			end = len(data)
+		}
+		n := 0
+		for _, v := range data[off:end] {
+			binary.LittleEndian.PutUint32(buf[n:], math.Float32bits(v))
+			n += 4
+		}
+		if _, err := bw.Write(buf[:n]); err != nil {
 			return fmt.Errorf("nsg: write vectors: %w", err)
 		}
 	}
@@ -236,12 +294,19 @@ func Load(path string) (*Index, error) {
 		return nil, fmt.Errorf("nsg: implausible shape %dx%d", rows, dim)
 	}
 	base := vecmath.NewMatrix(rows, dim)
-	buf := make([]byte, 4)
-	for i := range base.Data {
-		if _, err := io.ReadFull(br, buf); err != nil {
+	buf := make([]byte, vecIOChunk*4)
+	for off := 0; off < len(base.Data); off += vecIOChunk {
+		end := off + vecIOChunk
+		if end > len(base.Data) {
+			end = len(base.Data)
+		}
+		chunk := buf[:(end-off)*4]
+		if _, err := io.ReadFull(br, chunk); err != nil {
 			return nil, fmt.Errorf("nsg: truncated vectors: %w", err)
 		}
-		base.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+		for i := off; i < end; i++ {
+			base.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(chunk[(i-off)*4:]))
+		}
 	}
 	inner, err := core.ReadNSG(br, base)
 	if err != nil {
@@ -249,3 +314,7 @@ func Load(path string) (*Index, error) {
 	}
 	return &Index{inner: inner, opts: DefaultOptions()}, nil
 }
+
+// vecIOChunk is the number of float32 values Save/Load encode per I/O
+// operation (64 KiB buffers).
+const vecIOChunk = 16384

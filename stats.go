@@ -14,12 +14,15 @@ type SearchStats struct {
 // SearchWithStats is SearchWithPool plus per-query work accounting.
 func (x *Index) SearchWithStats(query []float32, k, l int) ([]int32, []float32, SearchStats) {
 	var counter vecmath.Counter
-	res := x.inner.SearchWithHops(query, k, l, &counter)
+	ctx := x.getCtx()
+	res := x.inner.SearchWithHopsCtx(ctx, query, k, l, &counter)
+	hops := res.Hops
 	neighbors := res.Neighbors
 	if x.dead != nil && x.dead.Len() > 0 {
 		// Re-run through the tombstone-aware path for the filtered result;
 		// stats reflect the unfiltered traversal, which is the work done.
-		neighbors = x.inner.SearchLive(query, k, l, x.dead, nil)
+		// (This second search reuses the same context, invalidating res.)
+		neighbors = x.inner.SearchLiveCtx(ctx, query, k, l, x.dead, nil)
 	}
 	ids := make([]int32, len(neighbors))
 	dists := make([]float32, len(neighbors))
@@ -27,5 +30,6 @@ func (x *Index) SearchWithStats(query []float32, k, l int) ([]int32, []float32, 
 		ids[i] = n.ID
 		dists[i] = n.Dist
 	}
-	return ids, dists, SearchStats{Hops: res.Hops, DistanceComputations: counter.Count()}
+	x.putCtx(ctx)
+	return ids, dists, SearchStats{Hops: hops, DistanceComputations: counter.Count()}
 }
