@@ -6,6 +6,9 @@
 //	bench -exp table2            # one experiment
 //	bench -exp all               # the full evaluation section
 //	bench -exp fig6 -scale 2     # 2x the default dataset sizes
+//	bench -exp build             # construction pipeline: per-phase wall
+//	                             # clock, allocs and kNN recall, recorded
+//	                             # to BENCH_build.json in the working dir
 //	bench -list                  # show valid experiment ids
 package main
 

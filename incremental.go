@@ -69,5 +69,8 @@ func (x *Index) Compact() ([]int32, error) {
 	}
 	x.inner = inner
 	x.dead = nil
+	// The compacted graph was produced by the incremental path, not the
+	// batch pipeline; the recorded phase timings no longer describe it.
+	x.build = BuildStats{}
 	return remap, nil
 }

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestBuildPerfWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t.Chdir(t.TempDir())
+	c := DefaultExpConfig()
+	c.Scale = 0.05 // clamps to the 256-point floor; keep the smoke test fast
+	var buf bytes.Buffer
+	if err := BuildPerf(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"NN-Descent", "Algorithm 2", "collect+select", "recall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("build table missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile("BENCH_build.json")
+	if err != nil {
+		t.Fatalf("BENCH_build.json not written: %v", err)
+	}
+	var res BuildPerfResult
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("BENCH_build.json not valid JSON: %v", err)
+	}
+	if res.N < 256 || res.KNNMillis <= 0 || res.NSGMillis <= 0 {
+		t.Errorf("implausible record: %+v", res)
+	}
+	if res.KNNRecall < 0.90 {
+		t.Errorf("kNN recall %.3f below the 0.90 gate", res.KNNRecall)
+	}
+}
+
+func TestBuildExperimentRegistered(t *testing.T) {
+	if _, ok := Experiments()["build"]; !ok {
+		t.Error("experiment \"build\" not registered")
+	}
+}

@@ -686,6 +686,7 @@ func Experiments() map[string]func(io.Writer, ExpConfig) error {
 		"deltar":   DeltaR,
 		"hops":     HopScaling,
 		"ablation": Ablation,
+		"build":    BuildPerf,
 		"all":      RunAll,
 	}
 }

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/knngraph"
+)
+
+// TestNSGBuildAllocBudget is Algorithm 2's allocation regression gate: the
+// scratch-reusing build allocates about two slices per node (the retained
+// adjacency list and its interInsert growth) plus per-worker contexts; the
+// seed implementation was ~35 allocations per node. The budget of 5 per
+// node trips if per-node maps or scratch churn come back.
+func TestNSGBuildAllocBudget(t *testing.T) {
+	ds, err := dataset.SIFTLike(dataset.Config{N: 800, Queries: 1, GTK: 1, Dim: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := knngraph.BuildExact(ds.Base, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := BuildParams{L: 30, M: 20, Seed: 1}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, _, err := NSGBuild(knn, ds.Base, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if budget := float64(5 * ds.Base.Rows); allocs > budget {
+		t.Errorf("NSGBuild allocates %.0f times for n=%d, budget %.0f", allocs, ds.Base.Rows, budget)
+	}
+}
+
+// BenchmarkNSGBuild measures Algorithm 2 (search-collect-select, reverse
+// insertion, DFS connectivity repair) on a fixed prebuilt kNN graph, so the
+// number tracks the NSG construction pipeline itself rather than NN-Descent.
+func BenchmarkNSGBuild(b *testing.B) {
+	ds, err := dataset.SIFTLike(dataset.Config{N: 2000, Queries: 1, GTK: 1, Dim: 32, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	knn, err := knngraph.BuildExact(ds.Base, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := BuildParams{L: 40, M: 25, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := NSGBuild(knn, ds.Base, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

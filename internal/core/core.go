@@ -155,11 +155,20 @@ func searchCtx[A adjacencySource](ctx *SearchContext, a A, n int, base vecmath.M
 		curID := cur.id
 		hops++
 		lowest := len(p.elems) // lowest insertion position this expansion
+		// Stage the unvisited neighbors, then compute their distances in one
+		// batched gather: the kernel call replaces one L2 call (and one
+		// counter update) per neighbor.
+		fresh := ctx.idBuf[:0]
 		for _, nb := range a.neighbors(curID) {
-			if !ctx.visited.Visit(nb) {
-				continue
+			if ctx.visited.Visit(nb) {
+				fresh = append(fresh, nb)
 			}
-			d := counter.L2(query, base.Row(int(nb)))
+		}
+		ctx.idBuf = fresh
+		dists := ctx.distScratch(len(fresh))
+		counter.L2ToRows(base, query, fresh, dists)
+		for i, nb := range fresh {
+			d := dists[i]
 			if visited != nil {
 				*visited = append(*visited, vecmath.Neighbor{ID: nb, Dist: d})
 			}

@@ -60,10 +60,12 @@ func (x *NSG) Insert(vec []float32, p InsertParams) (int32, error) {
 	visited := ctx.collect[:0]
 	ctx.startBuf[0] = x.Navigating
 	SearchOnGraphListCtx(ctx, x.Graph.Adj[:id], x.Base, vec, ctx.startBuf[:], 1, p.L, nil, &visited)
-	cands := dedupeSorted(visited, id)
+	cands := dedupeSortedCtx(ctx, int(id)+1, visited, id)
 
 	// Step 2: MRNG-select the new node's out-edges.
-	selected := SelectMRNG(x.Base, vec, cands, p.M)
+	sel := SelectMRNGInto(x.Base, vec, cands, p.M, ctx, ctx.idBuf[:0])
+	ctx.idBuf = sel[:0]
+	selected := append(make([]int32, 0, len(sel)), sel...)
 	if len(selected) == 0 && id > 0 {
 		// Degenerate pool (e.g. all candidates identical): link the nearest
 		// visited node directly so the node is not isolated.
@@ -104,7 +106,9 @@ func (x *NSG) Insert(vec []float32, p InsertParams) (int32, error) {
 }
 
 // offerReverse adds the edge from→to if absent, re-pruning from's list with
-// the MRNG rule when it overflows m. Reports whether from→to survived.
+// the MRNG rule when it overflows m. Reports whether from→to survived. All
+// scratch (distance buffer, candidate list, dedupe stamps, selection
+// buffers) is drawn from a pooled context.
 func (x *NSG) offerReverse(from, to int32, m int) bool {
 	if x.Graph.HasEdge(from, to) {
 		return true
@@ -113,14 +117,23 @@ func (x *NSG) offerReverse(from, to int32, m int) bool {
 	if len(x.Graph.Adj[from]) <= m {
 		return true
 	}
+	ctx := getCtx()
 	v := x.Base.Row(int(from))
-	cands := make([]vecmath.Neighbor, 0, len(x.Graph.Adj[from]))
-	for _, nb := range x.Graph.Adj[from] {
-		cands = append(cands, vecmath.Neighbor{ID: nb, Dist: vecmath.L2(v, x.Base.Row(int(nb)))})
+	ids := x.Graph.Adj[from]
+	dists := ctx.distScratch(len(ids))
+	vecmath.L2ToRows(x.Base, v, ids, dists)
+	cands := ctx.collect[:0]
+	for j, nb := range ids {
+		cands = append(cands, vecmath.Neighbor{ID: nb, Dist: dists[j]})
 	}
-	cands = dedupeSorted(cands, from)
-	x.Graph.Adj[from] = SelectMRNG(x.Base, v, cands, m)
-	return x.Graph.HasEdge(from, to)
+	cands = dedupeSortedCtx(ctx, x.Base.Rows, cands, from)
+	sel := SelectMRNGInto(x.Base, v, cands, m, ctx, ctx.idBuf[:0])
+	ctx.idBuf = sel[:0]
+	x.Graph.Adj[from] = append(x.Graph.Adj[from][:0], sel...)
+	survived := x.Graph.HasEdge(from, to)
+	ctx.collect = cands[:0]
+	putCtx(ctx)
+	return survived
 }
 
 // Tombstones tracks deleted ids for an NSG. Deleted nodes keep routing

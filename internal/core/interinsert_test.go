@@ -20,6 +20,7 @@ func buildOneSided(t *testing.T, base vecmath.Matrix, knnK, l, m int) [][]int32 
 	centroid := vecmath.Centroid(base)
 	nav := SearchOnGraph(knn.Adj, base, centroid, []int32{0}, 1, l, nil, nil).Neighbors[0].ID
 	adj := make([][]int32, base.Rows)
+	ctx := NewSearchContext()
 	for i := 0; i < base.Rows; i++ {
 		v := base.Row(i)
 		var visited []vecmath.Neighbor
@@ -27,9 +28,19 @@ func buildOneSided(t *testing.T, base vecmath.Matrix, knnK, l, m int) [][]int32 
 		for _, nb := range knn.Adj[i] {
 			visited = append(visited, vecmath.Neighbor{ID: nb, Dist: vecmath.L2(v, base.Row(int(nb)))})
 		}
-		adj[i] = SelectMRNG(base, v, dedupeSorted(visited, int32(i)), m)
+		adj[i] = SelectMRNG(base, v, dedupeSortedCtx(ctx, base.Rows, visited, int32(i)), m)
 	}
 	return adj
+}
+
+// interInsertTest runs interInsert with freshly allocated per-worker
+// contexts, as NSGBuild does.
+func interInsertTest(adj [][]int32, base vecmath.Matrix, m int) {
+	ctxs := make([]*SearchContext, parallelWorkers(len(adj)))
+	for w := range ctxs {
+		ctxs[w] = NewSearchContext()
+	}
+	interInsert(adj, base, m, ctxs)
 }
 
 func interTestBase(t *testing.T) vecmath.Matrix {
@@ -48,7 +59,7 @@ func TestInterInsertIncreasesDegree(t *testing.T) {
 	for _, a := range adj {
 		before += len(a)
 	}
-	interInsert(adj, base, 25)
+	interInsertTest(adj, base, 25)
 	after := 0
 	for _, a := range adj {
 		after += len(a)
@@ -62,7 +73,7 @@ func TestInterInsertRespectsCapAndInvariants(t *testing.T) {
 	base := interTestBase(t)
 	m := 10
 	adj := buildOneSided(t, base, 20, 30, m)
-	interInsert(adj, base, m)
+	interInsertTest(adj, base, m)
 	for i, a := range adj {
 		if len(a) > m {
 			t.Fatalf("node %d degree %d exceeds cap %d after interInsert", i, len(a), m)
@@ -92,7 +103,7 @@ func TestInterInsertMakesReverseEdgesWhereRoomAllows(t *testing.T) {
 			forward = append(forward, edge{int32(i), v})
 		}
 	}
-	interInsert(adj, base, 1000) // cap never binds
+	interInsertTest(adj, base, 1000) // cap never binds
 	has := func(from, to int32) bool {
 		for _, v := range adj[from] {
 			if v == to {

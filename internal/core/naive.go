@@ -28,15 +28,28 @@ func NSGNaiveBuild(knn *graphutil.Graph, base vecmath.Matrix, m int, seed int64)
 	if m <= 0 {
 		return nil, fmt.Errorf("core: degree cap m must be positive, got %d", m)
 	}
-	adj := make([][]int32, base.Rows)
-	parallelFor(base.Rows, func(i int) {
+	n := base.Rows
+	adj := make([][]int32, n)
+	workers := parallelWorkers(n)
+	ctxs := make([]*SearchContext, workers)
+	for w := range ctxs {
+		ctxs[w] = NewSearchContext()
+	}
+	parallelForWorkers(workers, n, func(w, i int) {
+		ctx := ctxs[w]
 		v := base.Row(i)
-		cands := make([]vecmath.Neighbor, 0, len(knn.Adj[i]))
-		for _, nb := range knn.Adj[i] {
-			cands = append(cands, vecmath.Neighbor{ID: nb, Dist: vecmath.L2(v, base.Row(int(nb)))})
+		nbs := knn.Adj[i]
+		dists := ctx.distScratch(len(nbs))
+		vecmath.L2ToRows(base, v, nbs, dists)
+		cands := ctx.collect[:0]
+		for j, nb := range nbs {
+			cands = append(cands, vecmath.Neighbor{ID: nb, Dist: dists[j]})
 		}
-		cands = dedupeSorted(cands, int32(i))
-		adj[i] = SelectMRNG(base, v, cands, m)
+		cands = dedupeSortedCtx(ctx, n, cands, int32(i))
+		sel := SelectMRNGInto(base, v, cands, m, ctx, ctx.idBuf[:0])
+		ctx.idBuf = sel[:0]
+		adj[i] = append(make([]int32, 0, len(sel)), sel...)
+		ctx.collect = cands[:0]
 	})
 	return &NSGNaive{
 		Graph: &graphutil.Graph{Adj: adj},

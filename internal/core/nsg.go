@@ -8,10 +8,10 @@ import (
 	"math"
 	"math/rand"
 	"os"
-	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graphutil"
 	"repro/internal/vecmath"
@@ -79,10 +79,27 @@ func (x *NSG) invalidateDerived() {
 	x.reach.Store(0)
 }
 
+// PhaseTimings records the wall-clock cost of each Algorithm 2 phase, so
+// build-performance work (this repository's Table 2 angle) is measurable
+// per phase rather than only end to end.
+type PhaseTimings struct {
+	Navigate    time.Duration // medoid location on the kNN graph (step ii, incl. its flatten)
+	Collect     time.Duration // per-node search-collect-select (step iii)
+	InterInsert time.Duration // reverse-edge insertion and overflow re-prunes
+	Repair      time.Duration // DFS spanning repair (step iv)
+	Flatten     time.Duration // freezing the fixed-stride serving layout
+}
+
+// Total sums the phase timings.
+func (t PhaseTimings) Total() time.Duration {
+	return t.Navigate + t.Collect + t.InterInsert + t.Repair + t.Flatten
+}
+
 // BuildStats reports what Algorithm 2 did, feeding Tables 2-4.
 type BuildStats struct {
-	TreeRepairEdges int // edges added by the DFS spanning repair
-	TreePasses      int // DFS passes until fully connected
+	TreeRepairEdges int          // edges added by the DFS spanning repair
+	TreePasses      int          // DFS passes until fully connected
+	Phases          PhaseTimings // wall clock per build phase
 }
 
 // NSGBuild runs Algorithm 2 on a prebuilt (approximate) kNN graph.
@@ -104,6 +121,7 @@ func NSGBuild(knn *graphutil.Graph, base vecmath.Matrix, p BuildParams) (*NSG, B
 
 	// The kNN graph is read-only for steps ii-iii; flatten it once so every
 	// search-collect pass runs on the contiguous layout.
+	phase := time.Now()
 	knnFlat := graphutil.Flatten(knn)
 
 	// Step ii: navigating node = approximate medoid. Search the kNN graph
@@ -115,9 +133,13 @@ func NSGBuild(knn *graphutil.Graph, base vecmath.Matrix, p BuildParams) (*NSG, B
 	navCtx.startBuf[0] = start
 	nav := SearchOnGraphCtx(navCtx, knnFlat, base, centroid, navCtx.startBuf[:], 1, p.L, nil, nil).Neighbors[0].ID
 	putCtx(navCtx)
+	stats.Phases.Navigate = time.Since(phase)
 
 	// Step iii: per-node search-collect-select, one reused SearchContext
-	// (pool, visited stamps, collect scratch) per worker goroutine.
+	// (pool, visited stamps, collect/dedupe/selection scratch) per worker
+	// goroutine. The only per-node allocation is the retained adjacency
+	// list itself.
+	phase = time.Now()
 	adj := make([][]int32, n)
 	workers := parallelWorkers(n)
 	ctxs := make([]*SearchContext, workers)
@@ -131,17 +153,24 @@ func NSGBuild(knn *graphutil.Graph, base vecmath.Matrix, p BuildParams) (*NSG, B
 		ctx.startBuf[0] = nav
 		SearchOnGraphCtx(ctx, knnFlat, base, v, ctx.startBuf[:], 1, p.L, nil, &visited)
 		// Merge in v's kNN-graph neighbors: the approximate NNG edges are
-		// essential for monotonicity (Section 3.3, Figure 4).
-		for _, nb := range knn.Adj[i] {
-			visited = append(visited, vecmath.Neighbor{ID: nb, Dist: vecmath.L2(v, base.Row(int(nb)))})
+		// essential for monotonicity (Section 3.3, Figure 4). Their
+		// distances come from one batched gather.
+		nbs := knn.Adj[i]
+		dists := ctx.distScratch(len(nbs))
+		vecmath.L2ToRows(base, v, nbs, dists)
+		for j, nb := range nbs {
+			visited = append(visited, vecmath.Neighbor{ID: nb, Dist: dists[j]})
 		}
-		cands := dedupeSorted(visited, int32(i))
+		cands := dedupeSortedCtx(ctx, n, visited, int32(i))
 		if p.C > 0 && len(cands) > p.C {
 			cands = cands[:p.C]
 		}
-		adj[i] = SelectMRNG(base, v, cands, p.M)
+		sel := SelectMRNGInto(base, v, cands, p.M, ctx, ctx.idBuf[:0])
+		ctx.idBuf = sel[:0]
+		adj[i] = append(make([]int32, 0, len(sel)), sel...)
 		ctx.collect = visited[:0]
 	})
+	stats.Phases.Collect = time.Since(phase)
 
 	// Reverse-edge insertion ("InterInsert" in the reference
 	// implementation): offer every selected edge p→r back to r. Without
@@ -150,16 +179,22 @@ func NSGBuild(knn *graphutil.Graph, base vecmath.Matrix, p BuildParams) (*NSG, B
 	// leaves this step implicit, but it is what gives the NSG its reported
 	// average out-degree (~26 on SIFT1M vs ~7 for a pure one-sided prune)
 	// and robust in-connectivity for search.
-	interInsert(adj, base, p.M)
+	phase = time.Now()
+	interInsert(adj, base, p.M, ctxs)
+	stats.Phases.InterInsert = time.Since(phase)
 
 	g := &graphutil.Graph{Adj: adj}
 
 	// Step iv: DFS spanning repair from the navigating node.
+	phase = time.Now()
 	stats.TreeRepairEdges, stats.TreePasses = repairConnectivity(g, base, nav, p)
+	stats.Phases.Repair = time.Since(phase)
 
 	idx := &NSG{Graph: g, Navigating: nav, Base: base, M: p.M}
 	// Freeze the serving layout once at construction.
+	phase = time.Now()
 	idx.flat.Store(graphutil.Flatten(g))
+	stats.Phases.Flatten = time.Since(phase)
 	return idx, stats, nil
 }
 
@@ -167,9 +202,22 @@ func NSGBuild(knn *graphutil.Graph, base vecmath.Matrix, p BuildParams) (*NSG, B
 // candidate list sorted ascending by distance to v, returning at most m
 // neighbor ids. A candidate q is rejected iff some already selected r is
 // strictly closer to q than v is (r occludes q: vq is the longest edge of
-// triangle vqr).
+// triangle vqr). The result is freshly allocated; hot build loops should
+// prefer SelectMRNGInto.
 func SelectMRNG(base vecmath.Matrix, v []float32, cands []vecmath.Neighbor, m int) []int32 {
-	selected := make([]vecmath.Neighbor, 0, m)
+	ctx := getCtx()
+	sel := SelectMRNGInto(base, v, cands, m, ctx, nil)
+	putCtx(ctx)
+	return sel
+}
+
+// SelectMRNGInto is SelectMRNG with caller-owned scratch: the
+// selected-neighbor working set lives in ctx and the chosen ids are
+// appended to out (pass a reused buffer truncated to [:0]). With a
+// per-worker context, edge selection allocates nothing beyond what out
+// itself needs.
+func SelectMRNGInto(base vecmath.Matrix, v []float32, cands []vecmath.Neighbor, m int, ctx *SearchContext, out []int32) []int32 {
+	selected := ctx.sel[:0]
 	for _, q := range cands {
 		if len(selected) >= m {
 			break
@@ -186,59 +234,82 @@ func SelectMRNG(base vecmath.Matrix, v []float32, cands []vecmath.Neighbor, m in
 		}
 		if !conflict {
 			selected = append(selected, q)
+			out = append(out, q.ID)
 		}
 	}
-	out := make([]int32, len(selected))
-	for i, s := range selected {
-		out[i] = s.ID
-	}
+	ctx.sel = selected[:0]
 	return out
 }
 
 // interInsert adds reverse edges: for every selected edge p→r, p is offered
 // as an out-neighbor of r. Offers are appended while r has spare degree;
 // once r exceeds the cap m, r's merged neighbor list is re-pruned with the
-// MRNG rule.
-func interInsert(adj [][]int32, base vecmath.Matrix, m int) {
+// MRNG rule. Offers are laid out in one CSR-style flat array (three fixed
+// allocations instead of one append-grown list per node), and each worker
+// reuses its SearchContext's epoch-stamped dedupe set, distance buffer and
+// selection scratch across nodes.
+func interInsert(adj [][]int32, base vecmath.Matrix, m int, ctxs []*SearchContext) {
 	n := len(adj)
-	offers := make([][]int32, n)
+	// Counting pass → prefix sums → fill: offers for node r live in
+	// flat[off[r]:off[r+1]], written in ascending order of the offering
+	// node so the merge below is deterministic.
+	off := make([]int32, n+1)
 	for p := range adj {
 		for _, r := range adj[p] {
-			offers[r] = append(offers[r], int32(p))
+			off[r+1]++
 		}
 	}
-	parallelFor(n, func(r int) {
-		if len(offers[r]) == 0 {
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	flat := make([]int32, off[n])
+	cursor := make([]int32, n)
+	copy(cursor, off[:n])
+	for p := range adj {
+		for _, r := range adj[p] {
+			flat[cursor[r]] = int32(p)
+			cursor[r]++
+		}
+	}
+	parallelForWorkers(len(ctxs), n, func(w, r int) {
+		offers := flat[off[r]:off[r+1]]
+		if len(offers) == 0 {
 			return
 		}
+		ctx := ctxs[w]
 		v := base.Row(r)
-		present := make(map[int32]struct{}, len(adj[r])+len(offers[r]))
+		// Membership via epoch stamps in place of the seed's per-node map.
+		ctx.dedupe.Reset(n)
+		ctx.dedupe.Visit(int32(r))
 		for _, x := range adj[r] {
-			present[x] = struct{}{}
+			ctx.dedupe.Visit(x)
 		}
 		changed := false
-		for _, p := range offers[r] {
-			if p == int32(r) {
+		for _, p := range offers {
+			if !ctx.dedupe.Visit(p) {
 				continue
 			}
-			if _, dup := present[p]; dup {
-				continue
-			}
-			present[p] = struct{}{}
 			adj[r] = append(adj[r], p)
 			changed = true
 		}
-		if !changed {
+		if !changed || len(adj[r]) <= m {
 			return
 		}
-		if len(adj[r]) > m {
-			cands := make([]vecmath.Neighbor, 0, len(adj[r]))
-			for _, x := range adj[r] {
-				cands = append(cands, vecmath.Neighbor{ID: x, Dist: vecmath.L2(v, base.Row(int(x)))})
-			}
-			cands = dedupeSorted(cands, int32(r))
-			adj[r] = SelectMRNG(base, v, cands, m)
+		// Overflow: batch-gather distances to the merged list, order it,
+		// and re-prune with the MRNG rule. The merged ids are unique by
+		// construction, so sorting suffices — no dedupe map needed.
+		ids := adj[r]
+		dists := ctx.distScratch(len(ids))
+		vecmath.L2ToRows(base, v, ids, dists)
+		cands := ctx.collect[:0]
+		for j, x := range ids {
+			cands = append(cands, vecmath.Neighbor{ID: x, Dist: dists[j]})
 		}
+		slices.SortFunc(cands, vecmath.CompareNeighbors)
+		sel := SelectMRNGInto(base, v, cands, m, ctx, ctx.idBuf[:0])
+		ctx.idBuf = sel[:0]
+		adj[r] = append(adj[r][:0], sel...)
+		ctx.collect = cands[:0]
 	})
 }
 
@@ -246,16 +317,31 @@ func interInsert(adj [][]int32, base vecmath.Matrix, m int) {
 // the navigating node and, while unreached nodes remain, attach each to its
 // approximate nearest reachable neighbor found by Algorithm 1 on the current
 // graph. Returns (edges added, passes run).
+//
+// Every unreached node is attached within one pass: after each attachment
+// the newly reachable component is marked incrementally (graphutil.Reacher),
+// so nodes it absorbed are skipped instead of re-running a full DFS per
+// added edge the way the seed implementation did. A second pass only
+// verifies the fixpoint.
 func repairConnectivity(g *graphutil.Graph, base vecmath.Matrix, nav int32, p BuildParams) (int, int) {
 	added, passes := 0, 0
 	ctx := NewSearchContext() // the graph mutates between passes; reuse one context over the list layout
+	n := g.N()
+	var reach graphutil.Reacher
+	var unreached []int32
 	for {
 		passes++
-		unreached := g.Unreachable(nav)
+		reach.Reset(n)
+		reach.Mark(g, nav)
+		unreached = reach.AppendUnreached(unreached[:0])
 		if len(unreached) == 0 {
 			return added, passes
 		}
 		for _, u := range unreached {
+			if reach.Visited(u) {
+				// Already absorbed by an earlier attachment this pass.
+				continue
+			}
 			// Search for u from the navigating node; the result is the
 			// nearest *reachable* node because search can only visit the
 			// reachable component.
@@ -265,13 +351,14 @@ func repairConnectivity(g *graphutil.Graph, base vecmath.Matrix, nav int32, p Bu
 				continue
 			}
 			anchor := res.Neighbors[0].ID
-			if anchor == u {
+			if anchor == u || !reach.Visited(anchor) {
 				continue
 			}
 			g.Adj[anchor] = append(g.Adj[anchor], u)
 			added++
-			// One attachment can make a whole component reachable; rescan.
-			break
+			// Extend the reachable set by u's out-component so later
+			// unreached nodes it covers are skipped.
+			reach.Mark(g, u)
 		}
 	}
 }
@@ -416,50 +503,23 @@ func LoadFile(path string, base vecmath.Matrix) (*NSG, error) {
 	return ReadNSG(f, base)
 }
 
-// dedupeSorted sorts candidates ascending by (dist,id), removing duplicates
-// and the node itself.
-func dedupeSorted(cands []vecmath.Neighbor, self int32) []vecmath.Neighbor {
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].Dist != cands[j].Dist {
-			return cands[i].Dist < cands[j].Dist
-		}
-		return cands[i].ID < cands[j].ID
-	})
+// dedupeSortedCtx sorts candidates ascending by (dist,id) in place and
+// removes duplicate ids (keeping each id's nearest occurrence) and the node
+// itself. Membership is tracked with the context's epoch-stamped dedupe
+// array over n node slots, replacing the two per-call maps the seed
+// implementation allocated; with a per-worker context the whole operation
+// is allocation-free.
+func dedupeSortedCtx(ctx *SearchContext, n int, cands []vecmath.Neighbor, self int32) []vecmath.Neighbor {
+	slices.SortFunc(cands, vecmath.CompareNeighbors)
+	ctx.dedupe.Reset(n)
 	out := cands[:0]
-	var prev int32 = -1
 	for _, c := range cands {
-		if c.ID == self || c.ID == prev {
-			continue
-		}
-		// IDs equal at different positions can only be adjacent if
-		// distances are equal too; a same-id pair with differing recorded
-		// distances (float noise) is removed by a membership check.
-		dup := false
-		for i := len(out) - 1; i >= 0 && out[i].Dist == c.Dist; i-- {
-			if out[i].ID == c.ID {
-				dup = true
-				break
-			}
-		}
-		if dup {
+		if c.ID == self || !ctx.dedupe.Visit(c.ID) {
 			continue
 		}
 		out = append(out, c)
-		prev = c.ID
 	}
-	// A second full dedupe pass guards against equal ids at unequal
-	// distances (can happen if a vector is visited via two code paths with
-	// different float rounding; cheap at candidate-list sizes).
-	seen := make(map[int32]struct{}, len(out))
-	final := out[:0]
-	for _, c := range out {
-		if _, dup := seen[c.ID]; dup {
-			continue
-		}
-		seen[c.ID] = struct{}{}
-		final = append(final, c)
-	}
-	return final
+	return out
 }
 
 // NearPowerOfTwo reports 2^ceil(log2(v)) — helper for pool sizing in tools.
@@ -470,47 +530,10 @@ func NearPowerOfTwo(v int) int {
 	return 1 << int(math.Ceil(math.Log2(float64(v))))
 }
 
-// parallelWorkers returns the worker count parallelForWorkers will use for n
-// items, so callers can preallocate per-worker state (search contexts).
-func parallelWorkers(n int) int {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}
+// parallelWorkers and parallelForWorkers are the shared worker-pool
+// helpers, hosted in graphutil so knngraph and core run one implementation.
+func parallelWorkers(n int) int { return graphutil.ParallelWorkers(n) }
 
-func parallelFor(n int, body func(i int)) {
-	parallelForWorkers(parallelWorkers(n), n, func(_, i int) { body(i) })
-}
-
-// parallelForWorkers runs body(worker, i) for i in [0,n) on the given number
-// of goroutines; worker identifies the executing goroutine so bodies can
-// reuse per-worker scratch without locking.
 func parallelForWorkers(workers, n int, body func(worker, i int)) {
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			body(0, i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := range next {
-				body(w, i)
-			}
-		}(w)
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	graphutil.ParallelForWorkers(workers, n, body)
 }

@@ -23,9 +23,29 @@ type SearchContext struct {
 	visited  graphutil.EpochVisited
 	out      []vecmath.Neighbor
 	startBuf [1]int32
+	// idBuf/distBuf stage one expansion's unvisited neighbors so their
+	// distances are computed by one batched gather (vecmath.L2ToRows)
+	// instead of a call per neighbor. Sized to the largest adjacency seen.
+	idBuf   []int32
+	distBuf []float32
 	// collect is scratch for build-time visited-collection (search-collect
 	// passes reuse it so Algorithm 2 workers do not reallocate per node).
 	collect []vecmath.Neighbor
+	// dedupe stamps candidate ids during build-time dedupe and reverse-edge
+	// merging, replacing the per-node maps the seed implementation allocated.
+	dedupe graphutil.EpochVisited
+	// sel holds MRNG-selected neighbors during SelectMRNGInto; reused across
+	// nodes by Algorithm 2 workers and the incremental insert path.
+	sel []vecmath.Neighbor
+}
+
+// distScratch returns a distance buffer of at least n entries, growing the
+// context's buffer when needed and reusing it otherwise.
+func (c *SearchContext) distScratch(n int) []float32 {
+	if cap(c.distBuf) < n {
+		c.distBuf = make([]float32, n+n/2+8)
+	}
+	return c.distBuf[:n]
 }
 
 // NewSearchContext returns an empty context; buffers are sized on first use.

@@ -1,0 +1,54 @@
+package graphutil
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelWorkers returns the worker count ParallelForWorkers will use for
+// n items, so callers can preallocate per-worker state (search contexts,
+// join scratch) before fanning out.
+func ParallelWorkers(n int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ParallelFor runs body(i) for i in [0,n) across ParallelWorkers(n)
+// goroutines.
+func ParallelFor(n int, body func(i int)) {
+	ParallelForWorkers(ParallelWorkers(n), n, func(_, i int) { body(i) })
+}
+
+// ParallelForWorkers runs body(worker, i) for i in [0,n) on the given
+// number of goroutines; worker identifies the executing goroutine so bodies
+// can reuse per-worker scratch without locking.
+func ParallelForWorkers(workers, n int, body func(worker, i int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				body(w, i)
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

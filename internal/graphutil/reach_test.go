@@ -1,0 +1,41 @@
+package graphutil
+
+import "testing"
+
+func TestReacherIncrementalMarking(t *testing.T) {
+	// 0→1→2, isolated component 3→4, isolated node 5.
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+
+	var r Reacher
+	r.Reset(6)
+	if got := r.Mark(g, 0); got != 3 {
+		t.Fatalf("Mark(0) = %d, want 3", got)
+	}
+	if un := r.AppendUnreached(nil); len(un) != 3 || un[0] != 3 || un[1] != 4 || un[2] != 5 {
+		t.Fatalf("unreached = %v, want [3 4 5]", un)
+	}
+	// Attaching node 3 (as repairConnectivity does) extends the marked set
+	// by exactly its out-component without restarting the traversal.
+	g.AddEdge(2, 3)
+	if got := r.Mark(g, 3); got != 2 {
+		t.Fatalf("Mark(3) = %d, want 2 (3 and 4)", got)
+	}
+	if !r.Visited(4) || r.Visited(5) {
+		t.Fatalf("marks wrong after incremental Mark: 4=%v 5=%v", r.Visited(4), r.Visited(5))
+	}
+	// Re-marking an already marked root is a no-op.
+	if got := r.Mark(g, 0); got != 0 {
+		t.Fatalf("re-Mark(0) = %d, want 0", got)
+	}
+	// Reset clears everything and the buffers are reused.
+	r.Reset(6)
+	if r.Visited(0) {
+		t.Fatal("Reset must clear marks")
+	}
+	if un := r.AppendUnreached(nil); len(un) != 6 {
+		t.Fatalf("after Reset all nodes unreached, got %v", un)
+	}
+}

@@ -1,0 +1,65 @@
+package knngraph
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/vecmath"
+)
+
+func benchBase(b *testing.B, n, dim int) vecmath.Matrix {
+	b.Helper()
+	ds, err := dataset.SIFTLike(dataset.Config{N: n, Queries: 1, GTK: 1, Dim: dim, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds.Base
+}
+
+// BenchmarkNNDescent measures the full NN-Descent build: wall clock and,
+// critically for this repository's zero-allocation construction goal,
+// allocations per build.
+func BenchmarkNNDescent(b *testing.B) {
+	base := benchBase(b, 2000, 32)
+	p := DefaultParams(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildNNDescent(base, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestNNDescentAllocBudget is the allocation regression gate: the flat
+// NN-Descent keeps its allocation count independent of n and iteration
+// count (slabs, sample buffers and per-worker scratch only — roughly 40
+// allocations per build). The seed implementation allocated hundreds per
+// node; any return of per-node or per-iteration churn blows this budget.
+func TestNNDescentAllocBudget(t *testing.T) {
+	ds, err := dataset.SIFTLike(dataset.Config{N: 800, Queries: 1, GTK: 1, Dim: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(8)
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := BuildNNDescent(ds.Base, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 500 {
+		t.Errorf("NN-Descent build allocates %.0f times, budget 500", allocs)
+	}
+}
+
+// BenchmarkBuildExactAllocs tracks the pooled brute-force reference builder.
+func BenchmarkBuildExactAllocs(b *testing.B) {
+	base := benchBase(b, 1000, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildExact(base, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

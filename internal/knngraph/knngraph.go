@@ -9,8 +9,6 @@ package knngraph
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -36,7 +34,7 @@ func BuildExact(base vecmath.Matrix, k int) (*graphutil.Graph, error) {
 	scratch := sync.Pool{New: func() any {
 		return &exactScratch{top: vecmath.NewTopK(k)}
 	}}
-	parallelFor(base.Rows, func(i int) {
+	graphutil.ParallelFor(base.Rows, func(i int) {
 		s := scratch.Get().(*exactScratch)
 		s.top.Reset(k)
 		x := base.Row(i)
@@ -57,22 +55,27 @@ func BuildExact(base vecmath.Matrix, k int) (*graphutil.Graph, error) {
 	return g, nil
 }
 
-// nndNeighbor is NN-Descent's working entry: a candidate neighbor with its
-// distance and the "new" flag that drives the local-join bookkeeping.
-type nndNeighbor struct {
-	id    int32
-	dist  float32
-	isNew bool
-}
-
 // Params configures NN-Descent.
 type Params struct {
-	K          int     // neighbors per node in the output graph
-	Rho        float64 // sample rate for local joins (paper default 1.0; 0.5 is faster)
-	Iters      int     // maximum iterations
-	Delta      float64 // early-termination threshold on update rate
-	Seed       int64
-	SampleRand int // size of the random initialization per node; defaults to K
+	K int // neighbors per node in the output graph
+	// Rho is the sample rate ρ for local joins. Dong et al.'s paper uses
+	// ρ=1.0 (full sampling); this implementation defaults to 0.5 — the
+	// practical setting KGraph popularized — because it roughly halves
+	// join cost while the recall gate this repository enforces (≥0.90 on
+	// the test datasets) still passes comfortably. Set 1.0 to match the
+	// paper exactly. Values outside (0, 1] fall back to 0.5.
+	Rho   float64
+	Iters int // maximum iterations; <=0 falls back to 12
+	// Delta is the early-termination threshold on the per-iteration update
+	// rate (iteration stops once updates <= Delta·n·K). Values <= 0 are
+	// invalid and fall back to the default 0.001 — a zero threshold would
+	// disable early termination entirely and silently run all Iters.
+	Delta float64
+	Seed  int64
+	// SampleRand is the size of the random initialization per node; it
+	// defaults to K and is clamped to K (the fixed-stride neighbor slab
+	// holds exactly K entries per node).
+	SampleRand int
 }
 
 // DefaultParams returns the NN-Descent settings used across the experiments.
@@ -80,9 +83,110 @@ func DefaultParams(k int) Params {
 	return Params{K: k, Rho: 0.5, Iters: 12, Delta: 0.001, Seed: 1}
 }
 
+// nndStripes is the number of striped locks guarding neighbor-list inserts.
+// A fixed pool of stripes replaces the seed implementation's one mutex per
+// node: the working set stays a few cache lines instead of n mutexes, and
+// with stripes ≫ workers the collision probability between two concurrent
+// inserts stays negligible. Must be a power of two.
+const nndStripes = 256
+
+// nndLists is NN-Descent's working state in fixed-stride flat form: node i
+// owns slots [i*K, (i+1)*K) of three parallel slabs (neighbor id, distance,
+// "new" flag), kept sorted ascending by distance, plus its current size.
+// Four allocations for the whole build, regardless of n or iteration count.
+type nndLists struct {
+	k     int
+	ids   []int32
+	dists []float32
+	isNew []bool
+	size  []int32
+	locks [nndStripes]sync.Mutex
+}
+
+func newNNDLists(n, k int) *nndLists {
+	return &nndLists{
+		k:     k,
+		ids:   make([]int32, n*k),
+		dists: make([]float32, n*k),
+		isNew: make([]bool, n*k),
+		size:  make([]int32, n),
+	}
+}
+
+// insert offers (id,dist) to node's bounded neighbor slab, keeping it sorted
+// ascending and at most k long. Returns true if the slab changed. Safe for
+// concurrent use: the node's stripe lock covers the dup-scan and the shift.
+func (s *nndLists) insert(node, id int32, dist float32) bool {
+	lk := &s.locks[uint32(node)&(nndStripes-1)]
+	lk.Lock()
+	off := int(node) * s.k
+	sz := int(s.size[node])
+	if sz == s.k && dist >= s.dists[off+sz-1] {
+		lk.Unlock()
+		return false
+	}
+	for i := 0; i < sz; i++ {
+		if s.ids[off+i] == id {
+			lk.Unlock()
+			return false
+		}
+	}
+	// First position with a strictly larger distance (ties insert after,
+	// matching the seed implementation's sort.Search predicate).
+	lo, hi := 0, sz
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.dists[off+mid] > dist {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if sz < s.k {
+		sz++
+	}
+	copy(s.ids[off+lo+1:off+sz], s.ids[off+lo:off+sz-1])
+	copy(s.dists[off+lo+1:off+sz], s.dists[off+lo:off+sz-1])
+	copy(s.isNew[off+lo+1:off+sz], s.isNew[off+lo:off+sz-1])
+	s.ids[off+lo] = id
+	s.dists[off+lo] = dist
+	s.isNew[off+lo] = true
+	s.size[node] = int32(sz)
+	lk.Unlock()
+	return true
+}
+
+// sortSlab insertion-sorts node's slab segment ascending by (dist, id) —
+// used once per node at initialization, where segments are K long and
+// nearly random; no allocation, unlike sort.Slice.
+func (s *nndLists) sortSlab(node int32) {
+	off := int(node) * s.k
+	sz := int(s.size[node])
+	for i := 1; i < sz; i++ {
+		id, d, nw := s.ids[off+i], s.dists[off+i], s.isNew[off+i]
+		j := i - 1
+		for j >= 0 && (s.dists[off+j] > d || (s.dists[off+j] == d && s.ids[off+j] > id)) {
+			s.ids[off+j+1] = s.ids[off+j]
+			s.dists[off+j+1] = s.dists[off+j]
+			s.isNew[off+j+1] = s.isNew[off+j]
+			j--
+		}
+		s.ids[off+j+1] = id
+		s.dists[off+j+1] = d
+		s.isNew[off+j+1] = nw
+	}
+}
+
 // BuildNNDescent constructs an approximate kNN graph with NN-Descent.
 // The returned graph has exactly K neighbors per node, ascending by
 // distance.
+//
+// The implementation is engineered the way the query path is: all neighbor
+// lists live in one fixed-stride [n*K] slab guarded by striped locks,
+// forward/reverse sample buffers are laid out flat (CSR) and reused across
+// iterations, and every local join computes its distances through the
+// batched gather kernel vecmath.L2ToRows with per-worker scratch. On the
+// steady state an iteration allocates nothing.
 func BuildNNDescent(base vecmath.Matrix, p Params) (*graphutil.Graph, error) {
 	n := base.Rows
 	if p.K <= 0 || p.K >= n {
@@ -94,29 +198,42 @@ func BuildNNDescent(base vecmath.Matrix, p Params) (*graphutil.Graph, error) {
 	if p.Rho <= 0 || p.Rho > 1 {
 		p.Rho = 0.5
 	}
-	if p.SampleRand <= 0 {
+	if p.Delta <= 0 {
+		// Delta=0 would disable early termination and silently run every
+		// iteration; treat non-positive values as "use the default".
+		p.Delta = 0.001
+	}
+	if p.SampleRand <= 0 || p.SampleRand > p.K {
 		p.SampleRand = p.K
 	}
 
 	rng := rand.New(rand.NewSource(p.Seed))
-	lists := make([][]nndNeighbor, n)
-	var mu []sync.Mutex = make([]sync.Mutex, n)
+	lists := newNNDLists(n, p.K)
 
 	// Random initialization: each node gets SampleRand distinct random
-	// neighbors marked new.
+	// neighbors marked new. Dedupe runs on an epoch-stamped array and the
+	// per-node distances come from one batched gather.
+	var seen graphutil.EpochVisited
+	initIDs := make([]int32, p.SampleRand)
 	for i := 0; i < n; i++ {
-		seen := map[int32]struct{}{int32(i): {}}
-		list := make([]nndNeighbor, 0, p.K+1)
-		for len(list) < p.SampleRand {
+		seen.Reset(n)
+		seen.Visit(int32(i))
+		for cnt := 0; cnt < p.SampleRand; {
 			j := int32(rng.Intn(n))
-			if _, dup := seen[j]; dup {
+			if !seen.Visit(j) {
 				continue
 			}
-			seen[j] = struct{}{}
-			list = append(list, nndNeighbor{id: j, dist: vecmath.L2(base.Row(i), base.Row(int(j))), isNew: true})
+			initIDs[cnt] = j
+			cnt++
 		}
-		sortNND(list)
-		lists[i] = list
+		off := i * p.K
+		copy(lists.ids[off:], initIDs)
+		vecmath.L2ToRows(base, base.Row(i), initIDs, lists.dists[off:off+p.SampleRand])
+		for j := 0; j < p.SampleRand; j++ {
+			lists.isNew[off+j] = true
+		}
+		lists.size[i] = int32(p.SampleRand)
+		lists.sortSlab(int32(i))
 	}
 
 	maxSample := int(p.Rho * float64(p.K))
@@ -124,71 +241,123 @@ func BuildNNDescent(base vecmath.Matrix, p Params) (*graphutil.Graph, error) {
 		maxSample = 1
 	}
 
+	// Iteration-persistent sampling state: fixed-stride forward sample
+	// slabs and CSR reverse lists, all reused across iterations.
+	var (
+		newFwd  = make([]int32, n*maxSample)
+		oldFwd  = make([]int32, n*maxSample)
+		newCnt  = make([]int32, n)
+		oldCnt  = make([]int32, n)
+		newOff  = make([]int32, n+1)
+		oldOff  = make([]int32, n+1)
+		newRev  = make([]int32, n*maxSample)
+		oldRev  = make([]int32, n*maxSample)
+		oldPool = make([]int32, p.K) // old-neighbor candidates of one node
+	)
+
+	workers := graphutil.ParallelWorkers(n)
+	// Per-worker join scratch: merged new/old id lists and a distance
+	// buffer for the batched gathers. Reverse-list sampling uses a per-node
+	// splitmix64 stream instead (see joinRand), so it does not depend on
+	// which worker processes which node.
+	type joinScratch struct {
+		newList []int32
+		oldList []int32
+		dists   []float32
+	}
+	scratch := make([]*joinScratch, workers)
+	for w := range scratch {
+		scratch[w] = &joinScratch{
+			newList: make([]int32, 0, 2*maxSample),
+			oldList: make([]int32, 0, 2*maxSample),
+			dists:   make([]float32, 2*maxSample),
+		}
+	}
+
 	for iter := 0; iter < p.Iters; iter++ {
-		// Phase 1: sample new/old forward neighbors, build reverse lists.
-		newFwd := make([][]int32, n)
-		oldFwd := make([][]int32, n)
+		// Phase 1a: sample forward neighbors into the fixed-stride slabs.
+		// New entries are taken nearest-first (the slab is sorted) and
+		// their flags cleared; old entries are pooled and sampled.
 		for i := 0; i < n; i++ {
-			var newList, oldList []int32
-			sampled := 0
-			for idx := range lists[i] {
-				nb := &lists[i][idx]
-				if nb.isNew {
-					if sampled < maxSample {
-						newList = append(newList, nb.id)
-						nb.isNew = false
-						sampled++
+			off := i * p.K
+			sz := int(lists.size[i])
+			fwd := i * maxSample
+			nNew, nOld, pooled := 0, 0, 0
+			for idx := 0; idx < sz; idx++ {
+				if lists.isNew[off+idx] {
+					if nNew < maxSample {
+						newFwd[fwd+nNew] = lists.ids[off+idx]
+						lists.isNew[off+idx] = false
+						nNew++
 					}
 				} else {
-					oldList = append(oldList, nb.id)
+					oldPool[pooled] = lists.ids[off+idx]
+					pooled++
 				}
 			}
-			if len(oldList) > maxSample {
-				rng.Shuffle(len(oldList), func(a, b int) { oldList[a], oldList[b] = oldList[b], oldList[a] })
-				oldList = oldList[:maxSample]
+			if pooled <= maxSample {
+				nOld = copy(oldFwd[fwd:fwd+pooled], oldPool[:pooled])
+			} else {
+				// Partial Fisher-Yates over the pooled candidates.
+				for j := 0; j < maxSample; j++ {
+					pick := j + rng.Intn(pooled-j)
+					oldPool[j], oldPool[pick] = oldPool[pick], oldPool[j]
+					oldFwd[fwd+j] = oldPool[j]
+				}
+				nOld = maxSample
 			}
-			newFwd[i] = newList
-			oldFwd[i] = oldList
-		}
-		newRev := make([][]int32, n)
-		oldRev := make([][]int32, n)
-		for i := 0; i < n; i++ {
-			for _, j := range newFwd[i] {
-				newRev[j] = append(newRev[j], int32(i))
-			}
-			for _, j := range oldFwd[i] {
-				oldRev[j] = append(oldRev[j], int32(i))
-			}
+			newCnt[i] = int32(nNew)
+			oldCnt[i] = int32(nOld)
 		}
 
+		// Phase 1b: invert the forward samples into CSR reverse lists
+		// (count → prefix-sum → fill), reusing the same backing arrays
+		// every iteration.
+		buildRevCSR(newFwd, newCnt, maxSample, newOff, newRev)
+		buildRevCSR(oldFwd, oldCnt, maxSample, oldOff, oldRev)
+
 		// Phase 2: local joins. For each node, pair up its new×(new∪old)
-		// neighbors and try to improve both ends.
+		// neighbors and try to improve both ends; distances per join pivot
+		// come from batched gathers.
 		var updates atomic.Int64
-		parallelFor(n, func(i int) {
+		graphutil.ParallelForWorkers(workers, n, func(w, i int) {
+			s := scratch[w]
+			// Keyed on (Seed, iter, node) so the sample a node draws is the
+			// same regardless of goroutine scheduling — fixed seeds stay
+			// reproducible per node (full-build determinism is still bounded
+			// by the concurrent insert order, as in every real NN-Descent).
+			jr := newJoinRand(p.Seed, iter, i)
+			fwd := i * maxSample
+			nl := append(s.newList[:0], newFwd[fwd:fwd+int(newCnt[i])]...)
+			nl = reservoirSample(nl, newRev[newOff[i]:newOff[i+1]], maxSample, &jr)
+			ol := append(s.oldList[:0], oldFwd[fwd:fwd+int(oldCnt[i])]...)
+			ol = reservoirSample(ol, oldRev[oldOff[i]:oldOff[i+1]], maxSample, &jr)
+			s.newList, s.oldList = nl[:0], ol[:0]
+
 			var local int64
-			newList := newFwd[i]
-			if len(newRev[i]) > 0 {
-				merged := append(append([]int32{}, newList...), sampleIDs(newRev[i], maxSample, int64(i)+p.Seed)...)
-				newList = merged
+			need := len(nl) + len(ol)
+			if cap(s.dists) < need {
+				s.dists = make([]float32, need+need/2)
 			}
-			oldList := oldFwd[i]
-			if len(oldRev[i]) > 0 {
-				oldList = append(append([]int32{}, oldList...), sampleIDs(oldRev[i], maxSample, int64(i)*31+p.Seed)...)
-			}
-			for a := 0; a < len(newList); a++ {
-				u := newList[a]
-				for b := a + 1; b < len(newList); b++ {
-					v := newList[b]
-					if u == v {
+			for a := 0; a < len(nl); a++ {
+				u := nl[a]
+				uRow := base.Row(int(u))
+				rest := nl[a+1:]
+				dNew := s.dists[:len(rest)]
+				vecmath.L2ToRows(base, uRow, rest, dNew)
+				for b, v := range rest {
+					if v == u {
 						continue
 					}
-					local += tryInsertPair(base, lists, mu, u, v, p.K)
+					local += lists.insertPair(u, v, dNew[b])
 				}
-				for _, v := range oldList {
-					if u == v {
+				dOld := s.dists[len(rest) : len(rest)+len(ol)]
+				vecmath.L2ToRows(base, uRow, ol, dOld)
+				for b, v := range ol {
+					if v == u {
 						continue
 					}
-					local += tryInsertPair(base, lists, mu, u, v, p.K)
+					local += lists.insertPair(u, v, dOld[b])
 				}
 			}
 			updates.Add(local)
@@ -198,79 +367,101 @@ func BuildNNDescent(base vecmath.Matrix, p Params) (*graphutil.Graph, error) {
 		}
 	}
 
+	// Extraction: one adjacency slab for the whole graph, subsliced per
+	// node, instead of one allocation per node.
 	g := graphutil.New(n)
+	slab := make([]int32, 0, n*p.K)
 	for i := 0; i < n; i++ {
-		list := lists[i]
-		k := p.K
-		if k > len(list) {
-			k = len(list)
-		}
-		adj := make([]int32, k)
-		for j := 0; j < k; j++ {
-			adj[j] = list[j].id
-		}
-		g.Adj[i] = adj
+		off := i * p.K
+		sz := int(lists.size[i])
+		start := len(slab)
+		slab = append(slab, lists.ids[off:off+sz]...)
+		g.Adj[i] = slab[start : start+sz : start+sz]
 	}
 	return g, nil
 }
 
-// tryInsertPair computes δ(u,v) once and offers the edge to both endpoint
-// lists, returning the number of successful insertions (0..2).
-func tryInsertPair(base vecmath.Matrix, lists [][]nndNeighbor, mu []sync.Mutex, u, v int32, k int) int64 {
-	d := vecmath.L2(base.Row(int(u)), base.Row(int(v)))
+// insertPair offers the edge (u,v) with its precomputed distance to both
+// endpoint slabs, returning the number of successful insertions (0..2).
+func (s *nndLists) insertPair(u, v int32, d float32) int64 {
 	var c int64
-	if insertNeighbor(lists, mu, u, v, d, k) {
+	if s.insert(u, v, d) {
 		c++
 	}
-	if insertNeighbor(lists, mu, v, u, d, k) {
+	if s.insert(v, u, d) {
 		c++
 	}
 	return c
 }
 
-// insertNeighbor offers (id,dist) to node's bounded neighbor list, keeping
-// it sorted ascending and at most k long. Returns true if the list changed.
-func insertNeighbor(lists [][]nndNeighbor, mu []sync.Mutex, node, id int32, dist float32, k int) bool {
-	mu[node].Lock()
-	defer mu[node].Unlock()
-	list := lists[node]
-	if len(list) >= k && dist >= list[len(list)-1].dist {
-		return false
+// buildRevCSR inverts fixed-stride forward sample lists into a CSR layout:
+// off[i]..off[i+1] bounds node i's reverse ids in rev. All buffers are
+// caller-owned and reused across iterations.
+func buildRevCSR(fwd []int32, cnt []int32, stride int, off []int32, rev []int32) {
+	n := len(cnt)
+	for i := range off {
+		off[i] = 0
 	}
-	for _, nb := range list {
-		if nb.id == id {
-			return false
+	for i := 0; i < n; i++ {
+		for j := 0; j < int(cnt[i]); j++ {
+			off[fwd[i*stride+j]+1]++
 		}
 	}
-	pos := sort.Search(len(list), func(i int) bool { return list[i].dist > dist })
-	list = append(list, nndNeighbor{})
-	copy(list[pos+1:], list[pos:])
-	list[pos] = nndNeighbor{id: id, dist: dist, isNew: true}
-	if len(list) > k {
-		list = list[:k]
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
 	}
-	lists[node] = list
-	return true
-}
-
-func sortNND(list []nndNeighbor) {
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].dist != list[j].dist {
-			return list[i].dist < list[j].dist
+	// Fill using off[i] as a cursor, then restore offsets by shifting: after
+	// filling, off[i] holds the end of node i's segment, i.e. the start of
+	// node i+1's — one memmove-style walk restores the start-offsets form.
+	for i := 0; i < n; i++ {
+		for j := 0; j < int(cnt[i]); j++ {
+			t := fwd[i*stride+j]
+			rev[off[t]] = int32(i)
+			off[t]++
 		}
-		return list[i].id < list[j].id
-	})
+	}
+	for i := n; i > 0; i-- {
+		off[i] = off[i-1]
+	}
+	off[0] = 0
 }
 
-// sampleIDs returns up to max ids sampled without replacement.
-func sampleIDs(ids []int32, max int, seed int64) []int32 {
-	if len(ids) <= max {
-		return ids
+// joinRand is a splitmix64 PRNG for reverse-list sampling: allocation-free
+// and seeded per (build seed, iteration, node), so the stream a node
+// consumes is independent of goroutine scheduling.
+type joinRand uint64
+
+func newJoinRand(seed int64, iter, node int) joinRand {
+	return joinRand(uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(iter)*0xbf58476d1ce4e5b9 ^ uint64(node)*0x94d049bb133111eb)
+}
+
+func (r *joinRand) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0,n). The modulo bias is immaterial for
+// neighbor sampling (n is far below 2^32).
+func (r *joinRand) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// reservoirSample appends up to max ids drawn without replacement from src
+// (Algorithm R), reading src exactly once and writing only into dst — src
+// is shared between workers and must not be mutated.
+func reservoirSample(dst []int32, src []int32, max int, rng *joinRand) []int32 {
+	if len(src) <= max {
+		return append(dst, src...)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	out := append([]int32{}, ids...)
-	rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
-	return out[:max]
+	start := len(dst)
+	dst = append(dst, src[:max]...)
+	for i := max; i < len(src); i++ {
+		if j := rng.intn(i + 1); j < max {
+			dst[start+j] = src[i]
+		}
+	}
+	return dst
 }
 
 // Accuracy measures the recall of an approximate kNN graph against the exact
@@ -298,33 +489,4 @@ func Accuracy(approx, exact *graphutil.Graph) float64 {
 		total += float64(hit) / float64(len(truth))
 	}
 	return total / float64(exact.N())
-}
-
-func parallelFor(n int, body func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				body(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }

@@ -135,6 +135,31 @@ func TestNNDescentDeterministicInit(t *testing.T) {
 	}
 }
 
+func TestNNDescentParamDefaults(t *testing.T) {
+	// Out-of-range knobs fall back to defaults instead of degenerating:
+	// Delta <= 0 must not disable early termination (it defaults to 0.001),
+	// Rho outside (0,1] resets to 0.5, and SampleRand is clamped to K (the
+	// fixed-stride slab holds exactly K entries per node). All such builds
+	// must complete and satisfy the output invariants.
+	base := testData(t, 200, 8)
+	k := 6
+	for _, p := range []Params{
+		{K: k, Delta: -1, Rho: 0.5, Iters: 4, Seed: 1},
+		{K: k, Delta: 0, Rho: 2.5, Iters: 4, Seed: 1},
+		{K: k, Delta: 0.001, Rho: 0.5, Iters: 4, Seed: 1, SampleRand: 10 * k},
+	} {
+		g, err := BuildNNDescent(base, p)
+		if err != nil {
+			t.Fatalf("params %+v: %v", p, err)
+		}
+		for i := range g.Adj {
+			if len(g.Adj[i]) != k {
+				t.Fatalf("params %+v: node %d has %d neighbors, want %d", p, i, len(g.Adj[i]), k)
+			}
+		}
+	}
+}
+
 func TestAccuracyBounds(t *testing.T) {
 	base := testData(t, 100, 4)
 	g, err := BuildExact(base, 5)

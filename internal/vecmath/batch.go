@@ -46,3 +46,32 @@ func BatchL2Decomp(q []float32, m Matrix, norms, out []float32) {
 		out[i] = d
 	}
 }
+
+// L2ToRows is the batched gather kernel the construction and search loops
+// use: it writes the squared distance from query to base row ids[i] into
+// out[i] for every i. One call replaces len(ids) separate L2 calls, keeping
+// the candidate-expansion loop free of per-distance call overhead and giving
+// a single site to vectorize. Results are bit-identical to calling L2 per
+// row. out must be at least len(ids) long.
+func L2ToRows(base Matrix, query []float32, ids []int32, out []float32) {
+	if len(out) < len(ids) {
+		panic("vecmath: L2ToRows output shorter than ids")
+	}
+	dim := base.Dim
+	data := base.Data
+	for i, id := range ids {
+		off := int(id) * dim
+		out[i] = L2(query, data[off:off+dim:off+dim])
+	}
+}
+
+// L2ToRows is the Counter-aware batched gather kernel: it computes the same
+// distances as the package-level L2ToRows and records len(ids) distance
+// evaluations in one counter update instead of one per row. A nil receiver
+// is valid and counts nothing.
+func (c *Counter) L2ToRows(base Matrix, query []float32, ids []int32, out []float32) {
+	if c != nil {
+		c.n += uint64(len(ids))
+	}
+	L2ToRows(base, query, ids, out)
+}

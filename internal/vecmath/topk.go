@@ -1,6 +1,6 @@
 package vecmath
 
-import "sort"
+import "slices"
 
 // Neighbor pairs a point id with its (squared) distance to some query. It is
 // the unit of currency between every index and the benchmark harness.
@@ -9,15 +9,29 @@ type Neighbor struct {
 	Dist float32
 }
 
-// SortNeighbors orders ns ascending by distance, breaking ties by id so that
-// results are deterministic across runs.
+// CompareNeighbors is the canonical neighbor ordering used everywhere in
+// this repository: ascending by distance, ties broken by id so results are
+// deterministic across runs. Every sort of Neighbor slices must go through
+// this comparator (directly or via SortNeighbors) so the build pipeline and
+// the result paths can never disagree on tie-breaking.
+func CompareNeighbors(a, b Neighbor) int {
+	switch {
+	case a.Dist < b.Dist:
+		return -1
+	case a.Dist > b.Dist:
+		return 1
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	}
+	return 0
+}
+
+// SortNeighbors orders ns by CompareNeighbors. slices.SortFunc keeps the
+// call allocation-free, unlike the sort.Slice closure it replaces.
 func SortNeighbors(ns []Neighbor) {
-	sort.Slice(ns, func(i, j int) bool {
-		if ns[i].Dist != ns[j].Dist {
-			return ns[i].Dist < ns[j].Dist
-		}
-		return ns[i].ID < ns[j].ID
-	})
+	slices.SortFunc(ns, CompareNeighbors)
 }
 
 // TopK is a bounded max-heap that keeps the k smallest-distance neighbors

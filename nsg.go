@@ -48,6 +48,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graphutil"
@@ -103,6 +104,7 @@ func (o *Options) fillDefaults() {
 type Index struct {
 	inner *core.NSG
 	opts  Options
+	build BuildStats
 	// dead tracks tombstoned ids between Delete and Compact; nil until the
 	// first Delete.
 	dead *core.Tombstones
@@ -111,6 +113,27 @@ type Index struct {
 	// any number of goroutines.
 	ctxPool sync.Pool
 }
+
+// BuildStats reports where construction time went, phase by phase: the
+// intermediate kNN graph (NN-Descent or exact), then the four Algorithm 2
+// phases. It is the instrumented view behind the paper's Table 2 indexing
+// times; cmd/bench -exp build serializes it to BENCH_build.json so the
+// build-performance trajectory is tracked across changes.
+type BuildStats struct {
+	KNNGraph        time.Duration // intermediate kNN-graph construction
+	Navigate        time.Duration // medoid location (Algorithm 2 step ii)
+	Collect         time.Duration // per-node search-collect-select (step iii)
+	InterInsert     time.Duration // reverse-edge insertion
+	Repair          time.Duration // DFS connectivity repair (step iv)
+	Flatten         time.Duration // freezing the fixed-stride serving layout
+	Total           time.Duration // whole Build call
+	TreeRepairEdges int           // edges added by the DFS spanning repair
+	TreePasses      int           // DFS passes until fully connected
+}
+
+// BuildStats returns the timing breakdown recorded when the index was
+// built. Loaded indexes report a zero value.
+func (x *Index) BuildStats() BuildStats { return x.build }
 
 func (x *Index) getCtx() *core.SearchContext {
 	if c, _ := x.ctxPool.Get().(*core.SearchContext); c != nil {
@@ -147,6 +170,7 @@ func BuildFromFlat(data []float32, dim int, opts Options) (*Index, error) {
 }
 
 func buildFromMatrix(base vecmath.Matrix, opts Options) (*Index, error) {
+	start := time.Now()
 	k := opts.GraphK
 	if k >= base.Rows {
 		k = base.Rows - 1
@@ -165,11 +189,22 @@ func buildFromMatrix(base vecmath.Matrix, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nsg: kNN graph: %w", err)
 	}
-	g, _, err := core.NSGBuild(kg, base, core.BuildParams{L: opts.BuildL, M: opts.MaxDegree, Seed: opts.Seed})
+	knnTime := time.Since(start)
+	g, cs, err := core.NSGBuild(kg, base, core.BuildParams{L: opts.BuildL, M: opts.MaxDegree, Seed: opts.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("nsg: build: %w", err)
 	}
-	return &Index{inner: g, opts: opts}, nil
+	return &Index{inner: g, opts: opts, build: BuildStats{
+		KNNGraph:        knnTime,
+		Navigate:        cs.Phases.Navigate,
+		Collect:         cs.Phases.Collect,
+		InterInsert:     cs.Phases.InterInsert,
+		Repair:          cs.Phases.Repair,
+		Flatten:         cs.Phases.Flatten,
+		Total:           time.Since(start),
+		TreeRepairEdges: cs.TreeRepairEdges,
+		TreePasses:      cs.TreePasses,
+	}}, nil
 }
 
 // Len returns the number of indexed vectors.
