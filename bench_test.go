@@ -259,6 +259,7 @@ func BenchmarkFig7ShardedNSG16(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer sh.Close()
 	benchSearch(b, func(q []float32) []vecmath.Neighbor {
 		return sh.Search(q, 10, 40)
 	})
@@ -330,6 +331,7 @@ func BenchmarkTable5ECommerceSharded(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer sh.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sh.Search(ds.Queries.Row(i%ds.Queries.Rows), 10, 40)
@@ -499,6 +501,31 @@ func BenchmarkPublicSearchAllocs(b *testing.B) {
 		b.Fatal(err)
 	}
 	idx.Search(ds.Queries.Row(0), 10) // warm the context pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, _ := idx.Search(ds.Queries.Row(i%ds.Queries.Rows), 10)
+		if len(ids) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkShardedSearchAllocs gates the sharded serving path the same way:
+// a steady-state fan-out query must allocate only the two returned slices
+// (2 allocs/op), with all shard-worker and merge scratch drawn from pools.
+func BenchmarkShardedSearchAllocs(b *testing.B) {
+	ds, _, _ := loadBenchData(b)
+	opts := DefaultShardedOptions(4)
+	opts.Shard.ExactKNN = true
+	idx, err := BuildShardedFromFlat(append([]float32{}, ds.Base.Data...), ds.Base.Dim, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer idx.Close()
+	for i := 0; i < 8; i++ { // warm workers, fan scratch, merge buffers
+		idx.Search(ds.Queries.Row(i%ds.Queries.Rows), 10)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -9,7 +9,13 @@
 //	bench -exp build             # construction pipeline: per-phase wall
 //	                             # clock, allocs and kNN recall, recorded
 //	                             # to BENCH_build.json in the working dir
+//	bench -exp sharded           # sharded serving: latency/QPS/recall vs
+//	                             # shard count r ∈ {1,2,4,8}, recorded to
+//	                             # BENCH_sharded.json in the working dir
 //	bench -list                  # show valid experiment ids
+//
+// Every experiment, its parameters and its output schema are documented in
+// EXPERIMENTS.md at the repository root.
 package main
 
 import (

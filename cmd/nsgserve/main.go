@@ -1,0 +1,297 @@
+// Command nsgserve serves a sharded NSG index over HTTP — the repository's
+// production-shaped front end for the paper's distributed deployments
+// (DEEP100M's 16 parallel subset NSGs, Taobao's 12/32-partition search).
+//
+// At startup the server either loads a saved sharded bundle or builds one
+// from an .fvecs base file, then answers queries by fanning each one out
+// across the index's shard-worker pool (one warm search context per
+// worker, so steady-state queries do not allocate beyond the response).
+//
+// Usage:
+//
+//	nsgserve -data base.fvecs -shards 4            # build at startup
+//	nsgserve -data base.fvecs -shards 4 -save idx.nsgd
+//	nsgserve -index idx.nsgd                       # load a saved bundle
+//
+// Endpoints:
+//
+//	POST /search  {"query": [...], "k": 10, "l": 60, "stats": true}
+//	              → {"ids": [...], "dists": [...], "hops": h, "dist_comps": c}
+//	POST /insert  {"vector": [...]} → {"id": n, "n": total}
+//	GET  /stats   → index shape, per-shard sizes, serving counters
+//	GET  /healthz → {"status":"ok"} once the index is ready
+//
+// Searches run concurrently; inserts take the write half of a RWMutex, so
+// they serialize with in-flight searches (the index's documented mutation
+// contract) without blocking the process.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "nsgserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("nsgserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	indexPath := fs.String("index", "", "saved sharded bundle (.nsgd) to load")
+	dataPath := fs.String("data", "", "base vectors (.fvecs) to build from")
+	savePath := fs.String("save", "", "write the built bundle here before serving")
+	shards := fs.Int("shards", 4, "number of shards when building")
+	graphK := fs.Int("graphk", 20, "kNN graph neighbors per shard (paper's k)")
+	buildL := fs.Int("buildl", 50, "build pool size (paper's l)")
+	maxDegree := fs.Int("m", 30, "max out-degree (paper's m)")
+	searchL := fs.Int("l", 60, "default search pool size")
+	defaultK := fs.Int("k", 10, "default number of neighbors")
+	maxL := fs.Int("maxl", 4096, "largest per-request pool size (and k) accepted")
+	exact := fs.Bool("exact", false, "use the exact kNN graph builder")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	idx, err := openIndex(*indexPath, *dataPath, *savePath, nsg.ShardedOptions{
+		Shards: *shards,
+		Shard: nsg.Options{
+			GraphK: *graphK, BuildL: *buildL, MaxDegree: *maxDegree,
+			SearchL: *searchL, ExactKNN: *exact, Seed: *seed,
+		},
+	}, stdout)
+	if err != nil {
+		return err
+	}
+
+	srv := newServer(idx, *defaultK, *searchL, *maxL)
+	fmt.Fprintf(stdout, "serving %d vectors (dim %d) across %d shards on %s\n",
+		idx.Len(), idx.Dim(), idx.Shards(), *addr)
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.mux(),
+		// Bounded header/body reads and idle keep-alives, so stalled
+		// clients cannot pin connections and goroutines indefinitely.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.ListenAndServe()
+}
+
+// openIndex loads a bundle or builds one from an fvecs file, whichever the
+// flags selected.
+func openIndex(indexPath, dataPath, savePath string, opts nsg.ShardedOptions, stdout io.Writer) (*nsg.ShardedIndex, error) {
+	switch {
+	case indexPath != "" && dataPath != "":
+		return nil, fmt.Errorf("pass either -index or -data, not both")
+	case indexPath != "":
+		start := time.Now()
+		idx, err := nsg.LoadSharded(indexPath)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stdout, "loaded %s in %v\n", indexPath, time.Since(start).Round(time.Millisecond))
+		return idx, nil
+	case dataPath != "":
+		base, err := dataset.LoadFvecsFile(dataPath)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stdout, "building %d-shard index over %d vectors (dim %d)...\n",
+			opts.Shards, base.Rows, base.Dim)
+		start := time.Now()
+		idx, err := nsg.BuildShardedFromFlat(base.Data, base.Dim, opts)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stdout, "built in %v\n", time.Since(start).Round(time.Millisecond))
+		if savePath != "" {
+			if err := idx.Save(savePath); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(stdout, "saved bundle to %s\n", savePath)
+		}
+		return idx, nil
+	default:
+		return nil, fmt.Errorf("one of -index or -data is required")
+	}
+}
+
+// server wraps the index with the HTTP surface and serving counters. The
+// RWMutex encodes the index's concurrency contract: searches share the
+// read half (any number in flight), inserts take the write half.
+type server struct {
+	mu       sync.RWMutex
+	idx      *nsg.ShardedIndex
+	defaultK int
+	defaultL int
+	// maxL bounds the client-supplied k and l: search scratch is sized by
+	// the pool and cached in the long-lived worker contexts, so an
+	// unbounded request could permanently bloat (or OOM) the process.
+	maxL int
+
+	queries atomic.Uint64
+	inserts atomic.Uint64
+	// searchMicros accumulates in-handler search latency for the /stats
+	// mean; a production deployment would export a histogram instead.
+	searchMicros atomic.Uint64
+}
+
+func newServer(idx *nsg.ShardedIndex, defaultK, defaultL, maxL int) *server {
+	return &server{idx: idx, defaultK: defaultK, defaultL: defaultL, maxL: maxL}
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /search", s.handleSearch)
+	mux.HandleFunc("POST /insert", s.handleInsert)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+type searchRequest struct {
+	Query []float32 `json:"query"`
+	K     int       `json:"k"`
+	L     int       `json:"l"`
+	Stats bool      `json:"stats"`
+}
+
+type searchResponse struct {
+	IDs       []int32   `json:"ids"`
+	Dists     []float32 `json:"dists"`
+	Hops      int       `json:"hops,omitempty"`
+	DistComps uint64    `json:"dist_comps,omitempty"`
+}
+
+// maxBodyBytes bounds request bodies before JSON decoding: a vector of the
+// largest supported dimension is far under this, and without the cap a
+// giant JSON array would be allocated in full before any validation runs.
+const maxBodyBytes = 8 << 20
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Query) != s.idx.Dim() {
+		httpError(w, http.StatusBadRequest, "query dim %d != index dim %d", len(req.Query), s.idx.Dim())
+		return
+	}
+	if req.K <= 0 {
+		req.K = s.defaultK
+	}
+	if req.L <= 0 {
+		req.L = s.defaultL
+	}
+	if req.K > s.maxL || req.L > s.maxL {
+		httpError(w, http.StatusBadRequest, "k %d / l %d exceed the server limit %d", req.K, req.L, s.maxL)
+		return
+	}
+	start := time.Now()
+	var resp searchResponse
+	s.mu.RLock()
+	if req.Stats {
+		ids, dists, st := s.idx.SearchWithStats(req.Query, req.K, req.L)
+		resp = searchResponse{IDs: ids, Dists: dists, Hops: st.Hops, DistComps: st.DistanceComputations}
+	} else {
+		ids, dists := s.idx.SearchWithPool(req.Query, req.K, req.L)
+		resp = searchResponse{IDs: ids, Dists: dists}
+	}
+	s.mu.RUnlock()
+	s.queries.Add(1)
+	s.searchMicros.Add(uint64(time.Since(start).Microseconds()))
+	writeJSON(w, resp)
+}
+
+type insertRequest struct {
+	Vector []float32 `json:"vector"`
+}
+
+type insertResponse struct {
+	ID int32 `json:"id"`
+	N  int   `json:"n"`
+}
+
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req insertRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Vector) != s.idx.Dim() {
+		httpError(w, http.StatusBadRequest, "vector dim %d != index dim %d", len(req.Vector), s.idx.Dim())
+		return
+	}
+	s.mu.Lock()
+	id, err := s.idx.Add(req.Vector)
+	n := s.idx.Len()
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "insert: %v", err)
+		return
+	}
+	s.inserts.Add(1)
+	writeJSON(w, insertResponse{ID: id, N: n})
+}
+
+type statsResponse struct {
+	N               int     `json:"n"`
+	Dim             int     `json:"dim"`
+	Shards          int     `json:"shards"`
+	ShardSizes      []int   `json:"shard_sizes"`
+	IndexBytes      int64   `json:"index_bytes"`
+	Queries         uint64  `json:"queries"`
+	Inserts         uint64  `json:"inserts"`
+	MeanSearchMicro float64 `json:"mean_search_micros"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	st := s.idx.Stats()
+	dim := s.idx.Dim()
+	s.mu.RUnlock()
+	q := s.queries.Load()
+	resp := statsResponse{
+		N: st.N, Dim: dim, Shards: st.Shards, ShardSizes: st.ShardSizes,
+		IndexBytes: st.IndexBytes, Queries: q, Inserts: s.inserts.Load(),
+	}
+	if q > 0 {
+		resp.MeanSearchMicro = float64(s.searchMicros.Load()) / float64(q)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("nsgserve: encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

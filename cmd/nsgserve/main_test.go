@@ -1,0 +1,281 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+func testIndex(t *testing.T) *nsg.ShardedIndex {
+	t.Helper()
+	ds, err := dataset.SIFTLike(dataset.Config{N: 600, Queries: 4, GTK: 10, Dim: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := nsg.DefaultShardedOptions(3)
+	opts.Shard.ExactKNN = true
+	opts.Shard.Seed = 3
+	idx, err := nsg.BuildShardedFromFlat(ds.Base.Data, ds.Base.Dim, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(idx.Close)
+	return idx
+}
+
+// postJSONErr is the goroutine-safe core of postJSON: it reports failures
+// as errors so worker goroutines never call t.Fatal off the test goroutine.
+func postJSONErr(url string, body any) (*http.Response, []byte, error) {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, out, nil
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	resp, out, err := postJSONErr(url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestServerEndpoints(t *testing.T) {
+	idx := testIndex(t)
+	srv := newServer(idx, 10, 60, 4096)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	// healthz
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// search: query an indexed vector; it must find itself (dist 0).
+	query := make([]float32, idx.Dim())
+	copy(query, idx.Vector(11))
+	resp, body := postJSON(t, ts.URL+"/search", searchRequest{Query: query, K: 5, Stats: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d: %s", resp.StatusCode, body)
+	}
+	var sr searchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.IDs) != 5 || len(sr.Dists) != 5 {
+		t.Fatalf("got %d ids, %d dists", len(sr.IDs), len(sr.Dists))
+	}
+	if sr.IDs[0] != 11 || sr.Dists[0] != 0 {
+		t.Fatalf("self-query: nearest = (%d, %v), want (11, 0)", sr.IDs[0], sr.Dists[0])
+	}
+	if sr.Hops < idx.Shards() || sr.DistComps == 0 {
+		t.Fatalf("merged stats missing: %+v", sr)
+	}
+
+	// search without stats omits the work fields.
+	_, body = postJSON(t, ts.URL+"/search", searchRequest{Query: query, K: 3})
+	var plain map[string]any
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain["hops"]; ok {
+		t.Fatal("hops reported without stats:true")
+	}
+
+	// bad searches
+	resp, _ = postJSON(t, ts.URL+"/search", searchRequest{Query: []float32{1, 2}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dim-mismatch search status %d, want 400", resp.StatusCode)
+	}
+	// k/l beyond the server cap must be rejected, not allocated for.
+	resp, _ = postJSON(t, ts.URL+"/search", searchRequest{Query: query, K: 5, L: 1 << 30})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized-l search status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/search", searchRequest{Query: query, K: 1 << 30})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized-k search status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/search", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-json search status %d, want 400", resp.StatusCode)
+	}
+
+	// insert: a new vector becomes immediately searchable.
+	n0 := idx.Len()
+	vec := make([]float32, idx.Dim())
+	copy(vec, idx.Vector(42))
+	vec[0] += 0.001
+	resp, body = postJSON(t, ts.URL+"/insert", insertRequest{Vector: vec})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d: %s", resp.StatusCode, body)
+	}
+	var ir insertResponse
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.ID != int32(n0) || ir.N != n0+1 {
+		t.Fatalf("insert returned %+v, want id %d n %d", ir, n0, n0+1)
+	}
+	_, body = postJSON(t, ts.URL+"/search", searchRequest{Query: vec, K: 2})
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.IDs[0] != ir.ID {
+		t.Fatalf("inserted vector not nearest to itself: got %d, want %d", sr.IDs[0], ir.ID)
+	}
+
+	// stats
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.N != n0+1 || st.Shards != 3 || st.Queries < 3 || st.Inserts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// wrong method
+	resp, err = http.Get(ts.URL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /search status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestConcurrentSearchInsert exercises the RWMutex contract: searches and
+// inserts racing through the handlers must not corrupt results.
+func TestConcurrentSearchInsert(t *testing.T) {
+	idx := testIndex(t)
+	srv := newServer(idx, 10, 60, 4096)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(9))
+	dim := idx.Dim()
+	// Copy query vectors up front: reading idx.Vector while the insert
+	// handler grows the base would race outside the server's lock.
+	queries := make([][]float32, 100)
+	for i := range queries {
+		queries[i] = append([]float32(nil), idx.Vector(i)...)
+	}
+	inserts := make([][]float32, 20)
+	for i := range inserts {
+		vec := make([]float32, dim)
+		for j := range vec {
+			vec[j] = rng.Float32()
+		}
+		inserts[i] = vec
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if w == 0 && i%5 == 0 {
+					resp, body, err := postJSONErr(ts.URL+"/insert", insertRequest{Vector: inserts[i]})
+					if err != nil || resp.StatusCode != http.StatusOK {
+						t.Errorf("insert failed: %v %s", err, body)
+						return
+					}
+					continue
+				}
+				resp, body, err := postJSONErr(ts.URL+"/search", searchRequest{Query: queries[(w*20+i)%100], K: 5})
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("search failed: %v %s", err, body)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestOpenIndexModes covers the build-at-startup, save, and load flows.
+func TestOpenIndexModes(t *testing.T) {
+	ds, err := dataset.SIFTLike(dataset.Config{N: 400, Queries: 1, GTK: 1, Dim: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	fvecs := filepath.Join(dir, "base.fvecs")
+	if err := dataset.SaveFvecsFile(fvecs, ds.Base); err != nil {
+		t.Fatal(err)
+	}
+	bundle := filepath.Join(dir, "idx.nsgd")
+	opts := nsg.DefaultShardedOptions(2)
+	opts.Shard.ExactKNN = true
+
+	var out bytes.Buffer
+	built, err := openIndex("", fvecs, bundle, opts, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer built.Close()
+	if built.Len() != 400 || built.Shards() != 2 {
+		t.Fatalf("built %d vectors, %d shards", built.Len(), built.Shards())
+	}
+
+	loaded, err := openIndex(bundle, "", "", opts, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	q := make([]float32, ds.Base.Dim)
+	copy(q, ds.Base.Row(3))
+	wantIDs, wantDists := built.SearchWithPool(q, 5, 40)
+	gotIDs, gotDists := loaded.SearchWithPool(q, 5, 40)
+	for i := range wantIDs {
+		if wantIDs[i] != gotIDs[i] || wantDists[i] != gotDists[i] {
+			t.Fatalf("load parity: (%d,%v) vs (%d,%v)", wantIDs[i], wantDists[i], gotIDs[i], gotDists[i])
+		}
+	}
+
+	if _, err := openIndex("", "", "", opts, &out); err == nil {
+		t.Error("expected error with neither -index nor -data")
+	}
+	if _, err := openIndex(bundle, fvecs, "", opts, &out); err == nil {
+		t.Error("expected error with both -index and -data")
+	}
+	if _, err := openIndex(filepath.Join(dir, "missing"), "", "", opts, &out); err == nil {
+		t.Error("expected error for missing bundle")
+	}
+}

@@ -1,0 +1,108 @@
+package nsg_test
+
+// Runnable godoc examples for the public API: build/search, persistence,
+// and the sharded serving subsystem. Each uses a small deterministic
+// dataset (seeded generator + exact kNN builder) so the printed output is
+// stable and `go test` verifies it.
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+// exampleVectors generates n deterministic dim-dimensional vectors.
+func exampleVectors(n, dim int) [][]float32 {
+	rng := rand.New(rand.NewSource(42))
+	vecs := make([][]float32, n)
+	for i := range vecs {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// ExampleBuild indexes a small dataset and finds the nearest neighbors of
+// one of its own points: the point itself comes back first at distance 0.
+func ExampleBuild() {
+	vectors := exampleVectors(400, 16)
+	opts := nsg.DefaultOptions()
+	opts.ExactKNN = true // deterministic builds for small data
+	index, err := nsg.Build(vectors, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ids, dists := index.Search(vectors[42], 3)
+	fmt.Println("nearest:", ids[0], "dist:", dists[0])
+	fmt.Println("neighbors returned:", len(ids))
+	// Output:
+	// nearest: 42 dist: 0
+	// neighbors returned: 3
+}
+
+// ExampleIndex_Save persists an index (vectors included) and reopens it;
+// the loaded index returns identical results.
+func ExampleIndex_Save() {
+	vectors := exampleVectors(400, 16)
+	opts := nsg.DefaultOptions()
+	opts.ExactKNN = true
+	index, err := nsg.Build(vectors, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "nsg-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "index.nsg")
+	if err := index.Save(path); err != nil {
+		log.Fatal(err)
+	}
+
+	loaded, err := nsg.Load(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, _ := index.SearchWithPool(vectors[7], 5, 60)
+	b, _ := loaded.SearchWithPool(vectors[7], 5, 60)
+	same := len(a) == len(b)
+	for i := range a {
+		same = same && a[i] == b[i]
+	}
+	fmt.Println("loaded", loaded.Len(), "vectors; identical results:", same)
+	// Output:
+	// loaded 400 vectors; identical results: true
+}
+
+// ExampleBuildSharded partitions the data into shards, builds one NSG per
+// shard in parallel, and serves queries by fanning out to every shard —
+// the paper's DEEP100M / Taobao deployment pattern in one process.
+func ExampleBuildSharded() {
+	vectors := exampleVectors(600, 16)
+	opts := nsg.DefaultShardedOptions(3)
+	opts.Shard.ExactKNN = true
+	index, err := nsg.BuildSharded(vectors, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer index.Close()
+
+	ids, dists := index.Search(vectors[7], 3)
+	fmt.Println("nearest:", ids[0], "dist:", dists[0])
+
+	_, _, stats := index.SearchWithStats(vectors[7], 3, 60)
+	fmt.Println("searched", index.Shards(), "shards; merged hops > 0:", stats.Hops > 0)
+	// Output:
+	// nearest: 7 dist: 0
+	// searched 3 shards; merged hops > 0: true
+}

@@ -32,6 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer index.Close()
 	fmt.Printf("built %d shard NSGs in %.1fs (total index %.1f MB)\n",
 		index.Shards(), time.Since(start).Seconds(), float64(index.IndexBytes())/(1<<20))
 
@@ -69,9 +70,11 @@ func main() {
 	// shard-sized slice vs what the full build took.
 	slice := ds.Base.Slice(0, ds.Base.Rows/shards)
 	start = time.Now()
-	if _, err := distsearch.BuildSharded(slice.Clone(), distsearch.DefaultParams(1)); err != nil {
+	oneShard, err := distsearch.BuildSharded(slice.Clone(), distsearch.DefaultParams(1))
+	if err != nil {
 		log.Fatal(err)
 	}
+	oneShard.Close()
 	perShard := time.Since(start)
 	fmt.Printf("one shard rebuilds in %.1fs -> a rolling daily refresh updates 1/%d of the corpus at a time\n",
 		perShard.Seconds(), shards)

@@ -118,10 +118,12 @@ func TestIntegrationShardedMatchesMonolithicQuality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer mono.Close()
 	sharded, err := distsearch.BuildSharded(ds.Base, shardParams(4))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sharded.Close()
 	recallOf := func(s *distsearch.Sharded) float64 {
 		got := make([][]int32, ds.Queries.Rows)
 		for qi := 0; qi < ds.Queries.Rows; qi++ {

@@ -16,8 +16,9 @@ import (
 )
 
 // ExpConfig scales the experiments. Scale 1.0 gives the default laptop-size
-// runs documented in EXPERIMENTS.md; larger values approach the paper's
-// regime at proportionally larger cost.
+// runs documented in EXPERIMENTS.md at the repository root; larger values
+// approach the paper's regime at proportionally larger cost (see that
+// file's "Scale" section for what does and does not transfer).
 type ExpConfig struct {
 	Scale   float64
 	Queries int
@@ -25,8 +26,8 @@ type ExpConfig struct {
 	Seed    int64
 }
 
-// DefaultExpConfig returns the scale used by cmd/bench and the recorded
-// EXPERIMENTS.md numbers.
+// DefaultExpConfig returns the scale used by cmd/bench and by the local
+// results table in EXPERIMENTS.md.
 func DefaultExpConfig() ExpConfig {
 	return ExpConfig{Scale: 1.0, Queries: 100, GTK: 100, Seed: 1}
 }
@@ -259,6 +260,7 @@ func Fig7(w io.Writer, c ExpConfig) error {
 	if err != nil {
 		return err
 	}
+	defer shardedOne.Close()
 	// Sixteen shard NSGs searched in parallel.
 	sharded16, err := distsearch.BuildSharded(ds.Base, distsearch.Params{
 		Shards: 16, KNNK: 20, Build: distsearch.DefaultParams(16).Build, UseNNDescent: true, Seed: c.Seed,
@@ -266,6 +268,7 @@ func Fig7(w io.Writer, c ExpConfig) error {
 	if err != nil {
 		return err
 	}
+	defer sharded16.Close()
 	pqp := ivfpq.DefaultParams()
 	pqp.NList = 256
 	pq, err := ivfpq.Build(ds.Base, pqp)
@@ -449,6 +452,7 @@ func figScaling(w io.Writer, c ExpConfig, k int, target float64, title string) e
 		ms, ok := searchTimeAtPrecision(func(q []float32, kk, effort int) []vecmath.Neighbor {
 			return sh.SearchSequential(q, kk, effort)
 		}, ds, k, target)
+		sh.Close()
 		if !ok {
 			fmt.Fprintf(w, "%10d       (target precision unreachable)\n", n)
 			continue
@@ -488,6 +492,7 @@ func Fig11(w io.Writer, c ExpConfig) error {
 	if err != nil {
 		return err
 	}
+	defer sh.Close()
 	fmt.Fprintf(w, "Figure 11: K-NN search time vs K at 99%% precision (SIFT-like, n=%d)\n", n)
 	fmt.Fprintf(w, "%6s %14s\n", "K", "ms/query")
 	var xs, ys []float64
@@ -521,10 +526,11 @@ func Fig12(w io.Writer, c ExpConfig) error {
 	fmt.Fprintf(w, "%10s %14s\n", "N", "seconds")
 	var xs, ys []float64
 	for _, n := range scalingSubsets(c) {
-		_, _, t2, err := buildNSGOn(n, c)
+		sh, _, t2, err := buildNSGOn(n, c)
 		if err != nil {
 			return err
 		}
+		sh.Close()
 		fmt.Fprintf(w, "%10d %14.3f\n", n, t2.Seconds())
 		xs = append(xs, float64(n))
 		ys = append(ys, t2.Seconds())
@@ -577,6 +583,7 @@ func Table5(w io.Writer, c ExpConfig) error {
 		} else {
 			fmt.Fprintf(w, "%-8s %-10s %4d     (98%% unreachable)\n", row.name, "NSG", row.shards)
 		}
+		sh.Close()
 		if row.withPQ {
 			pqp := ivfpq.DefaultParams()
 			pqp.NList = 128
@@ -687,6 +694,7 @@ func Experiments() map[string]func(io.Writer, ExpConfig) error {
 		"hops":     HopScaling,
 		"ablation": Ablation,
 		"build":    BuildPerf,
+		"sharded":  ShardedServing,
 		"all":      RunAll,
 	}
 }

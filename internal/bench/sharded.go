@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+// heapAllocs reads the process-wide cumulative malloc count.
+func heapAllocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// This file measures the public sharded serving subsystem
+// (nsg.ShardedIndex) the way the paper measures its distributed
+// deployments: response time at a target precision as the shard count r
+// grows (Figure 7's NSG-16core and Table 5's NT column). cmd/bench -exp
+// sharded prints the sweep and records it to BENCH_sharded.json so the
+// serving-path trajectory is tracked across changes.
+
+// ShardedPoint is one (shards, effort) measurement of the fan-out path.
+type ShardedPoint struct {
+	Shards     int     `json:"shards"`
+	Effort     int     `json:"effort"`       // per-shard search pool L
+	Recall     float64 `json:"recall"`       // mean recall@k vs exact ground truth
+	QPS        float64 `json:"qps"`          // single-client queries/second
+	MsPerQ     float64 `json:"ms_per_query"` // mean single-query response time
+	Hops       float64 `json:"hops"`         // mean greedy expansions, summed over shards
+	DistComps  float64 `json:"dist_comps"`   // mean distance evaluations, summed over shards
+	BuildMs    float64 `json:"build_ms"`     // wall clock to build all r shards (repeated per row)
+	IdxBytes   int64   `json:"index_bytes"`  // summed per-shard graph footprints
+	AllocsPerQ float64 `json:"allocs_per_q"` // heap allocations per steady-state query
+}
+
+// ShardedTarget is the paper's headline serving metric: the smallest
+// effort reaching the target recall and the response time there (Table 5's
+// SQR column, Figure 7's latency-at-precision reading).
+type ShardedTarget struct {
+	Shards  int     `json:"shards"`
+	Target  float64 `json:"target_recall"`
+	Effort  int     `json:"effort"`
+	MsPerQ  float64 `json:"ms_per_query"`
+	Reached bool    `json:"reached"`
+}
+
+// ShardedResult is the serialized record of one -exp sharded run.
+type ShardedResult struct {
+	Dataset string          `json:"dataset"`
+	N       int             `json:"n"`
+	Dim     int             `json:"dim"`
+	Queries int             `json:"queries"`
+	K       int             `json:"k"`
+	Points  []ShardedPoint  `json:"points"`
+	Targets []ShardedTarget `json:"targets"`
+}
+
+// shardedShardCounts is the r sweep: 1 is the single-NSG reference and 8
+// is the paper's 16-shard DEEP100M deployment scaled to laptop cores.
+var shardedShardCounts = []int{1, 2, 4, 8}
+
+// shardedEfforts is the per-shard L sweep for each shard count.
+var shardedEfforts = []int{10, 20, 40, 80, 160}
+
+// ShardedServing runs the sharded-serving experiment: for each shard count
+// r it builds an nsg.ShardedIndex over one DEEP-like dataset and sweeps
+// the per-shard search effort, reporting recall, QPS, response time and
+// the merged per-shard work stats, plus the response time at 95% recall.
+func ShardedServing(w io.Writer, c ExpConfig) error {
+	n := c.n(20000)
+	ds, err := dataset.DEEPLike(dataset.Config{N: n, Queries: c.Queries, GTK: c.GTK, Seed: c.Seed})
+	if err != nil {
+		return err
+	}
+	k := 10
+	res := ShardedResult{Dataset: "DEEP-like", N: ds.Base.Rows, Dim: ds.Base.Dim, Queries: ds.Queries.Rows, K: k}
+
+	fmt.Fprintf(w, "Sharded serving (nsg.ShardedIndex) on DEEP-like subset (n=%d, dim=%d, k=%d)\n", ds.Base.Rows, ds.Base.Dim, k)
+	fmt.Fprintf(w, "%6s %8s %9s %9s %12s %10s %14s %12s\n",
+		"shards", "effort", "recall", "QPS", "ms/query", "hops", "dist/query", "allocs/q")
+
+	for _, shards := range shardedShardCounts {
+		opts := nsg.DefaultShardedOptions(shards)
+		opts.Shard.GraphK = 20
+		opts.Shard.Seed = c.Seed
+		data := append([]float32(nil), ds.Base.Data...)
+		buildStart := time.Now()
+		idx, err := nsg.BuildShardedFromFlat(data, ds.Base.Dim, opts)
+		if err != nil {
+			return fmt.Errorf("bench: sharded build (r=%d): %w", shards, err)
+		}
+		buildMs := time.Since(buildStart).Seconds() * 1000
+		idxBytes := idx.Stats().IndexBytes
+
+		target := ShardedTarget{Shards: shards, Target: 0.95}
+		for _, effort := range shardedEfforts {
+			pt, err := measureShardedPoint(idx, ds, k, effort)
+			if err != nil {
+				return err
+			}
+			pt.Shards = shards
+			pt.BuildMs = buildMs
+			pt.IdxBytes = idxBytes
+			res.Points = append(res.Points, pt)
+			fmt.Fprintf(w, "%6d %8d %9.4f %9.0f %12.4f %10.1f %14.0f %12.2f\n",
+				shards, effort, pt.Recall, pt.QPS, pt.MsPerQ, pt.Hops, pt.DistComps, pt.AllocsPerQ)
+			if !target.Reached && pt.Recall >= target.Target {
+				target.Reached = true
+				target.Effort = effort
+				target.MsPerQ = pt.MsPerQ
+			}
+		}
+		res.Targets = append(res.Targets, target)
+		idx.Close()
+	}
+
+	fmt.Fprintf(w, "response time at recall>=0.95 (the paper's SQR/latency-at-precision metric):\n")
+	for _, tg := range res.Targets {
+		if tg.Reached {
+			fmt.Fprintf(w, "  r=%-3d %10.4f ms/query (L=%d)\n", tg.Shards, tg.MsPerQ, tg.Effort)
+		} else {
+			fmt.Fprintf(w, "  r=%-3d     (0.95 unreachable in the effort sweep)\n", tg.Shards)
+		}
+	}
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_sharded.json", append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: write BENCH_sharded.json: %w", err)
+	}
+	fmt.Fprintln(w, "wrote BENCH_sharded.json")
+	return nil
+}
+
+// measureShardedPoint scores one (index, effort) cell: recall over the
+// query set, single-client latency/QPS, merged work stats, and the
+// steady-state allocation count.
+func measureShardedPoint(idx *nsg.ShardedIndex, ds dataset.Dataset, k, effort int) (ShardedPoint, error) {
+	var pt ShardedPoint
+	pt.Effort = effort
+
+	// Warm the fan-out pools so the timed pass measures the steady state.
+	for i := 0; i < 4 && i < ds.Queries.Rows; i++ {
+		idx.SearchWithPool(ds.Queries.Row(i), k, effort)
+	}
+
+	got := make([][]int32, ds.Queries.Rows)
+	var hops, comps float64
+	allocStart := heapAllocs()
+	start := time.Now()
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		ids, _, st := idx.SearchWithStats(ds.Queries.Row(qi), k, effort)
+		got[qi] = ids
+		hops += float64(st.Hops)
+		comps += float64(st.DistanceComputations)
+	}
+	elapsed := time.Since(start)
+	allocs := heapAllocs() - allocStart
+
+	q := float64(ds.Queries.Rows)
+	pt.Recall = dataset.MeanRecall(got, ds.GT, k)
+	pt.QPS = q / elapsed.Seconds()
+	pt.MsPerQ = elapsed.Seconds() * 1000 / q
+	pt.Hops = hops / q
+	pt.DistComps = comps / q
+	// Each SearchWithStats allocates the two result slices plus whatever
+	// the fan-out leaked; the JSON row records the total so regressions in
+	// the zero-alloc serving path show up in the trajectory.
+	pt.AllocsPerQ = float64(allocs) / q
+	return pt, nil
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestShardedServingWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t.Chdir(t.TempDir())
+	c := DefaultExpConfig()
+	c.Scale = 0.02 // clamps to the 256-point floor; keep the smoke test fast
+	c.Queries = 20
+	var buf bytes.Buffer
+	if err := ShardedServing(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Sharded serving", "shards", "recall", "ms/query", "wrote BENCH_sharded.json"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sharded table missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile("BENCH_sharded.json")
+	if err != nil {
+		t.Fatalf("BENCH_sharded.json not written: %v", err)
+	}
+	var res ShardedResult
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("BENCH_sharded.json not valid JSON: %v", err)
+	}
+	if res.N < 256 || res.K != 10 {
+		t.Errorf("implausible record: n=%d k=%d", res.N, res.K)
+	}
+	wantPoints := len(shardedShardCounts) * len(shardedEfforts)
+	if len(res.Points) != wantPoints {
+		t.Errorf("got %d points, want %d", len(res.Points), wantPoints)
+	}
+	if len(res.Targets) != len(shardedShardCounts) {
+		t.Errorf("got %d targets, want %d", len(res.Targets), len(shardedShardCounts))
+	}
+	for _, pt := range res.Points {
+		if pt.Recall < 0 || pt.Recall > 1 || pt.QPS <= 0 || pt.MsPerQ <= 0 {
+			t.Errorf("implausible point: %+v", pt)
+		}
+		if pt.Hops <= 0 || pt.DistComps <= 0 {
+			t.Errorf("merged stats missing from point: %+v", pt)
+		}
+	}
+	// At the largest effort every shard count should reach high recall on
+	// the 256-point floor dataset.
+	for _, pt := range res.Points {
+		if pt.Effort == 160 && pt.Recall < 0.9 {
+			t.Errorf("r=%d at L=160: recall %.3f < 0.9", pt.Shards, pt.Recall)
+		}
+	}
+}
+
+func TestShardedExperimentRegistered(t *testing.T) {
+	if _, ok := Experiments()["sharded"]; !ok {
+		t.Error("experiment \"sharded\" not registered")
+	}
+}

@@ -2,15 +2,28 @@
 // base set is split into r shards, an independent NSG is built per shard,
 // and a query fans out to every shard in parallel with results merged by
 // distance. This is the deployment pattern of the paper's DEEP100M
-// experiment (NSG-16core: 16 subset NSGs searched simultaneously) and the
-// Taobao production system (12- and 32-partition distributed search). The
-// paper's MPI machines become goroutines; the measured quantity —
-// single-query response time at a target precision — is preserved.
+// experiment (NSG-16core: 16 subset NSGs searched simultaneously, Figure 7)
+// and the Taobao production system (12- and 32-partition distributed
+// search, Table 5). The paper's MPI machines become goroutines; the
+// measured quantity — single-query response time at a target precision —
+// is preserved.
+//
+// The serving path follows the repository's zero-allocation discipline:
+// every Sharded index owns a pool of persistent shard-worker goroutines,
+// each holding one core.SearchContext for its lifetime, and per-query fan
+// state (per-shard result buffers, merge buffer, per-shard hop/distance
+// tallies) is drawn from a sync.Pool of fanScratch values. On the steady
+// state a fan-out search allocates nothing; SearchAppend exposes that path
+// with a caller-owned destination buffer, and nsg.ShardedIndex builds the
+// public API on top of it.
 package distsearch
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"runtime"
+	"slices"
 	"sync"
 
 	"repro/internal/core"
@@ -20,11 +33,18 @@ import (
 )
 
 // Sharded is a collection of per-partition NSG indexes over one logical
-// base set.
+// base set, plus the worker pool that fans queries across them.
 type Sharded struct {
 	Base    vecmath.Matrix
 	shards  []*core.NSG
 	localID [][]int32 // localID[s][j] = global id of shard s's row j
+
+	// tasks feeds the persistent shard workers; each worker owns one
+	// SearchContext for its lifetime, so fan-out searches reuse warm
+	// scratch instead of allocating per query.
+	tasks     chan shardTask
+	closeOnce sync.Once
+	scratch   sync.Pool // *fanScratch
 }
 
 // Params configures BuildSharded.
@@ -43,11 +63,55 @@ func DefaultParams(shards int) Params {
 	return Params{Shards: shards, KNNK: 15, Build: core.DefaultBuildParams(), UseNNDescent: true, Seed: 1}
 }
 
+// SearchStats aggregates the per-shard work of one fan-out query: hops and
+// distance computations are summed across shards, which is the total work
+// the "machine group" performed for the query (the paper's o·l cost model
+// applied per partition).
+type SearchStats struct {
+	Hops      int    // greedy expansions, summed over shards
+	DistComps uint64 // exact distance evaluations, summed over shards
+}
+
+// buildShard partitions out one shard's rows and builds its NSG. perm is
+// the global random permutation; the shard owns rows perm[lo:hi].
+func buildShard(base vecmath.Matrix, perm []int, lo, hi int, p Params, sh int) (*core.NSG, []int32, error) {
+	ids := make([]int32, hi-lo)
+	sub := vecmath.NewMatrix(hi-lo, base.Dim)
+	for j, pi := range perm[lo:hi] {
+		ids[j] = int32(pi)
+		copy(sub.Row(j), base.Row(pi))
+	}
+	var knn *graphutil.Graph
+	var err error
+	k := p.KNNK
+	if k >= sub.Rows {
+		k = sub.Rows - 1
+	}
+	if p.UseNNDescent {
+		kp := knngraph.DefaultParams(k)
+		kp.Seed = p.Seed + int64(sh)
+		knn, err = knngraph.BuildNNDescent(sub, kp)
+	} else {
+		knn, err = knngraph.BuildExact(sub, k)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("distsearch: shard %d kNN graph: %w", sh, err)
+	}
+	bp := p.Build
+	bp.Seed = p.Seed + int64(sh)
+	idx, _, err := core.NSGBuild(knn, sub, bp)
+	if err != nil {
+		return nil, nil, fmt.Errorf("distsearch: shard %d NSG: %w", sh, err)
+	}
+	return idx, ids, nil
+}
+
 // BuildSharded randomly partitions base into p.Shards near-equal subsets
 // (the paper partitions "randomly and evenly") and builds one NSG per
-// shard. Shard builds run sequentially; each build parallelizes internally,
-// mirroring the paper's observation that building r subset NSGs
-// sequentially is faster than one big NSG.
+// shard. Shard builds run in parallel (graphutil.ParallelFor caps them at
+// GOMAXPROCS); each shard's seed is derived from p.Seed, so the result is
+// identical to a sequential build. Every shard reuses the scratch-pooled
+// construction pipeline (NN-Descent slabs, per-worker SearchContexts).
 func BuildSharded(base vecmath.Matrix, p Params) (*Sharded, error) {
 	if p.Shards <= 0 {
 		return nil, fmt.Errorf("distsearch: shards must be positive, got %d", p.Shards)
@@ -58,8 +122,9 @@ func BuildSharded(base vecmath.Matrix, p Params) (*Sharded, error) {
 	rng := rand.New(rand.NewSource(p.Seed))
 	perm := rng.Perm(base.Rows)
 
-	s := &Sharded{Base: base}
 	per := (base.Rows + p.Shards - 1) / p.Shards
+	type bounds struct{ lo, hi int }
+	var spans []bounds
 	for sh := 0; sh < p.Shards; sh++ {
 		lo := sh * per
 		hi := lo + per
@@ -69,78 +134,258 @@ func BuildSharded(base vecmath.Matrix, p Params) (*Sharded, error) {
 		if lo >= hi {
 			break
 		}
-		ids := make([]int32, hi-lo)
-		sub := vecmath.NewMatrix(hi-lo, base.Dim)
-		for j, pi := range perm[lo:hi] {
-			ids[j] = int32(pi)
-			copy(sub.Row(j), base.Row(pi))
-		}
-		var knn *graphutil.Graph
-		var err error
-		k := p.KNNK
-		if k >= sub.Rows {
-			k = sub.Rows - 1
-		}
-		if p.UseNNDescent {
-			kp := knngraph.DefaultParams(k)
-			kp.Seed = p.Seed + int64(sh)
-			knn, err = knngraph.BuildNNDescent(sub, kp)
-		} else {
-			knn, err = knngraph.BuildExact(sub, k)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("distsearch: shard %d kNN graph: %w", sh, err)
-		}
-		bp := p.Build
-		bp.Seed = p.Seed + int64(sh)
-		idx, _, err := core.NSGBuild(knn, sub, bp)
-		if err != nil {
-			return nil, fmt.Errorf("distsearch: shard %d NSG: %w", sh, err)
-		}
-		s.shards = append(s.shards, idx)
-		s.localID = append(s.localID, ids)
+		spans = append(spans, bounds{lo, hi})
 	}
+
+	shards := make([]*core.NSG, len(spans))
+	localID := make([][]int32, len(spans))
+	errs := make([]error, len(spans))
+	graphutil.ParallelFor(len(spans), func(sh int) {
+		shards[sh], localID[sh], errs[sh] = buildShard(base, perm, spans[sh].lo, spans[sh].hi, p, sh)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &Sharded{Base: base, shards: shards, localID: localID}
+	s.startWorkers()
 	return s, nil
+}
+
+// startWorkers spawns the persistent fan-out pool, each worker owning one
+// SearchContext. The pool holds at least one worker per shard (the paper's
+// one-machine-per-partition deployment, so a single query always fans out
+// fully) and at least GOMAXPROCS workers, so concurrent queries on an
+// index with few shards still use every core instead of being capped at
+// r in-flight shard searches. Workers live until Close.
+func (s *Sharded) startWorkers() {
+	workers := len(s.shards)
+	if p := runtime.GOMAXPROCS(0); p > workers {
+		workers = p
+	}
+	s.tasks = make(chan shardTask, 2*workers)
+	for w := 0; w < workers; w++ {
+		go s.worker()
+	}
+}
+
+// Close terminates the worker pool. The index must not be searched after
+// Close; build/serving code that discards a Sharded should call it so the
+// worker goroutines do not outlive the index.
+func (s *Sharded) Close() {
+	s.closeOnce.Do(func() { close(s.tasks) })
 }
 
 // Shards returns the number of partitions.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
-// Search fans the query out to every shard in parallel, translates local
-// ids to global ids and merges by distance, returning the k nearest.
-func (s *Sharded) Search(q []float32, k, l int) []vecmath.Neighbor {
-	lists := make([][]vecmath.Neighbor, len(s.shards))
-	var wg sync.WaitGroup
-	for sh := range s.shards {
-		wg.Add(1)
-		go func(sh int) {
-			defer wg.Done()
-			local := s.shards[sh].Search(q, k, l, nil)
-			global := make([]vecmath.Neighbor, len(local))
-			for i, n := range local {
-				global[i] = vecmath.Neighbor{ID: s.localID[sh][n.ID], Dist: n.Dist}
-			}
-			lists[sh] = global
-		}(sh)
+// ShardSizes returns the number of vectors in each shard.
+func (s *Sharded) ShardSizes() []int {
+	sizes := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		sizes[i] = sh.Base.Rows
 	}
-	wg.Wait()
-	return vecmath.MergeNeighborLists(k, lists...)
+	return sizes
+}
+
+// shardTask asks a worker to search one shard on behalf of one query's fan
+// state. Tasks are plain values sent over a buffered channel, so enqueueing
+// does not allocate.
+type shardTask struct {
+	f     *fanScratch
+	shard int
+}
+
+// fanScratch is one query's fan-out state: per-shard result buffers (global
+// ids), per-shard work tallies, and the merge buffer. Instances are pooled
+// on the Sharded index and grow to steady-state sizes, after which a
+// fan-out search performs zero heap allocations.
+type fanScratch struct {
+	owner *Sharded
+	query []float32
+	k, l  int
+	stats bool
+	wg    sync.WaitGroup
+	bufs  [][]vecmath.Neighbor
+	hops  []int
+	comps []uint64
+	// merged is the concatenate-sort-truncate buffer for combining the
+	// per-shard lists; seq is the context SearchSequential reuses.
+	merged []vecmath.Neighbor
+	seq    *core.SearchContext
+}
+
+func (s *Sharded) getScratch() *fanScratch {
+	if f, _ := s.scratch.Get().(*fanScratch); f != nil {
+		return f
+	}
+	return &fanScratch{
+		owner: s,
+		bufs:  make([][]vecmath.Neighbor, len(s.shards)),
+		hops:  make([]int, len(s.shards)),
+		comps: make([]uint64, len(s.shards)),
+	}
+}
+
+func (s *Sharded) putScratch(f *fanScratch) {
+	f.query = nil
+	s.scratch.Put(f)
+}
+
+// run executes one shard search with the worker's context: search the
+// shard, translate local ids to global ids into the fan state's per-shard
+// buffer, and record the shard's work tallies when stats were requested.
+// The translation copy is what makes it safe for the worker to move on to
+// another task (and reuse ctx) immediately.
+func (f *fanScratch) run(ctx *core.SearchContext, counter *vecmath.Counter, sh int) {
+	s := f.owner
+	var res core.SearchResult
+	if f.stats {
+		counter.Reset()
+		res = s.shards[sh].SearchWithHopsCtx(ctx, f.query, f.k, f.l, counter)
+		f.hops[sh] = res.Hops
+		f.comps[sh] = counter.Count()
+	} else {
+		res = s.shards[sh].SearchWithHopsCtx(ctx, f.query, f.k, f.l, nil)
+	}
+	ids := s.localID[sh]
+	buf := f.bufs[sh][:0]
+	for _, n := range res.Neighbors {
+		buf = append(buf, vecmath.Neighbor{ID: ids[n.ID], Dist: n.Dist})
+	}
+	f.bufs[sh] = buf
+	f.wg.Done()
+}
+
+func (s *Sharded) worker() {
+	ctx := core.NewSearchContext()
+	var counter vecmath.Counter
+	for t := range s.tasks {
+		t.f.run(ctx, &counter, t.shard)
+	}
+}
+
+// mergeAppend combines the per-shard lists into the k nearest overall and
+// appends them to dst. Shards partition the id space, so ids are unique and
+// a sort suffices — no dedupe structure. The (dist, id) order matches
+// vecmath.MergeNeighborLists, keeping parallel and sequential paths
+// byte-identical.
+func (f *fanScratch) mergeAppend(dst []vecmath.Neighbor, k int) []vecmath.Neighbor {
+	m := f.merged[:0]
+	for _, b := range f.bufs {
+		m = append(m, b...)
+	}
+	slices.SortFunc(m, vecmath.CompareNeighbors)
+	if len(m) > k {
+		m = m[:k]
+	}
+	dst = append(dst, m...)
+	f.merged = m[:0]
+	return dst
+}
+
+// searchFan is the shared fan-out engine behind Search, SearchAppend and
+// SearchStatsAppend.
+func (s *Sharded) searchFan(dst []vecmath.Neighbor, q []float32, k, l int, withStats bool) ([]vecmath.Neighbor, SearchStats) {
+	f := s.getScratch()
+	f.query, f.k, f.l, f.stats = q, k, l, withStats
+	f.wg.Add(len(s.shards))
+	for sh := range s.shards {
+		s.tasks <- shardTask{f: f, shard: sh}
+	}
+	f.wg.Wait()
+	dst = f.mergeAppend(dst, k)
+	var st SearchStats
+	if withStats {
+		for sh := range s.shards {
+			st.Hops += f.hops[sh]
+			st.DistComps += f.comps[sh]
+		}
+	}
+	s.putScratch(f)
+	return dst, st
+}
+
+// SearchAppend fans the query out to every shard in parallel, translates
+// local ids to global ids, merges by distance and appends the k nearest to
+// dst (pass a reused buffer truncated to [:0]). With a warm destination
+// buffer the steady state performs zero heap allocations; this is the
+// serving entry point nsg.ShardedIndex wraps.
+func (s *Sharded) SearchAppend(dst []vecmath.Neighbor, q []float32, k, l int) []vecmath.Neighbor {
+	res, _ := s.searchFan(dst, q, k, l, false)
+	return res
+}
+
+// SearchStatsAppend is SearchAppend plus the merged per-shard work
+// accounting (hops and distance computations summed across shards).
+func (s *Sharded) SearchStatsAppend(dst []vecmath.Neighbor, q []float32, k, l int) ([]vecmath.Neighbor, SearchStats) {
+	return s.searchFan(dst, q, k, l, true)
+}
+
+// Search fans the query out to every shard in parallel and returns the k
+// nearest in a caller-owned slice. Hot loops should prefer SearchAppend.
+func (s *Sharded) Search(q []float32, k, l int) []vecmath.Neighbor {
+	return s.SearchAppend(nil, q, k, l)
 }
 
 // SearchSequential runs the same fan-out on a single goroutine — the
 // 1-core protocol, so experiments can separate partitioning effects from
-// parallel speedup.
+// parallel speedup. It shares the pooled fan state and merge path with
+// Search, so both return identical results.
 func (s *Sharded) SearchSequential(q []float32, k, l int) []vecmath.Neighbor {
-	lists := make([][]vecmath.Neighbor, len(s.shards))
-	for sh := range s.shards {
-		local := s.shards[sh].Search(q, k, l, nil)
-		global := make([]vecmath.Neighbor, len(local))
-		for i, n := range local {
-			global[i] = vecmath.Neighbor{ID: s.localID[sh][n.ID], Dist: n.Dist}
-		}
-		lists[sh] = global
+	f := s.getScratch()
+	if f.seq == nil {
+		f.seq = core.NewSearchContext()
 	}
-	return vecmath.MergeNeighborLists(k, lists...)
+	for sh := range s.shards {
+		res := s.shards[sh].SearchCtx(f.seq, q, k, l, nil)
+		ids := s.localID[sh]
+		buf := f.bufs[sh][:0]
+		for _, n := range res {
+			buf = append(buf, vecmath.Neighbor{ID: ids[n.ID], Dist: n.Dist})
+		}
+		f.bufs[sh] = buf
+	}
+	out := f.mergeAppend(nil, k)
+	s.putScratch(f)
+	return out
+}
+
+// Route returns the shard that would receive an inserted copy of vec: the
+// one whose navigating node (the shard's approximate medoid) is nearest.
+// Random partitions give near-identical medoids, so routing by medoid
+// approximates routing by load while keeping locality for clustered data.
+func (s *Sharded) Route(vec []float32) int {
+	best, bestD := 0, float32(math.Inf(1))
+	for sh, idx := range s.shards {
+		d := vecmath.L2(vec, idx.Base.Row(int(idx.Navigating)))
+		if d < bestD {
+			best, bestD = sh, d
+		}
+	}
+	return best
+}
+
+// Insert adds vec under a new global id, routing it to the shard returned
+// by Route and running that shard's incremental insertion (search-collect,
+// MRNG selection, reverse offers). Only the receiving shard's flat serving
+// layout is invalidated — the other shards keep serving their frozen
+// layouts untouched. Returns the new global id and the shard it landed in.
+// Not safe for concurrent use with Search.
+func (s *Sharded) Insert(vec []float32, p core.InsertParams) (int32, int, error) {
+	if len(vec) != s.Base.Dim {
+		return -1, -1, fmt.Errorf("distsearch: insert dim %d != index dim %d", len(vec), s.Base.Dim)
+	}
+	sh := s.Route(vec)
+	if _, err := s.shards[sh].Insert(vec, p); err != nil {
+		return -1, -1, err
+	}
+	gid := int32(s.Base.Rows)
+	s.Base.Data = append(s.Base.Data, vec...)
+	s.Base.Rows++
+	s.localID[sh] = append(s.localID[sh], gid)
+	return gid, sh, nil
 }
 
 // IndexBytes sums the per-shard index footprints.

@@ -1,10 +1,11 @@
 package distsearch
 
 import (
+	"encoding/binary"
 	"os"
-
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/vecmath"
 )
@@ -21,6 +22,7 @@ func buildSharded(t *testing.T, n, shards int) (*Sharded, dataset.Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close) // Close is idempotent, so tests may also close explicitly
 	return s, ds
 }
 
@@ -111,6 +113,7 @@ func TestShardedSaveLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer got.Close()
 	if got.Shards() != s.Shards() {
 		t.Fatalf("shards = %d, want %d", got.Shards(), s.Shards())
 	}
@@ -140,4 +143,122 @@ func TestLoadErrors(t *testing.T) {
 
 func writeBytes(path string, b []byte) error {
 	return os.WriteFile(path, b, 0o644)
+}
+
+func TestRoutedInsert(t *testing.T) {
+	s, ds := buildSharded(t, 1000, 4)
+	n0 := ds.Base.Rows
+	vec := make([]float32, ds.Base.Dim)
+	copy(vec, ds.Base.Row(7)) // a duplicate of an existing point: trivially findable
+	gid, sh, err := s.Insert(vec, core.InsertParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gid != int32(n0) {
+		t.Fatalf("global id = %d, want %d", gid, n0)
+	}
+	if sh < 0 || sh >= s.Shards() {
+		t.Fatalf("shard %d out of range", sh)
+	}
+	if s.Base.Rows != n0+1 {
+		t.Fatalf("base rows = %d, want %d", s.Base.Rows, n0+1)
+	}
+	// The new point must be discoverable through the fan-out path, and only
+	// the receiving shard's layout should have been rebuilt.
+	res := s.Search(vec, 2, 40)
+	found := false
+	for _, nb := range res {
+		if nb.ID == gid || nb.ID == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inserted point (gid %d) not found near its own vector: %+v", gid, res)
+	}
+	// Global ids must stay unique across shards after the routed insert.
+	seen := make(map[int32]struct{})
+	total := 0
+	for _, ids := range s.localID {
+		for _, id := range ids {
+			if _, dup := seen[id]; dup {
+				t.Fatalf("id %d in two shards after insert", id)
+			}
+			seen[id] = struct{}{}
+			total++
+		}
+	}
+	if total != n0+1 {
+		t.Fatalf("%d ids covered, want %d", total, n0+1)
+	}
+}
+
+func TestInsertDimMismatch(t *testing.T) {
+	s, _ := buildSharded(t, 1000, 2)
+	if _, _, err := s.Insert(make([]float32, 3), core.InsertParams{}); err == nil {
+		t.Fatal("expected dim-mismatch error")
+	}
+}
+
+func TestSearchStatsMerged(t *testing.T) {
+	s, ds := buildSharded(t, 1200, 3)
+	res, st := s.SearchStatsAppend(nil, ds.Queries.Row(0), 10, 40)
+	if len(res) != 10 {
+		t.Fatalf("got %d results, want 10", len(res))
+	}
+	if st.Hops <= 0 || st.DistComps == 0 {
+		t.Fatalf("stats not merged: %+v", st)
+	}
+	// The merged tallies must cover all shards: at least one hop and k
+	// distance computations per shard.
+	if st.Hops < s.Shards() {
+		t.Fatalf("hops %d < shard count %d", st.Hops, s.Shards())
+	}
+	// Stats path and plain path must agree on the results.
+	plain := s.Search(ds.Queries.Row(0), 10, 40)
+	for i := range res {
+		if res[i] != plain[i] {
+			t.Fatalf("stats path diverged at %d: %+v vs %+v", i, res[i], plain[i])
+		}
+	}
+}
+
+func TestVersionedFormatRejectsV1(t *testing.T) {
+	// A v1 header (PR 2 layout, magic "NSGS") is magic + shard count with
+	// no version field; the v2 reader must reject every v1 file at the
+	// magic check — including shard counts that would alias as a valid
+	// version number in the v2 layout.
+	base := vecmath.NewMatrix(10, 4)
+	for _, v1Shards := range []uint32{2, 4} {
+		path := t.TempDir() + "/v1"
+		hdr := make([]byte, 12)
+		binary.LittleEndian.PutUint32(hdr[0:], 0x4e534753) // v1 magic "NSGS"
+		binary.LittleEndian.PutUint32(hdr[4:], v1Shards)
+		if err := os.WriteFile(path, hdr, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path, base); err == nil {
+			t.Fatalf("expected error for v1 file with %d shards", v1Shards)
+		}
+	}
+	// A v2 magic with a wrong version must hit the version gate.
+	path := t.TempDir() + "/v9"
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:], 0x4e534754)
+	binary.LittleEndian.PutUint32(hdr[4:], 9)
+	binary.LittleEndian.PutUint32(hdr[8:], 1)
+	if err := os.WriteFile(path, hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, base); err == nil {
+		t.Fatal("expected version error for v9 file")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s, ds := buildSharded(t, 1000, 2)
+	if got := s.Search(ds.Queries.Row(0), 5, 40); len(got) != 5 {
+		t.Fatalf("got %d results", len(got))
+	}
+	s.Close()
+	s.Close() // must not panic
 }

@@ -11,12 +11,66 @@ import (
 	"repro/internal/vecmath"
 )
 
-// This file persists a sharded index: a header with the shard count, then
-// per shard the id mapping and the shard's NSG. Base vectors are not
-// stored (they live in the dataset file, as with core.NSG); Load re-attaches
-// them and reconstructs each shard's sub-matrix from the id map.
+// This file persists a sharded index: a versioned header with the shard
+// count, then per shard the id mapping and the shard's NSG. Base vectors
+// are not stored (they live in the dataset file, as with core.NSG, or in
+// the surrounding nsg.ShardedIndex bundle); Read re-attaches them and
+// reconstructs each shard's sub-matrix from the id map.
 
-const shardedMagic = 0x4e534753 // "NSGS"
+const (
+	// shardedMagic is "NSGT", deliberately distinct from the v1 magic
+	// ("NSGS", PR <= 2): v1 headers had the shard count where v2 keeps the
+	// version field, so reusing the magic would let a 2-shard v1 file
+	// alias as a version-2 header and misparse. A fresh magic rejects
+	// every v1 file at the first check.
+	shardedMagic   = 0x4e534754
+	shardedVersion = 2
+)
+
+// Write serializes the sharded index (id maps + per-shard NSGs, no base
+// vectors) to w.
+func (s *Sharded) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:], shardedMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], shardedVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(s.shards)))
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("distsearch: write header: %w", err)
+	}
+	// Id maps are encoded through one reused chunk buffer (not a 4-byte
+	// write per id), same chunking discipline as the nsg vector codec.
+	buf := make([]byte, idIOChunk*4)
+	for sh := range s.shards {
+		ids := s.localID[sh]
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(ids)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			return fmt.Errorf("distsearch: write shard size: %w", err)
+		}
+		for off := 0; off < len(ids); off += idIOChunk {
+			end := min(off+idIOChunk, len(ids))
+			n := 0
+			for _, id := range ids[off:end] {
+				binary.LittleEndian.PutUint32(buf[n:], uint32(id))
+				n += 4
+			}
+			if _, err := bw.Write(buf[:n]); err != nil {
+				return fmt.Errorf("distsearch: write id map: %w", err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("distsearch: %w", err)
+		}
+		if err := s.shards[sh].Write(w); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// idIOChunk is the number of int32 ids encoded per buffered write.
+const idIOChunk = 16384
 
 // Save writes the sharded index to path.
 func (s *Sharded) Save(path string) error {
@@ -25,61 +79,34 @@ func (s *Sharded) Save(path string) error {
 		return fmt.Errorf("distsearch: %w", err)
 	}
 	defer f.Close()
-	bw := bufio.NewWriter(f)
-	hdr := make([]byte, 8)
-	binary.LittleEndian.PutUint32(hdr[0:], shardedMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(s.shards)))
-	if _, err := bw.Write(hdr); err != nil {
-		return fmt.Errorf("distsearch: write header: %w", err)
-	}
-	for sh := range s.shards {
-		ids := s.localID[sh]
-		var buf [4]byte
-		binary.LittleEndian.PutUint32(buf[:], uint32(len(ids)))
-		if _, err := bw.Write(buf[:]); err != nil {
-			return fmt.Errorf("distsearch: write shard size: %w", err)
-		}
-		for _, id := range ids {
-			binary.LittleEndian.PutUint32(buf[:], uint32(id))
-			if _, err := bw.Write(buf[:]); err != nil {
-				return fmt.Errorf("distsearch: write id map: %w", err)
-			}
-		}
-		if err := bw.Flush(); err != nil {
-			return fmt.Errorf("distsearch: %w", err)
-		}
-		if err := s.shards[sh].Write(f); err != nil {
-			return err
-		}
-	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("distsearch: %w", err)
+	if err := s.Write(f); err != nil {
+		return err
 	}
 	return f.Close()
 }
 
-// Load reads a sharded index from path and re-attaches the base vectors it
-// was built over.
-func Load(path string, base vecmath.Matrix) (*Sharded, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("distsearch: %w", err)
-	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	hdr := make([]byte, 8)
+// Read deserializes a sharded index written by Write and re-attaches the
+// base vectors it was built over. The returned index has a running worker
+// pool and is ready to serve.
+func Read(r io.Reader, base vecmath.Matrix) (*Sharded, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 12)
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return nil, fmt.Errorf("distsearch: read header: %w", err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != shardedMagic {
-		return nil, fmt.Errorf("distsearch: %s is not a sharded NSG file", path)
+		return nil, fmt.Errorf("distsearch: not a sharded NSG file")
 	}
-	nShards := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != shardedVersion {
+		return nil, fmt.Errorf("distsearch: unsupported sharded format version %d (want %d)", v, shardedVersion)
+	}
+	nShards := int(binary.LittleEndian.Uint32(hdr[8:]))
 	if nShards <= 0 || nShards > 1<<16 {
 		return nil, fmt.Errorf("distsearch: implausible shard count %d", nShards)
 	}
 	s := &Sharded{Base: base}
 	covered := 0
+	idBuf := make([]byte, idIOChunk*4)
 	for sh := 0; sh < nShards; sh++ {
 		var buf [4]byte
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
@@ -91,16 +118,22 @@ func Load(path string, base vecmath.Matrix) (*Sharded, error) {
 		}
 		ids := make([]int32, size)
 		sub := vecmath.NewMatrix(size, base.Dim)
-		for j := 0; j < size; j++ {
-			if _, err := io.ReadFull(br, buf[:]); err != nil {
+		// Decode the id map in idIOChunk-sized reads, mirroring the chunked
+		// write side.
+		for off := 0; off < size; off += idIOChunk {
+			end := min(off+idIOChunk, size)
+			chunk := idBuf[:(end-off)*4]
+			if _, err := io.ReadFull(br, chunk); err != nil {
 				return nil, fmt.Errorf("distsearch: read shard %d ids: %w", sh, err)
 			}
-			id := int32(binary.LittleEndian.Uint32(buf[:]))
-			if id < 0 || int(id) >= base.Rows {
-				return nil, fmt.Errorf("distsearch: shard %d id %d out of range", sh, id)
+			for j := off; j < end; j++ {
+				id := int32(binary.LittleEndian.Uint32(chunk[(j-off)*4:]))
+				if id < 0 || int(id) >= base.Rows {
+					return nil, fmt.Errorf("distsearch: shard %d id %d out of range", sh, id)
+				}
+				ids[j] = id
+				copy(sub.Row(j), base.Row(int(id)))
 			}
-			ids[j] = id
-			copy(sub.Row(j), base.Row(int(id)))
 		}
 		idx, err := core.ReadNSG(br, sub)
 		if err != nil {
@@ -113,5 +146,17 @@ func Load(path string, base vecmath.Matrix) (*Sharded, error) {
 	if covered != base.Rows {
 		return nil, fmt.Errorf("distsearch: shards cover %d of %d base vectors", covered, base.Rows)
 	}
+	s.startWorkers()
 	return s, nil
+}
+
+// Load reads a sharded index from path and re-attaches the base vectors it
+// was built over.
+func Load(path string, base vecmath.Matrix) (*Sharded, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("distsearch: %w", err)
+	}
+	defer f.Close()
+	return Read(f, base)
 }

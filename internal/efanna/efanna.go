@@ -1,3 +1,13 @@
+// Package efanna implements the Efanna baseline (Fu & Cai, "EFANNA: An
+// extremely fast approximate nearest neighbor search algorithm"), one of
+// the kNN-graph methods the paper's Section 2.3 analyzes: a forest of
+// randomized KD-trees provides entry points into a kNN graph, and greedy
+// search (Algorithm 1) refines from there. It buys a better entry point at
+// the price of carrying two index structures — the "large and complex
+// indices" trade-off NSG is designed to avoid, visible in Table 2's memory
+// column. The KD-tree forest on its own (SearchForest) doubles as the
+// repository's tree-based baseline standing in for Flann's randomized
+// KD-trees in Figure 8.
 package efanna
 
 import (

@@ -1,8 +1,7 @@
-// Package efanna implements the Efanna baseline: a forest of randomized
-// KD-trees provides entry points into a kNN graph, and Algorithm 1 refines
-// from there. The KD-tree forest on its own (SearchForest) doubles as the
-// repository's tree-based baseline standing in for Flann's randomized
-// KD-trees in Figure 8.
+// This file implements the randomized KD-tree forest: the entry-point
+// provider for the composite Efanna index, and on its own (SearchForest)
+// the tree-based Figure 8 baseline.
+
 package efanna
 
 import (

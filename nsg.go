@@ -38,6 +38,16 @@
 // For throughput-bound workloads prefer SearchBatch, which fans queries out
 // across worker goroutines, each reusing one context for its whole share of
 // the batch.
+//
+// # Sharded serving
+//
+// ShardedIndex scales the same machinery out the way the paper's largest
+// deployments do (DEEP100M's 16 parallel subset NSGs, Taobao's 12/32
+// partitions): the base set is partitioned, one NSG is built per shard in
+// parallel, and every query fans out across a pool of persistent shard
+// workers with results merged by distance. The sharded search path keeps
+// the zero-allocation steady state, and cmd/nsgserve wraps it in an HTTP
+// server. See ShardedIndex and EXPERIMENTS.md's "sharded" experiment.
 package nsg
 
 import (
@@ -45,7 +55,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"sync"
 	"time"
@@ -280,24 +289,8 @@ func (x *Index) Save(path string) error {
 	if _, err := bw.Write(hdr); err != nil {
 		return fmt.Errorf("nsg: write header: %w", err)
 	}
-	// Encode vectors in large chunks: one Write per vecIOChunk floats
-	// instead of one per float keeps a million-vector save at a handful of
-	// buffer-boundary crossings rather than hundreds of millions.
-	buf := make([]byte, vecIOChunk*4)
-	data := x.inner.Base.Data
-	for off := 0; off < len(data); off += vecIOChunk {
-		end := off + vecIOChunk
-		if end > len(data) {
-			end = len(data)
-		}
-		n := 0
-		for _, v := range data[off:end] {
-			binary.LittleEndian.PutUint32(buf[n:], math.Float32bits(v))
-			n += 4
-		}
-		if _, err := bw.Write(buf[:n]); err != nil {
-			return fmt.Errorf("nsg: write vectors: %w", err)
-		}
+	if err := writeMatrix(bw, x.inner.Base); err != nil {
+		return err
 	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("nsg: %w", err)
@@ -328,20 +321,9 @@ func Load(path string) (*Index, error) {
 	if rows <= 0 || dim <= 0 || rows > 1<<30 || dim > 1<<20 {
 		return nil, fmt.Errorf("nsg: implausible shape %dx%d", rows, dim)
 	}
-	base := vecmath.NewMatrix(rows, dim)
-	buf := make([]byte, vecIOChunk*4)
-	for off := 0; off < len(base.Data); off += vecIOChunk {
-		end := off + vecIOChunk
-		if end > len(base.Data) {
-			end = len(base.Data)
-		}
-		chunk := buf[:(end-off)*4]
-		if _, err := io.ReadFull(br, chunk); err != nil {
-			return nil, fmt.Errorf("nsg: truncated vectors: %w", err)
-		}
-		for i := off; i < end; i++ {
-			base.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(chunk[(i-off)*4:]))
-		}
+	base, err := readMatrix(br, rows, dim)
+	if err != nil {
+		return nil, err
 	}
 	inner, err := core.ReadNSG(br, base)
 	if err != nil {
@@ -349,7 +331,3 @@ func Load(path string) (*Index, error) {
 	}
 	return &Index{inner: inner, opts: DefaultOptions()}, nil
 }
-
-// vecIOChunk is the number of float32 values Save/Load encode per I/O
-// operation (64 KiB buffers).
-const vecIOChunk = 16384

@@ -1,0 +1,39 @@
+//go:build !race
+
+// The sharded allocation-budget gate lives behind a !race tag: the race
+// detector intentionally defeats sync.Pool caching, so the pooled fan-out
+// scratch is re-allocated per query under -race and the budget is
+// meaningless there.
+
+package nsg
+
+import "testing"
+
+// TestShardedSearchZeroAlloc is the acceptance gate for the serving path:
+// a steady-state ShardedIndex.SearchWithPool must perform no heap
+// allocations beyond the two returned result slices. Fan-out scratch comes
+// from the persistent shard workers (one warm SearchContext each) and the
+// pooled per-query fan state.
+func TestShardedSearchZeroAlloc(t *testing.T) {
+	ds := shardedTestData(t, 1000, 8)
+	idx := buildShardedIndex(t, ds, 4)
+	defer idx.Close()
+
+	// Warm every pooled path: worker contexts, fan scratch, merge buffers.
+	for i := 0; i < 16; i++ {
+		idx.SearchWithPool(ds.Queries.Row(i%ds.Queries.Rows), 10, 50)
+	}
+	qi := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		ids, dists := idx.SearchWithPool(ds.Queries.Row(qi%ds.Queries.Rows), 10, 50)
+		if len(ids) != 10 || len(dists) != 10 {
+			t.Fatal("short result")
+		}
+		qi++
+	})
+	// Exactly the ids and dists slices; fractional slack covers rare
+	// sync.Pool refills when a GC cycle lands mid-measurement.
+	if allocs > 2.5 {
+		t.Fatalf("SearchWithPool allocated %.2f times per query, want 2 (result slices only)", allocs)
+	}
+}

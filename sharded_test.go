@@ -1,0 +1,213 @@
+package nsg
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func shardedTestData(t *testing.T, n, queries int) dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.SIFTLike(dataset.Config{N: n, Queries: queries, GTK: 10, Dim: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func buildShardedIndex(t *testing.T, ds dataset.Dataset, shards int) *ShardedIndex {
+	t.Helper()
+	opts := DefaultShardedOptions(shards)
+	opts.Shard.ExactKNN = true
+	opts.Shard.Seed = 7
+	data := make([]float32, len(ds.Base.Data))
+	copy(data, ds.Base.Data)
+	idx, err := BuildShardedFromFlat(data, ds.Base.Dim, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func recallAt10(t *testing.T, ds dataset.Dataset, search func(q []float32) []int32) float64 {
+	t.Helper()
+	got := make([][]int32, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		got[qi] = search(ds.Queries.Row(qi))
+	}
+	return dataset.MeanRecall(got, ds.GT, 10)
+}
+
+// TestShardedRecallParity is the acceptance gate: at equal per-shard search
+// pool L, a sharded index's recall@10 must be within 0.01 of a single NSG
+// over the same data. (Each of the r shards is searched with the same L,
+// so the merged candidate set is richer and recall is typically equal or
+// better; the gate bounds the loss in the other direction.)
+func TestShardedRecallParity(t *testing.T) {
+	ds := shardedTestData(t, 3000, 50)
+	const l = 60
+
+	single := buildShardedIndex(t, ds, 1)
+	defer single.Close()
+	for _, shards := range []int{2, 4} {
+		sharded := buildShardedIndex(t, ds, shards)
+		singleRecall := recallAt10(t, ds, func(q []float32) []int32 {
+			ids, _ := single.SearchWithPool(q, 10, l)
+			return ids
+		})
+		shardedRecall := recallAt10(t, ds, func(q []float32) []int32 {
+			ids, _ := sharded.SearchWithPool(q, 10, l)
+			return ids
+		})
+		t.Logf("r=%d: single recall@10 = %.4f, sharded recall@10 = %.4f", shards, singleRecall, shardedRecall)
+		if shardedRecall < singleRecall-0.01 {
+			t.Errorf("r=%d: sharded recall@10 = %.4f, more than 0.01 below single-NSG %.4f",
+				shards, shardedRecall, singleRecall)
+		}
+		sharded.Close()
+	}
+}
+
+func TestShardedSaveLoadParity(t *testing.T) {
+	ds := shardedTestData(t, 1200, 20)
+	idx := buildShardedIndex(t, ds, 3)
+	defer idx.Close()
+	path := filepath.Join(t.TempDir(), "sharded.nsgd")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSharded(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if loaded.Len() != idx.Len() || loaded.Dim() != idx.Dim() || loaded.Shards() != idx.Shards() {
+		t.Fatalf("shape changed across save/load: %d/%d/%d vs %d/%d/%d",
+			loaded.Len(), loaded.Dim(), loaded.Shards(), idx.Len(), idx.Dim(), idx.Shards())
+	}
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		q := ds.Queries.Row(qi)
+		ids1, d1 := idx.SearchWithPool(q, 10, 50)
+		ids2, d2 := loaded.SearchWithPool(q, 10, 50)
+		if len(ids1) != len(ids2) {
+			t.Fatalf("query %d: result lengths differ: %d vs %d", qi, len(ids1), len(ids2))
+		}
+		for i := range ids1 {
+			if ids1[i] != ids2[i] || d1[i] != d2[i] {
+				t.Fatalf("query %d pos %d: (%d, %v) vs (%d, %v) after reload",
+					qi, i, ids1[i], d1[i], ids2[i], d2[i])
+			}
+		}
+	}
+	// A corrupted magic must be rejected.
+	if _, err := Load(path); err == nil {
+		t.Error("nsg.Load accepted a sharded bundle")
+	}
+}
+
+// TestShardedSaveLoadKeepsOptions gates the options round-trip: Add on a
+// reloaded index must use the original build parameters, not defaults.
+func TestShardedSaveLoadKeepsOptions(t *testing.T) {
+	ds := shardedTestData(t, 600, 4)
+	opts := DefaultShardedOptions(2)
+	opts.Shard.ExactKNN = true
+	opts.Shard.GraphK = 17
+	opts.Shard.BuildL = 33
+	opts.Shard.MaxDegree = 19
+	opts.Shard.SearchL = 71
+	data := append([]float32(nil), ds.Base.Data...)
+	idx, err := BuildShardedFromFlat(data, ds.Base.Dim, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	path := filepath.Join(t.TempDir(), "opts.nsgd")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSharded(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	got := loaded.opts.Shard
+	if got.GraphK != 17 || got.BuildL != 33 || got.MaxDegree != 19 || got.SearchL != 71 {
+		t.Fatalf("options not restored: %+v", got)
+	}
+}
+
+func TestShardedAddRouted(t *testing.T) {
+	ds := shardedTestData(t, 1000, 10)
+	idx := buildShardedIndex(t, ds, 4)
+	defer idx.Close()
+	n0 := idx.Len()
+	vec := make([]float32, idx.Dim())
+	copy(vec, idx.Vector(5))
+	id, err := idx.Add(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != int32(n0) || idx.Len() != n0+1 {
+		t.Fatalf("id = %d, len = %d; want %d, %d", id, idx.Len(), n0, n0+1)
+	}
+	ids, _ := idx.SearchWithPool(vec, 2, 50)
+	found := false
+	for _, got := range ids {
+		if got == id || got == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("added vector not found near itself: %v", ids)
+	}
+	if _, err := idx.Add(make([]float32, 3)); err == nil {
+		t.Error("expected dim-mismatch error")
+	}
+}
+
+func TestShardedStatsAndBatch(t *testing.T) {
+	ds := shardedTestData(t, 1000, 16)
+	idx := buildShardedIndex(t, ds, 4)
+	defer idx.Close()
+
+	st := idx.Stats()
+	if st.N != 1000 || st.Shards != 4 || len(st.ShardSizes) != 4 || st.IndexBytes <= 0 {
+		t.Fatalf("bad stats: %+v", st)
+	}
+	total := 0
+	for _, s := range st.ShardSizes {
+		total += s
+	}
+	if total != 1000 {
+		t.Fatalf("shard sizes sum to %d, want 1000", total)
+	}
+
+	q := ds.Queries.Row(0)
+	ids, dists, sst := idx.SearchWithStats(q, 10, 50)
+	if len(ids) != 10 || len(dists) != 10 {
+		t.Fatalf("got %d ids, %d dists", len(ids), len(dists))
+	}
+	if sst.Hops < idx.Shards() || sst.DistanceComputations == 0 {
+		t.Fatalf("merged stats implausible: %+v", sst)
+	}
+
+	queries := make([][]float32, ds.Queries.Rows)
+	for i := range queries {
+		queries[i] = ds.Queries.Row(i)
+	}
+	for _, workers := range []int{0, 1, 3} {
+		batch := idx.SearchBatch(queries, 10, 50, workers)
+		if len(batch) != len(queries) {
+			t.Fatalf("workers=%d: got %d results", workers, len(batch))
+		}
+		for i, r := range batch {
+			want, _ := idx.SearchWithPool(queries[i], 10, 50)
+			for j := range want {
+				if r.IDs[j] != want[j] {
+					t.Fatalf("workers=%d query %d pos %d: %d vs %d", workers, i, j, r.IDs[j], want[j])
+				}
+			}
+		}
+	}
+}
