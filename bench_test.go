@@ -561,6 +561,104 @@ func BenchmarkSearchBatch(b *testing.B) {
 	}
 }
 
+// --- SQ8 quantized serving path ---
+
+// quantBenchData caches the 8k-point acceptance suite plus one float and
+// one quantized index over it.
+var quantBenchData struct {
+	once  sync.Once
+	ds    dataset.Dataset
+	float *Index
+	quant *Index
+	err   error
+}
+
+func loadQuantBenchData(b *testing.B) (dataset.Dataset, *Index, *Index) {
+	b.Helper()
+	quantBenchData.once.Do(func() {
+		ds, err := dataset.SIFTLike(dataset.Config{N: 8000, Queries: 200, GTK: 100, Dim: 128, Seed: 1})
+		if err != nil {
+			quantBenchData.err = err
+			return
+		}
+		build := func(quantize bool) (*Index, error) {
+			opts := DefaultOptions()
+			opts.Quantize = quantize
+			return BuildFromFlat(append([]float32(nil), ds.Base.Data...), ds.Base.Dim, opts)
+		}
+		fl, err := build(false)
+		if err != nil {
+			quantBenchData.err = err
+			return
+		}
+		qt, err := build(true)
+		if err != nil {
+			quantBenchData.err = err
+			return
+		}
+		quantBenchData.ds, quantBenchData.float, quantBenchData.quant = ds, fl, qt
+	})
+	if quantBenchData.err != nil {
+		b.Fatal(quantBenchData.err)
+	}
+	return quantBenchData.ds, quantBenchData.float, quantBenchData.quant
+}
+
+// BenchmarkQuantizedSearch is the acceptance benchmark: the SQ8 path
+// (code-space expansion + exact rerank) against the float32 path on the
+// 8k-point suite at matched recall@10 >= 0.99 (both run L=30, where both
+// measure ~0.998 — see the reported recall metric). The SQ8 rows must show
+// >= 1.5x the float QPS; measured ~2x with the AVX2 kernel.
+func BenchmarkQuantizedSearch(b *testing.B) {
+	ds, fl, qt := loadQuantBenchData(b)
+	recallOf := func(idx *Index, l int) float64 {
+		got := make([][]int32, ds.Queries.Rows)
+		for qi := 0; qi < ds.Queries.Rows; qi++ {
+			ids, _ := idx.SearchWithPool(ds.Queries.Row(qi), 10, l)
+			got[qi] = ids
+		}
+		return dataset.MeanRecall(got, ds.GT, 10)
+	}
+	for _, cfg := range []struct {
+		name string
+		idx  *Index
+	}{
+		{"Float32", fl},
+		{"SQ8", qt},
+	} {
+		for _, l := range []int{30, 60} {
+			b.Run(fmt.Sprintf("%s/L%d", cfg.name, l), func(b *testing.B) {
+				cfg.idx.SearchWithPool(ds.Queries.Row(0), 10, l) // warm pools
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ids, _ := cfg.idx.SearchWithPool(ds.Queries.Row(i%ds.Queries.Rows), 10, l)
+					if len(ids) == 0 {
+						b.Fatal("empty result")
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(recallOf(cfg.idx, l), "recall")
+			})
+		}
+	}
+}
+
+// BenchmarkQuantizedSearchCtx pins the zero-allocation claim on the
+// quantized ctx-reuse path the way BenchmarkSearchAllocs does for float.
+func BenchmarkQuantizedSearchCtx(b *testing.B) {
+	ds, _, qt := loadQuantBenchData(b)
+	ctx := core.NewSearchContext()
+	qt.inner.SearchCtx(ctx, ds.Queries.Row(0), 10, 60, nil) // warm buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := qt.inner.SearchCtx(ctx, ds.Queries.Row(i%ds.Queries.Rows), 10, 60, nil); len(res) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
 // BenchmarkAblationLayout compares the adjacency-list representation against
 // the fixed-stride flat layout the paper serves from (Table 2's note on
 // continuous memory access).

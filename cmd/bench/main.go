@@ -12,6 +12,9 @@
 //	bench -exp sharded           # sharded serving: latency/QPS/recall vs
 //	                             # shard count r ∈ {1,2,4,8}, recorded to
 //	                             # BENCH_sharded.json in the working dir
+//	bench -exp quant             # SQ8 quantized search vs float32, with
+//	                             # and without rerank/relayout, recorded
+//	                             # to BENCH_quant.json in the working dir
 //	bench -list                  # show valid experiment ids
 //
 // Every experiment, its parameters and its output schema are documented in

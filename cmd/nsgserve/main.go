@@ -11,6 +11,7 @@
 //
 //	nsgserve -data base.fvecs -shards 4            # build at startup
 //	nsgserve -data base.fvecs -shards 4 -save idx.nsgd
+//	nsgserve -data base.fvecs -shards 4 -quantize  # SQ8 serving path
 //	nsgserve -index idx.nsgd                       # load a saved bundle
 //
 // Endpoints:
@@ -63,6 +64,7 @@ func run(args []string, stdout io.Writer) error {
 	defaultK := fs.Int("k", 10, "default number of neighbors")
 	maxL := fs.Int("maxl", 4096, "largest per-request pool size (and k) accepted")
 	exact := fs.Bool("exact", false, "use the exact kNN graph builder")
+	quantize := fs.Bool("quantize", false, "serve through the SQ8 quantized path (4x fewer bytes per hop; exact rerank)")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,7 +74,7 @@ func run(args []string, stdout io.Writer) error {
 		Shards: *shards,
 		Shard: nsg.Options{
 			GraphK: *graphK, BuildL: *buildL, MaxDegree: *maxDegree,
-			SearchL: *searchL, ExactKNN: *exact, Seed: *seed,
+			SearchL: *searchL, ExactKNN: *exact, Quantize: *quantize, Seed: *seed,
 		},
 	}, stdout)
 	if err != nil {
@@ -256,6 +258,7 @@ type statsResponse struct {
 	N               int     `json:"n"`
 	Dim             int     `json:"dim"`
 	Shards          int     `json:"shards"`
+	Quantized       bool    `json:"quantized"`
 	ShardSizes      []int   `json:"shard_sizes"`
 	IndexBytes      int64   `json:"index_bytes"`
 	Queries         uint64  `json:"queries"`
@@ -270,7 +273,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	q := s.queries.Load()
 	resp := statsResponse{
-		N: st.N, Dim: dim, Shards: st.Shards, ShardSizes: st.ShardSizes,
+		N: st.N, Dim: dim, Shards: st.Shards, Quantized: s.idx.Quantized(),
+		ShardSizes: st.ShardSizes,
 		IndexBytes: st.IndexBytes, Queries: q, Inserts: s.inserts.Load(),
 	}
 	if q > 0 {

@@ -7,33 +7,34 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/chunkio"
 	"repro/internal/vecmath"
 )
 
-// This file is the chunked vector codec shared by the Index and
-// ShardedIndex bundle formats: row-major float32 data encoded through one
-// reused 64 KiB buffer, so persisting a million-vector matrix costs a
-// handful of buffer-boundary crossings instead of one Write per float.
+// This file is the vector codec shared by the Index and ShardedIndex bundle
+// formats: row-major float32 data encoded through the shared chunked codec
+// (internal/chunkio), so persisting a million-vector matrix costs a handful
+// of buffer-boundary crossings instead of one Write per float.
 
-// vecIOChunk is the number of float32 values encoded per I/O operation
-// (64 KiB buffers).
-const vecIOChunk = 16384
-
-// writeMatrix encodes m's flat data to bw in vecIOChunk-sized chunks.
+// writeMatrix encodes m's flat data in 64 KiB chunks.
 func writeMatrix(bw *bufio.Writer, m vecmath.Matrix) error {
-	buf := make([]byte, vecIOChunk*4)
-	data := m.Data
-	for off := 0; off < len(data); off += vecIOChunk {
-		end := off + vecIOChunk
-		if end > len(data) {
-			end = len(data)
+	if err := chunkio.WriteFloat32s(bw, m.Data); err != nil {
+		return fmt.Errorf("nsg: write vectors: %w", err)
+	}
+	return nil
+}
+
+// writeMatrixRows encodes m's rows in the order rowOf dictates (output row
+// r holds matrix row rowOf(r)), streaming through one reused row buffer so
+// saving a relayouted index never materializes a de-permuted copy of the
+// matrix.
+func writeMatrixRows(bw *bufio.Writer, m vecmath.Matrix, rowOf func(int) int32) error {
+	buf := make([]byte, m.Dim*4)
+	for r := 0; r < m.Rows; r++ {
+		for j, v := range m.Row(int(rowOf(r))) {
+			binary.LittleEndian.PutUint32(buf[j*4:], math.Float32bits(v))
 		}
-		n := 0
-		for _, v := range data[off:end] {
-			binary.LittleEndian.PutUint32(buf[n:], math.Float32bits(v))
-			n += 4
-		}
-		if _, err := bw.Write(buf[:n]); err != nil {
+		if _, err := bw.Write(buf); err != nil {
 			return fmt.Errorf("nsg: write vectors: %w", err)
 		}
 	}
@@ -43,19 +44,8 @@ func writeMatrix(bw *bufio.Writer, m vecmath.Matrix) error {
 // readMatrix decodes a rows×dim matrix written by writeMatrix.
 func readMatrix(br io.Reader, rows, dim int) (vecmath.Matrix, error) {
 	base := vecmath.NewMatrix(rows, dim)
-	buf := make([]byte, vecIOChunk*4)
-	for off := 0; off < len(base.Data); off += vecIOChunk {
-		end := off + vecIOChunk
-		if end > len(base.Data) {
-			end = len(base.Data)
-		}
-		chunk := buf[:(end-off)*4]
-		if _, err := io.ReadFull(br, chunk); err != nil {
-			return base, fmt.Errorf("nsg: truncated vectors: %w", err)
-		}
-		for i := off; i < end; i++ {
-			base.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(chunk[(i-off)*4:]))
-		}
+	if err := chunkio.ReadFloat32s(br, base.Data); err != nil {
+		return base, fmt.Errorf("nsg: truncated vectors: %w", err)
 	}
 	return base, nil
 }

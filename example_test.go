@@ -84,6 +84,29 @@ func ExampleIndex_Save() {
 	// loaded 400 vectors; identical results: true
 }
 
+// ExampleBuild_quantized builds an index on the SQ8 serving path: vectors
+// are compressed to one byte per dimension and the graph is relayouted into
+// BFS cache order, so each search hop gathers 4x fewer bytes. Results are
+// reranked with exact float32 distances, so the query's own point still
+// comes back at distance exactly 0.
+func ExampleBuild_quantized() {
+	vectors := exampleVectors(400, 16)
+	opts := nsg.DefaultOptions()
+	opts.ExactKNN = true // deterministic builds for small data
+	opts.Quantize = true
+	index, err := nsg.Build(vectors, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ids, dists := index.Search(vectors[42], 3)
+	fmt.Println("nearest:", ids[0], "dist:", dists[0])
+	fmt.Println("quantized:", index.Quantized())
+	// Output:
+	// nearest: 42 dist: 0
+	// quantized: true
+}
+
 // ExampleBuildSharded partitions the data into shards, builds one NSG per
 // shard in parallel, and serves queries by fanning out to every shard —
 // the paper's DEEP100M / Taobao deployment pattern in one process.

@@ -67,6 +67,14 @@ func (x *Index) Compact() ([]int32, error) {
 	if err != nil {
 		return nil, err
 	}
+	if x.opts.Quantize {
+		// The compacted graph is fresh: re-relayout and retrain the grid on
+		// the surviving vectors so the quantized serving state matches.
+		inner.Relayout()
+		if err := inner.EnableQuantization(nil); err != nil {
+			return nil, err
+		}
+	}
 	x.inner = inner
 	x.dead = nil
 	// The compacted graph was produced by the incremental path, not the

@@ -695,6 +695,7 @@ func Experiments() map[string]func(io.Writer, ExpConfig) error {
 		"ablation": Ablation,
 		"build":    BuildPerf,
 		"sharded":  ShardedServing,
+		"quant":    Quantized,
 		"all":      RunAll,
 	}
 }

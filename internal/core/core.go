@@ -23,6 +23,7 @@ package core
 import (
 	"repro/internal/graphutil"
 	"repro/internal/vecmath"
+	"repro/internal/vecmath/quant"
 )
 
 // element is a pool entry for Algorithm 1: a candidate node, its distance
@@ -120,11 +121,58 @@ type flatAdj struct{ g *graphutil.FlatGraph }
 
 func (a flatAdj) neighbors(id int32) []int32 { return a.g.Neighbors(id) }
 
+// distSource abstracts where Algorithm 1's candidate distances come from:
+// exact float32 rows (the default, and the only source build-time passes
+// use) or SQ8 code rows (the quantized serving path, whose approximation is
+// corrected by an exact rerank before results are emitted). Like
+// adjacencySource, the search body is instantiated per concrete source so
+// both compile to direct calls and the float path stays byte-identical to
+// what it was before quantization existed.
+type distSource interface {
+	// one computes the distance to a single node and records it in counter.
+	one(counter *vecmath.Counter, id int32) float32
+	// toRows is the batched gather: distance to every id, one counter update.
+	toRows(counter *vecmath.Counter, ids []int32, out []float32)
+}
+
+// floatDist scores candidates with exact squared L2 over the base matrix.
+type floatDist struct {
+	base  vecmath.Matrix
+	query []float32
+}
+
+func (d floatDist) one(counter *vecmath.Counter, id int32) float32 {
+	return counter.L2(d.query, d.base.Row(int(id)))
+}
+
+func (d floatDist) toRows(counter *vecmath.Counter, ids []int32, out []float32) {
+	counter.L2ToRows(d.base, d.query, ids, out)
+}
+
+// codeDist scores candidates with the asymmetric SQ8 kernel over the code
+// matrix: a 1-byte-per-dimension gather instead of 4. Each scanned code row
+// counts as one distance evaluation, the same convention the IVFPQ
+// baseline's ADC scan uses.
+type codeDist struct {
+	q      *quant.Quantizer
+	codes  quant.CodeMatrix
+	levels []int16 // the prepared query (Quantizer.PrepareInto)
+}
+
+func (d codeDist) one(counter *vecmath.Counter, id int32) float32 {
+	counter.AddN(1)
+	return d.q.L2(d.levels, d.codes, id)
+}
+
+func (d codeDist) toRows(counter *vecmath.Counter, ids []int32, out []float32) {
+	d.q.L2ToRowsCount(counter, d.codes, d.levels, ids, out)
+}
+
 // searchCtx is Algorithm 1: greedy best-first search from starts, keeping
 // the best l candidates and returning the nearest k. All scratch state lives
 // in ctx, so the steady state allocates nothing; the returned Neighbors
 // slice aliases ctx.out and is valid until ctx's next search.
-func searchCtx[A adjacencySource](ctx *SearchContext, a A, n int, base vecmath.Matrix, query []float32, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor) SearchResult {
+func searchCtx[A adjacencySource, D distSource](ctx *SearchContext, a A, n int, dist D, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor) SearchResult {
 	if l < k {
 		l = k
 	}
@@ -134,7 +182,7 @@ func searchCtx[A adjacencySource](ctx *SearchContext, a A, n int, base vecmath.M
 		if !ctx.visited.Visit(s) {
 			continue
 		}
-		d := counter.L2(query, base.Row(int(s)))
+		d := dist.one(counter, s)
 		if visited != nil {
 			*visited = append(*visited, vecmath.Neighbor{ID: s, Dist: d})
 		}
@@ -166,7 +214,7 @@ func searchCtx[A adjacencySource](ctx *SearchContext, a A, n int, base vecmath.M
 		}
 		ctx.idBuf = fresh
 		dists := ctx.distScratch(len(fresh))
-		counter.L2ToRows(base, query, fresh, dists)
+		dist.toRows(counter, fresh, dists)
 		for i, nb := range fresh {
 			d := dists[i]
 			if visited != nil {
@@ -201,7 +249,7 @@ func searchCtx[A adjacencySource](ctx *SearchContext, a A, n int, base vecmath.M
 // next search — copy it to retain. visited, when non-nil, receives every
 // node whose distance to the query was computed. counter may be nil.
 func SearchOnGraphCtx(ctx *SearchContext, g *graphutil.FlatGraph, base vecmath.Matrix, query []float32, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor) SearchResult {
-	return searchCtx(ctx, flatAdj{g: g}, g.Nodes, base, query, starts, k, l, counter, visited)
+	return searchCtx(ctx, flatAdj{g: g}, g.Nodes, floatDist{base: base, query: query}, starts, k, l, counter, visited)
 }
 
 // SearchOnGraphListCtx is SearchOnGraphCtx over ragged adjacency lists; it
@@ -209,7 +257,7 @@ func SearchOnGraphCtx(ctx *SearchContext, g *graphutil.FlatGraph, base vecmath.M
 // repair, incremental inserts), where maintaining a flat copy per mutation
 // would cost more than the layout saves.
 func SearchOnGraphListCtx(ctx *SearchContext, adj [][]int32, base vecmath.Matrix, query []float32, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor) SearchResult {
-	return searchCtx(ctx, listAdj{adj: adj}, len(adj), base, query, starts, k, l, counter, visited)
+	return searchCtx(ctx, listAdj{adj: adj}, len(adj), floatDist{base: base, query: query}, starts, k, l, counter, visited)
 }
 
 // SearchOnGraph is Algorithm 1: greedy best-first search over adjacency
@@ -225,7 +273,7 @@ func SearchOnGraphListCtx(ctx *SearchContext, adj [][]int32, base vecmath.Matrix
 // result out.
 func SearchOnGraph(adj [][]int32, base vecmath.Matrix, query []float32, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor) SearchResult {
 	ctx := getCtx()
-	res := searchCtx(ctx, listAdj{adj: adj}, len(adj), base, query, starts, k, l, counter, visited)
+	res := searchCtx(ctx, listAdj{adj: adj}, len(adj), floatDist{base: base, query: query}, starts, k, l, counter, visited)
 	out := copyNeighbors(res.Neighbors)
 	putCtx(ctx)
 	return SearchResult{Neighbors: out, Hops: res.Hops}

@@ -48,11 +48,21 @@ func (x *NSG) Insert(vec []float32, p InsertParams) (int32, error) {
 		p.L = 3 * p.M
 	}
 
-	// Grow the base matrix.
+	// Grow the base matrix. The new node is appended at the tail of both
+	// the internal and public id spaces, so on a relayouted index the remap
+	// tables extend with an identity entry; on a quantized index the vector
+	// is encoded with the trained grid (scales are never retrained here).
 	id := int32(x.Base.Rows)
 	x.Base.Data = append(x.Base.Data, vec...)
 	x.Base.Rows++
 	x.Graph.Adj = append(x.Graph.Adj, nil)
+	if x.PubIDs != nil {
+		x.PubIDs = append(x.PubIDs, id)
+		x.toInternal = append(x.toInternal, id)
+	}
+	if x.Quant != nil {
+		x.Quant.Q.AppendEncoded(&x.Quant.Codes, vec)
+	}
 
 	// Step 1: search-collect from the navigating node, on the list layout
 	// (the graph is mutating) with pooled scratch.
@@ -208,15 +218,18 @@ func (x *NSG) Compact(t *Tombstones, p InsertParams) (*NSG, []int32, error) {
 	if p.L <= 0 {
 		p.L = 3 * p.M
 	}
+	// Tombstones and the returned remap are in public ids; live collects the
+	// matching internal rows (identical unless a Relayout permuted them), in
+	// public order so the compacted ids stay monotone for the caller.
 	remap := make([]int32, x.Base.Rows)
 	live := make([]int32, 0, x.Base.Rows)
-	for i := int32(0); i < int32(x.Base.Rows); i++ {
-		if t != nil && t.Deleted(i) {
-			remap[i] = -1
+	for pub := int32(0); pub < int32(x.Base.Rows); pub++ {
+		if t != nil && t.Deleted(pub) {
+			remap[pub] = -1
 			continue
 		}
-		remap[i] = int32(len(live))
-		live = append(live, i)
+		remap[pub] = int32(len(live))
+		live = append(live, x.InternalID(pub))
 	}
 	if len(live) < 2 {
 		return nil, nil, fmt.Errorf("core: cannot compact to %d live points", len(live))

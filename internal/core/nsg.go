@@ -13,8 +13,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chunkio"
 	"repro/internal/graphutil"
 	"repro/internal/vecmath"
+	"repro/internal/vecmath/quant"
 )
 
 // BuildParams configures NSGBuild (Algorithm 2). The three parameters match
@@ -49,6 +51,16 @@ type NSG struct {
 	Navigating int32 // the navigating node: search always starts here
 	Base       vecmath.Matrix
 	M          int // degree cap the index was built with
+
+	// Quant, when non-nil, holds the trained SQ8 grid and the code matrix;
+	// every query path then runs the two-phase quantized search (code-space
+	// expansion, exact rerank). See EnableQuantization.
+	Quant *Quantized
+	// PubIDs translates internal node ids to the caller-visible ids when a
+	// cache-aware Relayout permuted the graph; nil means identity. toPublic
+	// applies it to every emitted result, and toInternal is its inverse.
+	PubIDs     []int32
+	toInternal []int32
 
 	flatMu sync.Mutex
 	flat   atomic.Pointer[graphutil.FlatGraph]
@@ -391,11 +403,33 @@ func (x *NSG) SearchWithHops(query []float32, k, l int, counter *vecmath.Counter
 }
 
 // SearchWithHopsCtx is the context-taking root of every NSG query path: it
-// traverses the cached flat layout from the navigating node.
+// traverses the cached flat layout from the navigating node. On a quantized
+// index it runs the two-phase SQ8 search (code-space expansion, exact
+// rerank), so results carry exact float32 distances either way. Emitted ids
+// are public ids (relayout permutations are translated back).
 func (x *NSG) SearchWithHopsCtx(ctx *SearchContext, query []float32, k, l int, counter *vecmath.Counter) SearchResult {
+	var res SearchResult
+	if x.Quant != nil {
+		res = x.searchQuantCtx(ctx, query, k, l, counter, true)
+	} else {
+		f := x.FlatView()
+		ctx.startBuf[0] = x.Navigating
+		res = SearchOnGraphCtx(ctx, f, x.Base, query, ctx.startBuf[:], k, l, counter, nil)
+	}
+	x.toPublic(res.Neighbors)
+	return res
+}
+
+// SearchFloatWithHopsCtx forces the exact float32 path regardless of
+// quantization state — the ablation hook cmd/bench -exp quant uses to
+// measure the same graph with and without the code matrix. Results are in
+// public ids, identical to SearchWithHopsCtx on an unquantized index.
+func (x *NSG) SearchFloatWithHopsCtx(ctx *SearchContext, query []float32, k, l int, counter *vecmath.Counter) SearchResult {
 	f := x.FlatView()
 	ctx.startBuf[0] = x.Navigating
-	return SearchOnGraphCtx(ctx, f, x.Base, query, ctx.startBuf[:], k, l, counter, nil)
+	res := SearchOnGraphCtx(ctx, f, x.Base, query, ctx.startBuf[:], k, l, counter, nil)
+	x.toPublic(res.Neighbors)
+	return res
 }
 
 // Stats summarizes the index the way Table 2 reports it.
@@ -430,17 +464,55 @@ func (x *NSG) reachableCount() int {
 	return r
 }
 
-const nsgFileMagic = 0x4e534746 // "NSGF"
+const (
+	// nsgFileMagic marks the original graph-only record; files carrying it
+	// predate quantization and remain loadable unchanged.
+	nsgFileMagic = 0x4e534746 // "NSGF"
+	// nsgQuantMagic marks the extended record: the same header plus a flags
+	// word, followed by optional id-remap and SQ8 sections. A distinct
+	// magic (rather than a version field appended to NSGF) means old
+	// readers reject new files at the first check instead of misparsing.
+	nsgQuantMagic = 0x4e534751 // "NSGQ"
 
-// Write serializes the index (graph + navigating node + degree cap). The
-// base vectors are not serialized — like the paper's index files, vectors
-// live in their own dataset file and are re-attached on load.
+	nsgFlagRemap = 1 << 0 // id-remap table follows the graph
+	nsgFlagQuant = 1 << 1 // quantizer + code matrix follow
+)
+
+// Write serializes the index (graph + navigating node + degree cap, plus
+// the id-remap table and SQ8 grid/codes when present — storing codes and
+// scales lets a load skip retraining and re-encoding). The base vectors are
+// not serialized — like the paper's index files, vectors live in their own
+// dataset file and are re-attached on load, in public id order.
 func (x *NSG) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	hdr := make([]byte, 12)
-	binary.LittleEndian.PutUint32(hdr[0:], nsgFileMagic)
+	flags := uint32(0)
+	if x.PubIDs != nil {
+		flags |= nsgFlagRemap
+	}
+	if x.Quant != nil {
+		flags |= nsgFlagQuant
+	}
+	if flags == 0 {
+		hdr := make([]byte, 12)
+		binary.LittleEndian.PutUint32(hdr[0:], nsgFileMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(x.Navigating))
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(x.M))
+		if _, err := bw.Write(hdr); err != nil {
+			return fmt.Errorf("core: write header: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("core: flush header: %w", err)
+		}
+		if _, err := x.Graph.WriteTo(w); err != nil {
+			return err
+		}
+		return nil
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], nsgQuantMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(x.Navigating))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(x.M))
+	binary.LittleEndian.PutUint32(hdr[12:], flags)
 	if _, err := bw.Write(hdr); err != nil {
 		return fmt.Errorf("core: write header: %w", err)
 	}
@@ -450,21 +522,95 @@ func (x *NSG) Write(w io.Writer) error {
 	if _, err := x.Graph.WriteTo(w); err != nil {
 		return err
 	}
+	if x.PubIDs != nil {
+		if err := writeRemap(bw, x.PubIDs); err != nil {
+			return err
+		}
+	}
+	if x.Quant != nil {
+		if err := quant.WriteQuantizer(bw, &x.Quant.Q); err != nil {
+			return err
+		}
+		if err := quant.WriteCodes(bw, x.Quant.Codes); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeRemap encodes the internal→public id table through the shared
+// chunked codec, the same discipline as the vector codec.
+func writeRemap(bw *bufio.Writer, ids []int32) error {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(ids)))
+	if _, err := bw.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("core: write remap size: %w", err)
+	}
+	if err := chunkio.WriteInt32s(bw, ids); err != nil {
+		return fmt.Errorf("core: write remap: %w", err)
+	}
 	return nil
 }
 
-// ReadNSG deserializes an index written by WriteTo and attaches base.
+// readRemap decodes a remap table of exactly n ids and verifies it is a
+// permutation of [0,n).
+func readRemap(r io.Reader, n int) ([]int32, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("core: read remap size: %w", err)
+	}
+	if got := int(binary.LittleEndian.Uint32(lenBuf[:])); got != n {
+		return nil, fmt.Errorf("core: remap table has %d entries for %d nodes", got, n)
+	}
+	ids := make([]int32, n)
+	if err := chunkio.ReadInt32s(r, ids); err != nil {
+		return nil, fmt.Errorf("core: read remap: %w", err)
+	}
+	seen := make([]bool, n)
+	for _, id := range ids {
+		if id < 0 || int(id) >= n || seen[id] {
+			return nil, fmt.Errorf("core: remap entry %d is not a permutation of [0,%d)", id, n)
+		}
+		seen[id] = true
+	}
+	return ids, nil
+}
+
+// ReadNSG deserializes an index written by Write and attaches base, whose
+// rows must be in public id order (the order persistence containers store).
+// The index takes ownership of base; for relayouted indexes the remap
+// section restores the internal order by permuting base's rows in place.
 func ReadNSG(r io.Reader, base vecmath.Matrix) (*NSG, error) {
+	// Normalize to one buffered reader shared with graphutil.ReadFrom (a
+	// bufio.Reader passes through bufio.NewReader unchanged), so trailing
+	// sections are never swallowed by a second layer of read-ahead.
+	br := bufio.NewReader(r)
 	hdr := make([]byte, 12)
-	if _, err := io.ReadFull(r, hdr); err != nil {
+	if _, err := io.ReadFull(br, hdr); err != nil {
 		return nil, fmt.Errorf("core: read header: %w", err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != nsgFileMagic {
+	flags := uint32(0)
+	switch binary.LittleEndian.Uint32(hdr[0:]) {
+	case nsgFileMagic:
+	case nsgQuantMagic:
+		var fb [4]byte
+		if _, err := io.ReadFull(br, fb[:]); err != nil {
+			return nil, fmt.Errorf("core: read flags: %w", err)
+		}
+		flags = binary.LittleEndian.Uint32(fb[:])
+		// Unknown bits mean sections this reader cannot consume: reject
+		// up front (the reject-don't-misparse discipline the distinct
+		// magic exists for) instead of leaving orphaned bytes that would
+		// corrupt the next record of an embedding stream.
+		if flags&^uint32(nsgFlagRemap|nsgFlagQuant) != 0 {
+			return nil, fmt.Errorf("core: unsupported NSG record flags %#x", flags)
+		}
+	default:
 		return nil, fmt.Errorf("core: bad NSG file magic")
 	}
 	nav := int32(binary.LittleEndian.Uint32(hdr[4:]))
 	m := int(binary.LittleEndian.Uint32(hdr[8:]))
-	g, err := graphutil.ReadFrom(r)
+	g, err := graphutil.ReadFrom(br)
 	if err != nil {
 		return nil, err
 	}
@@ -475,6 +621,40 @@ func ReadNSG(r io.Reader, base vecmath.Matrix) (*NSG, error) {
 		return nil, fmt.Errorf("core: navigating node %d out of range", nav)
 	}
 	x := &NSG{Graph: g, Navigating: nav, Base: base, M: m}
+	if flags&nsgFlagRemap != 0 {
+		pub, err := readRemap(br, g.N())
+		if err != nil {
+			return nil, err
+		}
+		x.PubIDs = pub
+		inv := make([]int32, len(pub))
+		for internal, p := range pub {
+			inv[p] = int32(internal)
+		}
+		x.toInternal = inv
+		// The caller supplied rows in public order; restore the internal
+		// (relayouted) order the graph was persisted in. The permutation is
+		// applied in place (cycle following), so loading a relayouted index
+		// never holds two copies of the vectors — at the serving scales
+		// this feature targets, a transient second matrix would double
+		// peak memory.
+		permuteRows(base.Data, base.Dim, pub)
+	}
+	if flags&nsgFlagQuant != 0 {
+		qz, err := quant.ReadQuantizer(br)
+		if err != nil {
+			return nil, err
+		}
+		codes, err := quant.ReadCodes(br)
+		if err != nil {
+			return nil, err
+		}
+		if qz.Dim() != base.Dim || codes.Dim != base.Dim || codes.Rows != base.Rows {
+			return nil, fmt.Errorf("core: quant section shape %dx%d (dim %d) does not match base %dx%d",
+				codes.Rows, codes.Dim, qz.Dim(), base.Rows, base.Dim)
+		}
+		x.Quant = &Quantized{Q: qz, Codes: codes}
+	}
 	// Freeze the serving layout once at load.
 	x.flat.Store(graphutil.Flatten(g))
 	return x, nil

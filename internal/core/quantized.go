@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/vecmath"
+	"repro/internal/vecmath/quant"
+)
+
+// This file is the two-phase SQ8 serving path. Phase one runs Algorithm 1
+// over the code matrix: the greedy expansion gathers 1-byte-per-dimension
+// code rows instead of 4-byte float rows, cutting the bytes each hop
+// touches 4x — the factor that matters once the loop itself is
+// allocation-free, because graph traversal at scale is memory-bandwidth
+// bound (Section 6's commodity-hardware serving argument). Phase two
+// reranks: the final candidate pool (up to l nodes) gets exact float32
+// distances in one batched gather and is re-sorted before the k results are
+// emitted, so quantization error never reaches the caller's distances and
+// only costs recall when a true neighbor fell out of the pool entirely —
+// which the pool slack (l >= k) absorbs.
+
+// Quantized bundles a trained SQ8 grid with the codes of the index's base
+// vectors. Rows are in internal (post-relayout) id order, matching Base.
+type Quantized struct {
+	Q     quant.Quantizer
+	Codes quant.CodeMatrix
+}
+
+// EnableQuantization attaches an SQ8 code matrix to the index and switches
+// every search path to the two-phase quantized search. A nil q trains the
+// grid on the index's own base vectors; passing a quantizer trained
+// elsewhere (e.g. once on the full dataset of a sharded index) shares its
+// scales without retraining. Call after Relayout, if both are wanted, so
+// codes are encoded directly in the serving order. Not safe for concurrent
+// use with Search.
+func (x *NSG) EnableQuantization(q *quant.Quantizer) error {
+	// Validate here so the error-returning public builders never reach the
+	// panics quant.Train reserves for violated internal contracts.
+	if x.Base.Dim > quant.MaxDim {
+		return fmt.Errorf("core: dimension %d exceeds the SQ8 int32-accumulation limit %d", x.Base.Dim, quant.MaxDim)
+	}
+	if x.Base.Rows == 0 {
+		return fmt.Errorf("core: cannot quantize an empty index")
+	}
+	var qz quant.Quantizer
+	if q == nil {
+		qz = quant.Train(x.Base)
+	} else {
+		if q.Dim() != x.Base.Dim {
+			return fmt.Errorf("core: quantizer dim %d != index dim %d", q.Dim(), x.Base.Dim)
+		}
+		qz = *q
+	}
+	x.Quant = &Quantized{Q: qz, Codes: qz.Encode(x.Base)}
+	return nil
+}
+
+// IsQuantized reports whether the index serves through the SQ8 path.
+func (x *NSG) IsQuantized() bool { return x.Quant != nil }
+
+// SearchQuantizedCtx is the quantized Algorithm 1 with explicit control of
+// the rerank phase: rerank=true is what every public path uses (exact
+// distances, approximation confined to pool ordering), rerank=false emits
+// the raw code-space distances — the ablation cmd/bench -exp quant measures
+// to price the rerank. Panics if the index is not quantized. Results are in
+// public ids; with a reused ctx the steady state allocates nothing.
+func (x *NSG) SearchQuantizedCtx(ctx *SearchContext, query []float32, k, l int, counter *vecmath.Counter, rerank bool) SearchResult {
+	res := x.searchQuantCtx(ctx, query, k, l, counter, rerank)
+	x.toPublic(res.Neighbors)
+	return res
+}
+
+// searchQuantCtx runs the two-phase search, returning internal ids.
+func (x *NSG) searchQuantCtx(ctx *SearchContext, query []float32, k, l int, counter *vecmath.Counter, rerank bool) SearchResult {
+	if l < k {
+		l = k
+	}
+	qz := x.Quant
+	f := x.FlatView()
+	ctx.qlevels = qz.Q.PrepareInto(ctx.qlevels[:0], query)
+	dist := codeDist{q: &qz.Q, codes: qz.Codes, levels: ctx.qlevels}
+	ctx.startBuf[0] = x.Navigating
+	fetch := k
+	if rerank {
+		// Keep the whole pool: rerank reorders all l survivors so a true
+		// neighbor misranked by quantization still reaches the top k.
+		fetch = l
+	}
+	res := searchCtx(ctx, flatAdj{g: f}, f.Nodes, dist, ctx.startBuf[:], fetch, l, counter, nil)
+	if !rerank {
+		return res
+	}
+
+	// Phase two: exact distances for the survivors in one batched gather,
+	// then re-sort and truncate to k. All scratch is context-owned: ids are
+	// staged in idBuf (free once the expansion loop is done) and the result
+	// entries are rebuilt in place in ctx.out.
+	ids := ctx.idBuf[:0]
+	for _, nb := range res.Neighbors {
+		ids = append(ids, nb.ID)
+	}
+	ctx.idBuf = ids
+	dists := ctx.distScratch(len(ids))
+	counter.L2ToRows(x.Base, query, ids, dists)
+	out := ctx.out[:0]
+	for i, id := range ids {
+		out = append(out, vecmath.Neighbor{ID: id, Dist: dists[i]})
+	}
+	slices.SortFunc(out, vecmath.CompareNeighbors)
+	if len(out) > k {
+		out = out[:k]
+	}
+	ctx.out = out
+	return SearchResult{Neighbors: out, Hops: res.Hops}
+}
+
+// toPublic rewrites internal ids to public ids in place; identity (and
+// free) when no relayout happened.
+func (x *NSG) toPublic(ns []vecmath.Neighbor) {
+	if x.PubIDs == nil {
+		return
+	}
+	for i := range ns {
+		ns[i].ID = x.PubIDs[ns[i].ID]
+	}
+}
+
+// Relaid reports whether a Relayout permuted the index (i.e. internal and
+// public ids differ).
+func (x *NSG) Relaid() bool { return x.PubIDs != nil }
+
+// InternalID maps a public id to the internal (post-relayout) node id.
+func (x *NSG) InternalID(id int32) int32 {
+	if x.toInternal == nil {
+		return id
+	}
+	return x.toInternal[id]
+}
+
+// PublicID maps an internal node id to the caller-visible id.
+func (x *NSG) PublicID(id int32) int32 {
+	if x.PubIDs == nil {
+		return id
+	}
+	return x.PubIDs[id]
+}
+
+// VectorByID returns the stored vector with the given public id.
+func (x *NSG) VectorByID(id int32) []float32 {
+	return x.Base.Row(int(x.InternalID(id)))
+}
+
+// PublicBase returns the base vectors in public id order: the matrix itself
+// when no relayout happened, otherwise a de-permuted copy. Persistence
+// containers store this order so the file's row r is always public id r.
+func (x *NSG) PublicBase() vecmath.Matrix {
+	if x.PubIDs == nil {
+		return x.Base
+	}
+	out := vecmath.NewMatrix(x.Base.Rows, x.Base.Dim)
+	for i := 0; i < x.Base.Rows; i++ {
+		copy(out.Row(int(x.PubIDs[i])), x.Base.Row(i))
+	}
+	return out
+}

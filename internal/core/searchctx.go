@@ -37,6 +37,9 @@ type SearchContext struct {
 	// sel holds MRNG-selected neighbors during SelectMRNGInto; reused across
 	// nodes by Algorithm 2 workers and the incremental insert path.
 	sel []vecmath.Neighbor
+	// qlevels holds the prepared query (int16 grid levels) for the SQ8
+	// search path, recomputed per query and sized once to the dimension.
+	qlevels []int16
 }
 
 // distScratch returns a distance buffer of at least n entries, growing the

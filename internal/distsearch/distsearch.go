@@ -30,6 +30,7 @@ import (
 	"repro/internal/graphutil"
 	"repro/internal/knngraph"
 	"repro/internal/vecmath"
+	"repro/internal/vecmath/quant"
 )
 
 // Sharded is a collection of per-partition NSG indexes over one logical
@@ -55,7 +56,12 @@ type Params struct {
 	// UseNNDescent selects the approximate kNN builder (the at-scale path);
 	// false uses the exact builder.
 	UseNNDescent bool
-	Seed         int64
+	// Quantize enables the SQ8 serving path on every shard: one quantizer
+	// is trained on the full base matrix (not per shard, so all shards
+	// share identical scales and their merged distances are comparable),
+	// then each shard is relayouted into BFS cache order and encoded.
+	Quantize bool
+	Seed     int64
 }
 
 // DefaultParams returns settings for test-scale sharded experiments.
@@ -73,8 +79,11 @@ type SearchStats struct {
 }
 
 // buildShard partitions out one shard's rows and builds its NSG. perm is
-// the global random permutation; the shard owns rows perm[lo:hi].
-func buildShard(base vecmath.Matrix, perm []int, lo, hi int, p Params, sh int) (*core.NSG, []int32, error) {
+// the global random permutation; the shard owns rows perm[lo:hi]. qz, when
+// non-nil, is the quantizer trained once on the full base matrix: the shard
+// is relayouted into BFS cache order and encoded with those shared scales
+// instead of retraining per shard.
+func buildShard(base vecmath.Matrix, perm []int, lo, hi int, p Params, sh int, qz *quant.Quantizer) (*core.NSG, []int32, error) {
 	ids := make([]int32, hi-lo)
 	sub := vecmath.NewMatrix(hi-lo, base.Dim)
 	for j, pi := range perm[lo:hi] {
@@ -102,6 +111,12 @@ func buildShard(base vecmath.Matrix, perm []int, lo, hi int, p Params, sh int) (
 	idx, _, err := core.NSGBuild(knn, sub, bp)
 	if err != nil {
 		return nil, nil, fmt.Errorf("distsearch: shard %d NSG: %w", sh, err)
+	}
+	if qz != nil {
+		idx.Relayout()
+		if err := idx.EnableQuantization(qz); err != nil {
+			return nil, nil, fmt.Errorf("distsearch: shard %d quantize: %w", sh, err)
+		}
 	}
 	return idx, ids, nil
 }
@@ -137,11 +152,19 @@ func BuildSharded(base vecmath.Matrix, p Params) (*Sharded, error) {
 		spans = append(spans, bounds{lo, hi})
 	}
 
+	// One quantizer training pass for the whole build: trained on the full
+	// matrix before the fan-out, shared read-only by every shard's encode.
+	var qz *quant.Quantizer
+	if p.Quantize {
+		q := quant.Train(base)
+		qz = &q
+	}
+
 	shards := make([]*core.NSG, len(spans))
 	localID := make([][]int32, len(spans))
 	errs := make([]error, len(spans))
 	graphutil.ParallelFor(len(spans), func(sh int) {
-		shards[sh], localID[sh], errs[sh] = buildShard(base, perm, spans[sh].lo, spans[sh].hi, p, sh)
+		shards[sh], localID[sh], errs[sh] = buildShard(base, perm, spans[sh].lo, spans[sh].hi, p, sh, qz)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -179,6 +202,12 @@ func (s *Sharded) Close() {
 
 // Shards returns the number of partitions.
 func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Quantized reports whether the shards serve through the SQ8 path (all
+// shards share one quantization state, so the first speaks for all).
+func (s *Sharded) Quantized() bool {
+	return len(s.shards) > 0 && s.shards[0].IsQuantized()
+}
 
 // ShardSizes returns the number of vectors in each shard.
 func (s *Sharded) ShardSizes() []int {

@@ -262,3 +262,94 @@ func TestCloseIdempotent(t *testing.T) {
 	s.Close()
 	s.Close() // must not panic
 }
+
+// TestQuantizedSharding: one quantizer is trained for the whole build (all
+// shards share identical scales — the satellite contract that replaced
+// per-shard retraining), the fan-out path serves quantized results, and the
+// persisted form round-trips through Write/Read with the shared state
+// intact.
+func TestQuantizedSharding(t *testing.T) {
+	ds, err := dataset.ECommerceLike(dataset.Config{N: 1600, Queries: 30, GTK: 10, Dim: 32, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(4)
+	p.UseNNDescent = false
+	p.Quantize = true
+	s, err := BuildSharded(ds.Base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.Quantized() {
+		t.Fatal("index not quantized")
+	}
+	scale := s.shards[0].Quant.Q.Scale()
+	for sh, shard := range s.shards {
+		if !shard.IsQuantized() {
+			t.Fatalf("shard %d not quantized", sh)
+		}
+		if got := shard.Quant.Q.Scale(); got != scale {
+			t.Fatalf("shard %d scale %g != shard 0 scale %g: quantizer not shared", sh, got, scale)
+		}
+	}
+
+	got := make([][]int32, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		res := s.Search(ds.Queries.Row(qi), 10, 60)
+		ids := make([]int32, len(res))
+		for i, n := range res {
+			ids[i] = n.ID
+		}
+		got[qi] = ids
+	}
+	if recall := dataset.MeanRecall(got, ds.GT, 10); recall < 0.92 {
+		t.Errorf("quantized sharded recall@10 = %.3f, want >= 0.92", recall)
+	}
+
+	path := t.TempDir() + "/quant.shards"
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path, ds.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if !loaded.Quantized() {
+		t.Fatal("reloaded index lost quantization")
+	}
+	for qi := 0; qi < 10; qi++ {
+		a := s.Search(ds.Queries.Row(qi), 10, 60)
+		b := loaded.Search(ds.Queries.Row(qi), 10, 60)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: result length changed across persist", qi)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d rank %d: %v vs %v after persist", qi, i, a[i], b[i])
+			}
+		}
+	}
+
+	// Routed insert on the quantized index: codes and remap extend.
+	vec := make([]float32, ds.Base.Dim)
+	copy(vec, ds.Base.Row(7))
+	gid, sh, err := s.Insert(vec, core.InsertParams{M: 30, L: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh < 0 || sh >= s.Shards() {
+		t.Fatalf("insert routed to invalid shard %d", sh)
+	}
+	res := s.Search(vec, 2, 60)
+	found := false
+	for _, n := range res {
+		if n.ID == gid && n.Dist == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inserted vector %d not found at distance 0: %v", gid, res)
+	}
+}

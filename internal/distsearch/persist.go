@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/chunkio"
 	"repro/internal/core"
 	"repro/internal/vecmath"
 )
@@ -38,9 +39,8 @@ func (s *Sharded) Write(w io.Writer) error {
 	if _, err := bw.Write(hdr); err != nil {
 		return fmt.Errorf("distsearch: write header: %w", err)
 	}
-	// Id maps are encoded through one reused chunk buffer (not a 4-byte
-	// write per id), same chunking discipline as the nsg vector codec.
-	buf := make([]byte, idIOChunk*4)
+	// Id maps go through the shared chunked codec (not a 4-byte write per
+	// id), same discipline as the nsg vector codec.
 	for sh := range s.shards {
 		ids := s.localID[sh]
 		var lenBuf [4]byte
@@ -48,16 +48,8 @@ func (s *Sharded) Write(w io.Writer) error {
 		if _, err := bw.Write(lenBuf[:]); err != nil {
 			return fmt.Errorf("distsearch: write shard size: %w", err)
 		}
-		for off := 0; off < len(ids); off += idIOChunk {
-			end := min(off+idIOChunk, len(ids))
-			n := 0
-			for _, id := range ids[off:end] {
-				binary.LittleEndian.PutUint32(buf[n:], uint32(id))
-				n += 4
-			}
-			if _, err := bw.Write(buf[:n]); err != nil {
-				return fmt.Errorf("distsearch: write id map: %w", err)
-			}
+		if err := chunkio.WriteInt32s(bw, ids); err != nil {
+			return fmt.Errorf("distsearch: write id map: %w", err)
 		}
 		if err := bw.Flush(); err != nil {
 			return fmt.Errorf("distsearch: %w", err)
@@ -68,9 +60,6 @@ func (s *Sharded) Write(w io.Writer) error {
 	}
 	return bw.Flush()
 }
-
-// idIOChunk is the number of int32 ids encoded per buffered write.
-const idIOChunk = 16384
 
 // Save writes the sharded index to path.
 func (s *Sharded) Save(path string) error {
@@ -106,7 +95,6 @@ func Read(r io.Reader, base vecmath.Matrix) (*Sharded, error) {
 	}
 	s := &Sharded{Base: base}
 	covered := 0
-	idBuf := make([]byte, idIOChunk*4)
 	for sh := 0; sh < nShards; sh++ {
 		var buf [4]byte
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
@@ -117,23 +105,15 @@ func Read(r io.Reader, base vecmath.Matrix) (*Sharded, error) {
 			return nil, fmt.Errorf("distsearch: shard %d has implausible size %d", sh, size)
 		}
 		ids := make([]int32, size)
+		if err := chunkio.ReadInt32s(br, ids); err != nil {
+			return nil, fmt.Errorf("distsearch: read shard %d ids: %w", sh, err)
+		}
 		sub := vecmath.NewMatrix(size, base.Dim)
-		// Decode the id map in idIOChunk-sized reads, mirroring the chunked
-		// write side.
-		for off := 0; off < size; off += idIOChunk {
-			end := min(off+idIOChunk, size)
-			chunk := idBuf[:(end-off)*4]
-			if _, err := io.ReadFull(br, chunk); err != nil {
-				return nil, fmt.Errorf("distsearch: read shard %d ids: %w", sh, err)
+		for j, id := range ids {
+			if id < 0 || int(id) >= base.Rows {
+				return nil, fmt.Errorf("distsearch: shard %d id %d out of range", sh, id)
 			}
-			for j := off; j < end; j++ {
-				id := int32(binary.LittleEndian.Uint32(chunk[(j-off)*4:]))
-				if id < 0 || int(id) >= base.Rows {
-					return nil, fmt.Errorf("distsearch: shard %d id %d out of range", sh, id)
-				}
-				ids[j] = id
-				copy(sub.Row(j), base.Row(int(id)))
-			}
+			copy(sub.Row(j), base.Row(int(id)))
 		}
 		idx, err := core.ReadNSG(br, sub)
 		if err != nil {

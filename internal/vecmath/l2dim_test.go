@@ -1,0 +1,121 @@
+package vecmath
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The L2 kernel is 8-way unrolled with a scalar tail loop; dimensions that
+// are not multiples of 8 exercise the tail. These tests check every tail
+// length exhaustively against a float64 reference, so a kernel rewrite
+// (unroll width change, SIMD port) that mishandles the remainder fails
+// loudly instead of silently corrupting distances on odd dimensions.
+
+// l2Ref accumulates in float64, the order-insensitive reference.
+func l2Ref(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// TestL2DimSweepParity runs dims 1..33 (every unroll remainder twice over,
+// plus the first two full blocks) and a few serving dims, comparing the
+// kernel to the float64 reference within float32 accumulation tolerance.
+func TestL2DimSweepParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dims := make([]int, 0, 40)
+	for d := 1; d <= 33; d++ {
+		dims = append(dims, d)
+	}
+	dims = append(dims, 64, 100, 128, 960)
+	for _, dim := range dims {
+		for trial := 0; trial < 20; trial++ {
+			a := make([]float32, dim)
+			b := make([]float32, dim)
+			for i := range a {
+				a[i] = rng.Float32()*20 - 10
+				b[i] = rng.Float32()*20 - 10
+			}
+			got := float64(L2(a, b))
+			want := l2Ref(a, b)
+			// float32 summation of dim terms: relative error grows with the
+			// number of additions; 1e-5 is ~100x the worst observed here.
+			tol := 1e-5 * math.Max(want, 1)
+			if math.Abs(got-want) > tol {
+				t.Fatalf("dim %d trial %d: L2=%g, float64 ref=%g, |diff|=%g > %g",
+					dim, trial, got, want, math.Abs(got-want), tol)
+			}
+		}
+	}
+}
+
+// TestL2TailExact pins the tail loop with values where float arithmetic is
+// exact (small integers), so any skipped or double-counted tail element is
+// a hard mismatch, not a tolerance question.
+func TestL2TailExact(t *testing.T) {
+	for dim := 1; dim <= 33; dim++ {
+		a := make([]float32, dim)
+		b := make([]float32, dim)
+		var want float32
+		for i := range a {
+			a[i] = float32(i + 1)
+			b[i] = float32(-(i % 7))
+			d := a[i] - b[i]
+			want += d * d
+		}
+		if got := L2(a, b); got != want {
+			t.Fatalf("dim %d: L2=%g, exact sum=%g", dim, got, want)
+		}
+	}
+}
+
+// TestL2ToRowsDimSweep checks the batched gather stays bit-identical to
+// per-row L2 calls on tail-bearing dimensions (its documented contract).
+func TestL2ToRowsDimSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, dim := range []int{1, 3, 7, 8, 9, 15, 17, 31, 33} {
+		m := NewMatrix(50, dim)
+		for i := range m.Data {
+			m.Data[i] = rng.Float32()*2 - 1
+		}
+		q := make([]float32, dim)
+		for i := range q {
+			q[i] = rng.Float32()*2 - 1
+		}
+		ids := []int32{0, 49, 7, 7, 13}
+		out := make([]float32, len(ids))
+		L2ToRows(m, q, ids, out)
+		for i, id := range ids {
+			if want := L2(q, m.Row(int(id))); out[i] != want {
+				t.Fatalf("dim %d row %d: gather %g != direct %g", dim, id, out[i], want)
+			}
+		}
+	}
+}
+
+// BenchmarkL2 sweeps the kernel across dimensions — full unroll blocks,
+// odd tails, and the paper's serving dims — so a kernel regression on any
+// shape is visible in the ns/op trajectory.
+func BenchmarkL2(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	for _, dim := range []int{4, 8, 15, 16, 31, 32, 33, 64, 100, 128, 960} {
+		a := make([]float32, dim)
+		c := make([]float32, dim)
+		for i := range a {
+			a[i] = rng.Float32()
+			c[i] = rng.Float32()
+		}
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			var s float32
+			for i := 0; i < b.N; i++ {
+				s += L2(a, c)
+			}
+			_ = s
+		})
+	}
+}

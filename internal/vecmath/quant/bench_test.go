@@ -1,0 +1,99 @@
+package quant
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// BenchmarkQuantKernel compares one SQ8 code distance against one float32
+// distance at serving dimensions, plus the portable scalar fallback — the
+// per-distance view of the 4x byte shrink and the packed int16 kernel.
+func BenchmarkQuantKernel(b *testing.B) {
+	for _, dim := range []int{32, 128, 960} {
+		rng := rand.New(rand.NewSource(1))
+		m := vecmath.NewMatrix(1024, dim)
+		for i := range m.Data {
+			m.Data[i] = rng.Float32() * 100
+		}
+		q := Train(m)
+		c := q.Encode(m)
+		levels := q.PrepareInto(nil, m.Row(0))
+		b.Run(fmt.Sprintf("dim=%d/float32", dim), func(b *testing.B) {
+			var s float32
+			for i := 0; i < b.N; i++ {
+				s += vecmath.L2(m.Row(0), m.Row(i&1023))
+			}
+			_ = s
+		})
+		b.Run(fmt.Sprintf("dim=%d/sq8", dim), func(b *testing.B) {
+			var s int32
+			for i := 0; i < b.N; i++ {
+				s += L2Levels(levels, c.Row(i&1023))
+			}
+			_ = s
+		})
+		b.Run(fmt.Sprintf("dim=%d/sq8-generic", dim), func(b *testing.B) {
+			var s int32
+			for i := 0; i < b.N; i++ {
+				s += l2LevelsGeneric(levels, c.Row(i&1023))
+			}
+			_ = s
+		})
+	}
+}
+
+// BenchmarkQuantGather measures the batched L2ToRows gather the search
+// expansion loop calls, at a typical out-degree.
+func BenchmarkQuantGather(b *testing.B) {
+	const dim, rows, fan = 128, 8192, 30
+	rng := rand.New(rand.NewSource(1))
+	m := vecmath.NewMatrix(rows, dim)
+	for i := range m.Data {
+		m.Data[i] = rng.Float32() * 100
+	}
+	q := Train(m)
+	c := q.Encode(m)
+	levels := q.PrepareInto(nil, m.Row(0))
+	ids := make([]int32, fan)
+	for i := range ids {
+		ids[i] = int32(rng.Intn(rows))
+	}
+	out := make([]float32, fan)
+	b.Run("sq8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q.L2ToRows(c, levels, ids, out)
+		}
+	})
+	b.Run("float32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			vecmath.L2ToRows(m, m.Row(0), ids, out)
+		}
+	})
+}
+
+// BenchmarkQuantEncode prices training and encoding, the one-time build
+// cost the serving win pays for.
+func BenchmarkQuantEncode(b *testing.B) {
+	const dim, rows = 128, 8192
+	rng := rand.New(rand.NewSource(1))
+	m := vecmath.NewMatrix(rows, dim)
+	for i := range m.Data {
+		m.Data[i] = rng.Float32() * 100
+	}
+	b.Run("train", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Train(m)
+		}
+	})
+	q := Train(m)
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q.Encode(m)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package quant
+
+import "repro/internal/vecmath"
+
+// Asymmetric distance kernels: a prepared query (int16 grid levels, see
+// Quantizer.PrepareInto) against uint8 code rows, accumulating in int32.
+// Levels and diffs fit comfortably in 16 bits (levels span [-queryPad,
+// 255+queryPad]), which is what lets the amd64 path process 16 dimensions
+// per step: widen 16 code bytes to words, one packed subtract, then
+// VPMADDWD squares-and-pairs into int32 lanes — integer arithmetic, so the
+// vector path is bit-identical to the scalar one. On other architectures
+// (or pre-AVX2 hardware) a 4-way unrolled scalar loop runs instead,
+// following the style of vecmath.L2.
+
+// L2Levels returns the int32 accumulated squared level distance between a
+// prepared query and one code row. Multiply by Quantizer.DistMul to convert
+// to a squared-L2 approximation. Panics if the lengths differ.
+func L2Levels(levels []int16, code []uint8) int32 {
+	if len(levels) != len(code) {
+		panic("quant: level/code length mismatch")
+	}
+	if useAVX2 && len(levels) >= 16 {
+		n := len(levels) &^ 15
+		s := l2Levels16AVX2(&levels[0], &code[0], n)
+		for i := n; i < len(levels); i++ {
+			d := int32(levels[i]) - int32(code[i])
+			s += d * d
+		}
+		return s
+	}
+	return l2LevelsGeneric(levels, code)
+}
+
+// l2LevelsGeneric is the portable scalar kernel. Four accumulators (not
+// eight, as the float kernels use): integer adds are single-cycle, so four
+// chains already saturate the ALUs, and more would spill the general
+// registers the loop also needs for addressing.
+func l2LevelsGeneric(levels []int16, code []uint8) int32 {
+	code = code[:len(levels)]
+	var s0, s1, s2, s3 int32
+	i := 0
+	for ; i+4 <= len(levels); i += 4 {
+		d0 := int32(levels[i]) - int32(code[i])
+		d1 := int32(levels[i+1]) - int32(code[i+1])
+		d2 := int32(levels[i+2]) - int32(code[i+2])
+		d3 := int32(levels[i+3]) - int32(code[i+3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(levels); i++ {
+		d := int32(levels[i]) - int32(code[i])
+		s += d * d
+	}
+	return s
+}
+
+// L2 returns the approximate squared L2 distance between a prepared query
+// and code row i of c.
+func (q *Quantizer) L2(levels []int16, c CodeMatrix, i int32) float32 {
+	return float32(L2Levels(levels, c.Row(int(i)))) * q.distMul
+}
+
+// L2ToRows is the batched gather kernel the quantized search loop uses: it
+// writes the approximate squared distance from the prepared query to code
+// row ids[i] into out[i] for every i — the SQ8 twin of vecmath.L2ToRows.
+// out must be at least len(ids) long.
+func (q *Quantizer) L2ToRows(c CodeMatrix, levels []int16, ids []int32, out []float32) {
+	if len(out) < len(ids) {
+		panic("quant: L2ToRows output shorter than ids")
+	}
+	dim := c.Dim
+	data := c.Codes
+	mul := q.distMul
+	for i, id := range ids {
+		off := int(id) * dim
+		out[i] = float32(L2Levels(levels, data[off:off+dim:off+dim])) * mul
+	}
+}
+
+// L2ToRowsCount is the Counter-aware twin of L2ToRows: it computes the same
+// distances and records len(ids) distance evaluations in one counter
+// update, the same convention the IVFPQ baseline uses for its quantized
+// (ADC) scans in the paper's Figure 8 accounting. A nil counter is valid
+// and counts nothing.
+func (q *Quantizer) L2ToRowsCount(counter *vecmath.Counter, c CodeMatrix, levels []int16, ids []int32, out []float32) {
+	counter.AddN(uint64(len(ids)))
+	q.L2ToRows(c, levels, ids, out)
+}

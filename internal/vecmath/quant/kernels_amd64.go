@@ -1,0 +1,42 @@
+//go:build amd64
+
+package quant
+
+// AVX2 dispatch for the SQ8 kernel. The toolchain assembles the .s file
+// directly, so this costs no dependency; support is probed once at init
+// through CPUID/XGETBV (AVX2 in the CPU *and* YMM state enabled by the OS).
+// useAVX2 can be flipped off in tests to exercise the generic path.
+
+var useAVX2 = hasAVX2()
+
+// l2Levels16AVX2 sums (levels[i]-code[i])² over i < n, n a multiple of 16.
+// Implemented in kernels_amd64.s.
+//
+//go:noescape
+func l2Levels16AVX2(levels *int16, code *uint8, n int) int32
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0.
+func xgetbv() (eax, edx uint32)
+
+func hasAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if c&osxsaveBit == 0 || c&avxBit == 0 {
+		return false
+	}
+	// The OS must have enabled XMM and YMM state saving.
+	if eax, _ := xgetbv(); eax&0x6 != 0x6 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return b&avx2Bit != 0
+}

@@ -1,0 +1,83 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func l2Levels16AVX2(levels *int16, code *uint8, n int) int32
+//
+// Sums (levels[i] - code[i])^2 for i in [0, n), n a multiple of 16.
+// Per 16 lanes: widen 16 code bytes to words (VPMOVZXBW), packed word
+// subtract, then VPMADDWD squares each 16-bit diff and sums adjacent pairs
+// into 8 int32 lanes — diffs are bounded by ±(255+queryPad), so the pair
+// sums and the per-lane accumulation stay far below int32 overflow for
+// every dimension up to MaxDim. The main loop handles 32 lanes with two
+// independent accumulator chains.
+TEXT ·l2Levels16AVX2(SB), NOSPLIT, $0-28
+	MOVQ levels+0(FP), SI
+	MOVQ code+8(FP), DI
+	MOVQ n+16(FP), CX
+	VPXOR Y0, Y0, Y0              // accumulator A
+	VPXOR Y4, Y4, Y4              // accumulator B
+
+loop32:
+	CMPQ CX, $32
+	JL   loop16
+	VPMOVZXBW (DI), Y1            // 16 code bytes -> 16 words
+	VMOVDQU   (SI), Y2            // 16 level words
+	VPSUBW    Y1, Y2, Y3          // levels - code
+	VPMADDWD  Y3, Y3, Y3          // pairwise d^2 sums -> 8 dwords
+	VPADDD    Y3, Y0, Y0
+	VPMOVZXBW 16(DI), Y5
+	VMOVDQU   32(SI), Y6
+	VPSUBW    Y5, Y6, Y7
+	VPMADDWD  Y7, Y7, Y7
+	VPADDD    Y7, Y4, Y4
+	ADDQ $32, DI
+	ADDQ $64, SI
+	SUBQ $32, CX
+	JMP  loop32
+
+loop16:
+	CMPQ CX, $16
+	JL   done
+	VPMOVZXBW (DI), Y1
+	VMOVDQU   (SI), Y2
+	VPSUBW    Y1, Y2, Y3
+	VPMADDWD  Y3, Y3, Y3
+	VPADDD    Y3, Y0, Y0
+	ADDQ $16, DI
+	ADDQ $32, SI
+	SUBQ $16, CX
+	JMP  loop16
+
+done:
+	VPADDD Y4, Y0, Y0
+	// Horizontal sum of the 8 dword lanes.
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD X1, X0, X0
+	VPSHUFD $0x4E, X0, X1         // swap the two 64-bit halves
+	VPADDD X1, X0, X0
+	VPSHUFD $0xB1, X0, X1         // swap the two 32-bit pairs
+	VPADDD X1, X0, X0
+	VMOVD X0, AX
+	VZEROUPPER
+	MOVL AX, ret+24(FP)
+	RET

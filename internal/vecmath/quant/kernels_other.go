@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package quant
+
+// Non-amd64 architectures run the portable scalar kernel.
+
+const useAVX2 = false
+
+// l2Levels16AVX2 is never called when useAVX2 is false; this stub keeps the
+// dispatch in kernels.go architecture-independent.
+func l2Levels16AVX2(levels *int16, code *uint8, n int) int32 {
+	panic("quant: AVX2 kernel called on non-amd64 build")
+}

@@ -83,6 +83,14 @@ type Options struct {
 	// ExactKNN switches the intermediate kNN graph to the exact O(n²)
 	// builder. Slower but deterministic; useful below ~5k points.
 	ExactKNN bool
+	// Quantize enables the SQ8 serving path: after construction the graph
+	// is relayouted into BFS cache order and the vectors are compressed to
+	// one byte per dimension, so each search hop gathers 4x fewer bytes.
+	// Searches expand over the codes and rerank the final candidate pool
+	// with exact float32 distances, so returned distances are always exact;
+	// the approximation costs a small amount of recall at equal SearchL
+	// (see the README's "Quantized search" section for the measured cost).
+	Quantize bool
 	// Seed makes randomized steps reproducible.
 	Seed int64
 }
@@ -203,6 +211,14 @@ func buildFromMatrix(base vecmath.Matrix, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nsg: build: %w", err)
 	}
+	if opts.Quantize {
+		// Relayout first so codes are encoded directly in the serving
+		// order; a nil quantizer trains the grid on the index's own base.
+		g.Relayout()
+		if err := g.EnableQuantization(nil); err != nil {
+			return nil, fmt.Errorf("nsg: quantize: %w", err)
+		}
+	}
 	return &Index{inner: g, opts: opts, build: BuildStats{
 		KNNGraph:        knnTime,
 		Navigate:        cs.Phases.Navigate,
@@ -224,7 +240,12 @@ func (x *Index) Dim() int { return x.inner.Base.Dim }
 
 // Vector returns the stored vector with the given id. The returned slice
 // aliases the index's storage; do not modify it.
-func (x *Index) Vector(id int) []float32 { return x.inner.Base.Row(id) }
+func (x *Index) Vector(id int) []float32 { return x.inner.VectorByID(int32(id)) }
+
+// Quantized reports whether the index serves through the SQ8 quantized
+// search path (built with Options.Quantize or loaded from a quantized
+// bundle).
+func (x *Index) Quantized() bool { return x.inner.IsQuantized() }
 
 // Search returns the ids and squared L2 distances of the k approximate
 // nearest neighbors of query, using the index's default search pool size.
@@ -289,7 +310,17 @@ func (x *Index) Save(path string) error {
 	if _, err := bw.Write(hdr); err != nil {
 		return fmt.Errorf("nsg: write header: %w", err)
 	}
-	if err := writeMatrix(bw, x.inner.Base); err != nil {
+	// Vectors are stored in public id order: the fast 64 KiB-chunked path
+	// when ids are untouched, or row-streamed through the remap (without
+	// copying the matrix) on a relayouted index — the core section carries
+	// the remap table and restores the internal order on load.
+	if !x.inner.Relaid() {
+		if err := writeMatrix(bw, x.inner.Base); err != nil {
+			return err
+		}
+	} else if err := writeMatrixRows(bw, x.inner.Base, func(r int) int32 {
+		return x.inner.InternalID(int32(r))
+	}); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
@@ -329,5 +360,10 @@ func Load(path string) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{inner: inner, opts: DefaultOptions()}, nil
+	opts := DefaultOptions()
+	// A quantized bundle carries its codes and scales, so the loaded index
+	// serves through the SQ8 path immediately — no retraining — and keeps
+	// Quantize set so a later Compact rebuilds the quantized state.
+	opts.Quantize = inner.IsQuantized()
+	return &Index{inner: inner, opts: opts}, nil
 }

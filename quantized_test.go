@@ -1,0 +1,324 @@
+package nsg
+
+// Public-API tests for the SQ8 quantized serving path: the recall gate the
+// acceptance criteria name, sharded/single parity, persistence round trips
+// (including the pre-quantization bundle versions), and incremental
+// maintenance on a quantized index.
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/vecmath"
+)
+
+// quantTestData is the shared 8k-point suite (SIFT-like, dim 128) the
+// acceptance gates run on; built once per test process.
+func quantTestData(t *testing.T) dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.SIFTLike(dataset.Config{N: 8000, Queries: 100, GTK: 100, Dim: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func buildQuantIndex(t *testing.T, ds dataset.Dataset, quantize bool) *Index {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Quantize = quantize
+	data := make([]float32, len(ds.Base.Data))
+	copy(data, ds.Base.Data)
+	idx, err := BuildFromFlat(data, ds.Base.Dim, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// TestQuantizedRecallGate is the acceptance gate: recall@10 at the default
+// SearchL must stay at or above 0.98 on the 8k-point suite. (Measured:
+// matches the float path to four digits, ~0.999.)
+func TestQuantizedRecallGate(t *testing.T) {
+	ds := quantTestData(t)
+	idx := buildQuantIndex(t, ds, true)
+	if !idx.Quantized() {
+		t.Fatal("index not quantized")
+	}
+	rec := recallAt10(t, ds, func(q []float32) []int32 {
+		ids, _ := idx.Search(q, 10)
+		return ids
+	})
+	if rec < 0.98 {
+		t.Fatalf("quantized recall@10 = %.4f at default L, gate is 0.98", rec)
+	}
+}
+
+// TestQuantizedFloatParity: quantized and float recall must agree within the
+// repository's 0.01 parity gate at equal L, and returned distances must be
+// identical for identical ids (the rerank emits exact float32 distances).
+func TestQuantizedFloatParity(t *testing.T) {
+	ds := quantTestData(t)
+	fl := buildQuantIndex(t, ds, false)
+	qt := buildQuantIndex(t, ds, true)
+	for _, l := range []int{20, 60} {
+		recF := recallAt10(t, ds, func(q []float32) []int32 {
+			ids, _ := fl.SearchWithPool(q, 10, l)
+			return ids
+		})
+		recQ := recallAt10(t, ds, func(q []float32) []int32 {
+			ids, _ := qt.SearchWithPool(q, 10, l)
+			return ids
+		})
+		if recF-recQ > 0.01 {
+			t.Fatalf("L=%d: quantized recall %.4f more than 0.01 below float %.4f", l, recQ, recF)
+		}
+	}
+	q := ds.Queries.Row(0)
+	qi, qd := qt.SearchWithPool(q, 10, 60)
+	for i := range qi {
+		if want := vecmath.L2(q, qt.Vector(int(qi[i]))); qd[i] != want {
+			t.Fatalf("rank %d: quantized dist %g is not the exact distance %g", i, qd[i], want)
+		}
+	}
+}
+
+// TestQuantizedShardedParity is the acceptance parity gate: sharded and
+// single-index quantized results agree within 0.01 recall at equal L.
+func TestQuantizedShardedParity(t *testing.T) {
+	ds := shardedTestData(t, 2000, 50)
+	single := func() *Index {
+		opts := DefaultOptions()
+		opts.ExactKNN = true
+		opts.Seed = 7
+		opts.Quantize = true
+		data := make([]float32, len(ds.Base.Data))
+		copy(data, ds.Base.Data)
+		idx, err := BuildFromFlat(data, ds.Base.Dim, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}()
+	shOpts := DefaultShardedOptions(4)
+	shOpts.Shard.ExactKNN = true
+	shOpts.Shard.Seed = 7
+	shOpts.Shard.Quantize = true
+	data := make([]float32, len(ds.Base.Data))
+	copy(data, ds.Base.Data)
+	sharded, err := BuildShardedFromFlat(data, ds.Base.Dim, shOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	if !sharded.Quantized() {
+		t.Fatal("sharded index not quantized")
+	}
+
+	const l = 40
+	recSingle := recallAt10(t, ds, func(q []float32) []int32 {
+		ids, _ := single.SearchWithPool(q, 10, l)
+		return ids
+	})
+	recSharded := recallAt10(t, ds, func(q []float32) []int32 {
+		ids, _ := sharded.SearchWithPool(q, 10, l)
+		return ids
+	})
+	if recSingle-recSharded > 0.01 {
+		t.Fatalf("sharded quantized recall %.4f more than 0.01 below single %.4f", recSharded, recSingle)
+	}
+}
+
+// TestQuantizedSaveLoadParity: a quantized bundle must reload (codes,
+// scales, permutation and remap intact) and return byte-identical results,
+// with the Quantize option restored.
+func TestQuantizedSaveLoadParity(t *testing.T) {
+	ds := shardedTestData(t, 1200, 30)
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	opts.Seed = 7
+	opts.Quantize = true
+	data := make([]float32, len(ds.Base.Data))
+	copy(data, ds.Base.Data)
+	idx, err := BuildFromFlat(data, ds.Base.Dim, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "quant.nsg")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Quantized() {
+		t.Fatal("loaded index lost quantization")
+	}
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		q := ds.Queries.Row(qi)
+		ai, ad := idx.SearchWithPool(q, 10, 60)
+		bi, bd := loaded.SearchWithPool(q, 10, 60)
+		if len(ai) != len(bi) {
+			t.Fatalf("query %d: result length changed across save/load", qi)
+		}
+		for i := range ai {
+			if ai[i] != bi[i] || ad[i] != bd[i] {
+				t.Fatalf("query %d rank %d: (%d,%g) vs (%d,%g)", qi, i, ai[i], ad[i], bi[i], bd[i])
+			}
+		}
+	}
+	// Public ids must address the original vectors on both sides.
+	for _, id := range []int{0, 7, 1199} {
+		a, b := idx.Vector(id), loaded.Vector(id)
+		for d := range a {
+			if a[d] != b[d] {
+				t.Fatalf("Vector(%d) differs at dim %d across save/load", id, d)
+			}
+		}
+	}
+}
+
+// TestQuantizedShardedSaveLoad: the sharded bundle round-trips the
+// quantized state and the Quantize option (v2 header flag).
+func TestQuantizedShardedSaveLoad(t *testing.T) {
+	ds := shardedTestData(t, 1000, 20)
+	opts := DefaultShardedOptions(3)
+	opts.Shard.ExactKNN = true
+	opts.Shard.Seed = 7
+	opts.Shard.Quantize = true
+	data := make([]float32, len(ds.Base.Data))
+	copy(data, ds.Base.Data)
+	idx, err := BuildShardedFromFlat(data, ds.Base.Dim, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	path := filepath.Join(t.TempDir(), "quant.nsgd")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSharded(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if !loaded.Quantized() {
+		t.Fatal("loaded sharded index lost quantization")
+	}
+	if !loaded.opts.Shard.Quantize {
+		t.Fatal("Quantize option not restored from the bundle header")
+	}
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		q := ds.Queries.Row(qi)
+		ai, ad := idx.SearchWithPool(q, 10, 50)
+		bi, bd := loaded.SearchWithPool(q, 10, 50)
+		for i := range ai {
+			if ai[i] != bi[i] || ad[i] != bd[i] {
+				t.Fatalf("query %d rank %d differs across save/load", qi, i)
+			}
+		}
+	}
+}
+
+// TestShardedBundleV1StillLoads is the version gate for the public sharded
+// bundle: a version-1 file (the pre-quantization layout, no flags word)
+// must load with quantization off. The v1 bytes are synthesized from a
+// current non-quantized index by rewriting the header the way PR 3 wrote it.
+func TestShardedBundleV1StillLoads(t *testing.T) {
+	ds := shardedTestData(t, 800, 10)
+	idx := buildShardedIndex(t, ds, 2)
+	defer idx.Close()
+	v2 := filepath.Join(t.TempDir(), "v2.nsgd")
+	if err := idx.Save(v2); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v2 layout: 36-byte header (v1's 32 bytes + trailing flags word). Drop
+	// the flags word and stamp version 1 to reconstruct the old layout.
+	if got := binary.LittleEndian.Uint32(blob[4:]); got != 2 {
+		t.Fatalf("expected version 2 bundle, got %d", got)
+	}
+	v1blob := append(append([]byte{}, blob[:32]...), blob[36:]...)
+	binary.LittleEndian.PutUint32(v1blob[4:], 1)
+	v1 := filepath.Join(t.TempDir(), "v1.nsgd")
+	if err := os.WriteFile(v1, v1blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSharded(v1)
+	if err != nil {
+		t.Fatalf("v1 bundle failed to load: %v", err)
+	}
+	defer loaded.Close()
+	if loaded.Quantized() || loaded.opts.Shard.Quantize {
+		t.Fatal("v1 bundle loaded with quantization on")
+	}
+	q := ds.Queries.Row(0)
+	ai, _ := idx.SearchWithPool(q, 10, 50)
+	bi, _ := loaded.SearchWithPool(q, 10, 50)
+	for i := range ai {
+		if ai[i] != bi[i] {
+			t.Fatalf("rank %d: v1 reload changed results", i)
+		}
+	}
+}
+
+// TestQuantizedAddDeleteCompact exercises incremental maintenance on a
+// quantized index: Add encodes into the code matrix, Delete filters public
+// ids, Compact rebuilds with quantization re-enabled.
+func TestQuantizedAddDeleteCompact(t *testing.T) {
+	ds := shardedTestData(t, 600, 10)
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	opts.Seed = 7
+	opts.Quantize = true
+	data := make([]float32, len(ds.Base.Data))
+	copy(data, ds.Base.Data)
+	idx, err := BuildFromFlat(data, ds.Base.Dim, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vec := make([]float32, ds.Base.Dim)
+	copy(vec, ds.Base.Row(3))
+	for d := range vec {
+		vec[d] += 0.25
+	}
+	id, err := idx.Add(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, dists := idx.Search(vec, 1)
+	if ids[0] != id || dists[0] != 0 {
+		t.Fatalf("added vector not found: id %d dist %g", ids[0], dists[0])
+	}
+
+	if err := idx.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ = idx.Search(vec, 1)
+	if ids[0] == id {
+		t.Fatal("deleted id still returned")
+	}
+
+	remap, err := idx.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remap[id] != -1 {
+		t.Fatalf("deleted id remapped to %d, want -1", remap[id])
+	}
+	if !idx.Quantized() {
+		t.Fatal("Compact dropped quantization")
+	}
+	ids, dists = idx.Search(idx.Vector(0), 1)
+	if ids[0] != 0 || dists[0] != 0 {
+		t.Fatalf("compacted quantized index broken: id %d dist %g", ids[0], dists[0])
+	}
+}

@@ -94,6 +94,7 @@ func buildShardedFromMatrix(base vecmath.Matrix, opts ShardedOptions) (*ShardedI
 		KNNK:         opts.Shard.GraphK,
 		Build:        core.BuildParams{L: opts.Shard.BuildL, M: opts.Shard.MaxDegree, Seed: opts.Shard.Seed},
 		UseNNDescent: !opts.Shard.ExactKNN,
+		Quantize:     opts.Shard.Quantize,
 		Seed:         opts.Shard.Seed,
 	})
 	if err != nil {
@@ -110,6 +111,10 @@ func (x *ShardedIndex) Dim() int { return x.s.Base.Dim }
 
 // Shards returns the number of partitions.
 func (x *ShardedIndex) Shards() int { return x.s.Shards() }
+
+// Quantized reports whether the shards serve through the SQ8 quantized
+// search path (built with Options.Quantize or loaded from such a bundle).
+func (x *ShardedIndex) Quantized() bool { return x.s.Quantized() }
 
 // Vector returns the stored vector with the given global id. The returned
 // slice aliases the index's storage; do not modify it.
@@ -230,8 +235,15 @@ func (x *ShardedIndex) Stats() ShardedStats {
 const shardedFileMagic = 0x4e534744 // "NSGD" — sharded bundle (vectors + shards)
 
 // shardedFileVersion tracks the public bundle layout; readers reject other
-// versions instead of misparsing.
-const shardedFileVersion = 1
+// versions instead of misparsing. Version 2 appends an options-flags word
+// to the header (currently just the Quantize bit); version 1 files — which
+// predate quantization — still load, with the flags defaulting to zero.
+const (
+	shardedFileVersion   = 2
+	shardedFileVersionV1 = 1
+
+	shardedOptQuantize = 1 << 0
+)
 
 // Save writes the sharded index, including its vectors and build options,
 // to path. The format shares the chunked vector codec with Index.Save: a
@@ -245,7 +257,7 @@ func (x *ShardedIndex) Save(path string) error {
 	}
 	defer f.Close()
 	bw := bufio.NewWriter(f)
-	hdr := make([]byte, 32)
+	hdr := make([]byte, 36)
 	binary.LittleEndian.PutUint32(hdr[0:], shardedFileMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], shardedFileVersion)
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(x.s.Base.Rows))
@@ -254,6 +266,11 @@ func (x *ShardedIndex) Save(path string) error {
 	binary.LittleEndian.PutUint32(hdr[20:], uint32(x.opts.Shard.BuildL))
 	binary.LittleEndian.PutUint32(hdr[24:], uint32(x.opts.Shard.MaxDegree))
 	binary.LittleEndian.PutUint32(hdr[28:], uint32(x.opts.Shard.SearchL))
+	var optFlags uint32
+	if x.opts.Shard.Quantize {
+		optFlags |= shardedOptQuantize
+	}
+	binary.LittleEndian.PutUint32(hdr[32:], optFlags)
 	if _, err := bw.Write(hdr); err != nil {
 		return fmt.Errorf("nsg: write header: %w", err)
 	}
@@ -287,8 +304,18 @@ func LoadSharded(path string) (*ShardedIndex, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != shardedFileMagic {
 		return nil, fmt.Errorf("nsg: %s is not a sharded NSG bundle", path)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != shardedFileVersion {
-		return nil, fmt.Errorf("nsg: unsupported sharded bundle version %d (want %d)", v, shardedFileVersion)
+	var optFlags uint32
+	switch v := binary.LittleEndian.Uint32(hdr[4:]); v {
+	case shardedFileVersionV1:
+		// Pre-quantization layout: no flags word; all options flags zero.
+	case shardedFileVersion:
+		var fb [4]byte
+		if _, err := io.ReadFull(br, fb[:]); err != nil {
+			return nil, fmt.Errorf("nsg: read options flags: %w", err)
+		}
+		optFlags = binary.LittleEndian.Uint32(fb[:])
+	default:
+		return nil, fmt.Errorf("nsg: unsupported sharded bundle version %d (want <= %d)", v, shardedFileVersion)
 	}
 	rows := int(binary.LittleEndian.Uint32(hdr[8:]))
 	dim := int(binary.LittleEndian.Uint32(hdr[12:]))
@@ -308,6 +335,7 @@ func LoadSharded(path string) (*ShardedIndex, error) {
 		BuildL:    int(binary.LittleEndian.Uint32(hdr[20:])),
 		MaxDegree: int(binary.LittleEndian.Uint32(hdr[24:])),
 		SearchL:   int(binary.LittleEndian.Uint32(hdr[28:])),
+		Quantize:  optFlags&shardedOptQuantize != 0,
 	}}
 	opts.Shard.fillDefaults() // guard against zeroed fields in hand-built files
 	return &ShardedIndex{s: s, opts: opts}, nil
