@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type pt map[string]any
+
+func writeDoc(t *testing.T, dir, name string, points []pt) string {
+	t.Helper()
+	blob, err := json.Marshal(map[string]any{"dataset": "test", "points": points})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCheck(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func basePoints() []pt {
+	return []pt{
+		{"variant": "float32", "effort": 30, "recall": 0.99, "qps": 10000.0},
+		{"variant": "sq8", "effort": 30, "recall": 0.98, "qps": 20000.0},
+		{"variant": "sq8+rerank", "effort": 30, "recall": 0.99, "qps": 18000.0},
+		{"variant": "sq8+rerank", "effort": 60, "recall": 0.995, "qps": 12000.0},
+	}
+}
+
+func TestPassWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", basePoints())
+	fresh := writeDoc(t, dir, "fresh.json", []pt{
+		{"variant": "float32", "effort": 30, "recall": 0.985, "qps": 9000.0}, // -0.005 recall, -10% qps
+		{"variant": "sq8", "effort": 30, "recall": 0.98, "qps": 19000.0},
+		{"variant": "sq8+rerank", "effort": 30, "recall": 0.993, "qps": 18500.0},
+		{"variant": "sq8+rerank", "effort": 60, "recall": 0.999, "qps": 11000.0},
+	})
+	out, err := runCheck(t, "-baseline", base, "-fresh", fresh)
+	if err != nil {
+		t.Fatalf("expected pass, got %v\n%s", err, out)
+	}
+}
+
+func TestFailsOnRecallDrop(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", basePoints())
+	points := basePoints()
+	points[2]["recall"] = 0.95 // -0.04 on sq8+rerank/30
+	fresh := writeDoc(t, dir, "fresh.json", points)
+	out, err := runCheck(t, "-baseline", base, "-fresh", fresh)
+	if err == nil {
+		t.Fatalf("expected failure\n%s", out)
+	}
+	if !strings.Contains(out, "recall dropped") || !strings.Contains(out, "variant=sq8+rerank effort=30") {
+		t.Fatalf("unhelpful failure output:\n%s", out)
+	}
+}
+
+func TestFailsOnQPSDrop(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", basePoints())
+	points := basePoints()
+	points[1]["qps"] = 9000.0 // -55% on sq8/30
+	fresh := writeDoc(t, dir, "fresh.json", points)
+	out, err := runCheck(t, "-baseline", base, "-fresh", fresh)
+	if err == nil {
+		t.Fatalf("expected failure\n%s", out)
+	}
+	if !strings.Contains(out, "qps dropped") {
+		t.Fatalf("unhelpful failure output:\n%s", out)
+	}
+}
+
+func TestFailsOnMissingPoint(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", basePoints())
+	fresh := writeDoc(t, dir, "fresh.json", basePoints()[:3])
+	out, err := runCheck(t, "-baseline", base, "-fresh", fresh)
+	if err == nil || !strings.Contains(out, "missing from fresh run") {
+		t.Fatalf("expected missing-point failure, got %v\n%s", err, out)
+	}
+}
+
+// TestNormalizeToleratesUniformSlowdown is the CI mode: a machine that is
+// uniformly 3x slower than the baseline host must pass, while a targeted
+// regression on one path must still fail.
+func TestNormalizeToleratesUniformSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", basePoints())
+	slow := basePoints()
+	for _, p := range slow {
+		p["qps"] = p["qps"].(float64) / 3
+	}
+	fresh := writeDoc(t, dir, "fresh.json", slow)
+	if out, err := runCheck(t, "-baseline", base, "-fresh", fresh, "-normalize"); err != nil {
+		t.Fatalf("uniform slowdown must pass with -normalize: %v\n%s", err, out)
+	}
+	// Without -normalize the same file fails: raw mode is machine-bound.
+	if _, err := runCheck(t, "-baseline", base, "-fresh", fresh); err == nil {
+		t.Fatal("uniform slowdown must fail in raw mode")
+	}
+
+	// Targeted regression: one path loses half its throughput relative to
+	// the rest of the run.
+	targeted := basePoints()
+	for _, p := range targeted {
+		p["qps"] = p["qps"].(float64) / 3
+	}
+	targeted[2]["qps"] = targeted[2]["qps"].(float64) / 2
+	fresh2 := writeDoc(t, dir, "fresh2.json", targeted)
+	out, err := runCheck(t, "-baseline", base, "-fresh", fresh2, "-normalize")
+	if err == nil {
+		t.Fatalf("targeted regression must fail with -normalize\n%s", out)
+	}
+	if !strings.Contains(out, "median group ratio") {
+		t.Fatalf("unhelpful normalize failure output:\n%s", out)
+	}
+}
+
+// TestNormalizeAnchorsAcrossFiles covers the multi-pair mode CI uses: a
+// uniform regression confined to one single-path file must fail, because
+// the median group ratio is computed across every checked file — the
+// other files' unregressed points anchor it.
+func TestNormalizeAnchorsAcrossFiles(t *testing.T) {
+	dir := t.TempDir()
+	quantBase := writeDoc(t, dir, "quant_base.json", basePoints())
+	quantFresh := writeDoc(t, dir, "quant_fresh.json", basePoints())
+	liveBase := writeDoc(t, dir, "live_base.json", []pt{
+		{"write_frac": 0.0, "recall": 0.99, "qps": 16000.0},
+		{"write_frac": 0.01, "recall": 0.99, "qps": 15000.0},
+		{"write_frac": 0.10, "recall": 0.99, "qps": 14000.0},
+	})
+	liveSlow := writeDoc(t, dir, "live_fresh.json", []pt{
+		{"write_frac": 0.0, "recall": 0.99, "qps": 8000.0}, // all of live -50%
+		{"write_frac": 0.01, "recall": 0.99, "qps": 7500.0},
+		{"write_frac": 0.10, "recall": 0.99, "qps": 7000.0},
+	})
+	// Alone, the regressed live file self-normalizes and slips through.
+	if _, err := runCheck(t, "-baseline", liveBase, "-fresh", liveSlow, "-normalize"); err == nil {
+		t.Log("single-file self-normalization confirmed (passes alone)")
+	} else {
+		t.Fatal("unexpected: single regressed file failed alone; anchor test premise changed")
+	}
+	// Checked together with an unregressed file, the shared median exposes it.
+	out, err := runCheck(t,
+		"-baseline", quantBase+","+liveBase,
+		"-fresh", quantFresh+","+liveSlow,
+		"-normalize")
+	if err == nil {
+		t.Fatalf("uniform live-file regression must fail when anchored\n%s", out)
+	}
+	if !strings.Contains(out, "live_fresh.json") || strings.Contains(out, "quant_fresh.json") {
+		t.Fatalf("failures should name only the regressed file:\n%s", out)
+	}
+}
+
+// TestLiveSchemaRecallFields covers the live record's batch_recall twin:
+// recall-suffixed metrics are compared too.
+func TestLiveSchemaRecallFields(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", []pt{
+		{"write_frac": 0.01, "recall": 0.99, "batch_recall": 0.99, "qps": 15000.0},
+	})
+	fresh := writeDoc(t, dir, "fresh.json", []pt{
+		{"write_frac": 0.01, "recall": 0.99, "batch_recall": 0.93, "qps": 15000.0},
+	})
+	out, err := runCheck(t, "-baseline", base, "-fresh", fresh)
+	if err == nil || !strings.Contains(out, "batch_recall dropped") {
+		t.Fatalf("expected batch_recall failure, got %v\n%s", err, out)
+	}
+}

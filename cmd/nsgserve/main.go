@@ -19,12 +19,17 @@
 //	POST /search  {"query": [...], "k": 10, "l": 60, "stats": true}
 //	              → {"ids": [...], "dists": [...], "hops": h, "dist_comps": c}
 //	POST /insert  {"vector": [...]} → {"id": n, "n": total}
-//	GET  /stats   → index shape, per-shard sizes, serving counters
+//	GET  /stats   → index shape, per-shard sizes, serving + delta counters
 //	GET  /healthz → {"status":"ok"} once the index is ready
 //
-// Searches run concurrently; inserts take the write half of a RWMutex, so
-// they serialize with in-flight searches (the index's documented mutation
-// contract) without blocking the process.
+// The server runs the index in live-update mode (no lock anywhere on the
+// request path): searches read the per-shard published snapshots, inserts
+// append to the routed shard's delta buffer and return immediately — the
+// inserted point is searchable from that moment — and each shard's
+// background maintainer folds pending points into its graph before
+// atomically publishing a fresh snapshot. A slow graph insertion therefore
+// never stalls an in-flight search; /stats reports the delta depth and the
+// age of the last publish so the maintenance lag is observable.
 package main
 
 import (
@@ -35,7 +40,6 @@ import (
 	"log"
 	"net/http"
 	"os"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -65,6 +69,8 @@ func run(args []string, stdout io.Writer) error {
 	maxL := fs.Int("maxl", 4096, "largest per-request pool size (and k) accepted")
 	exact := fs.Bool("exact", false, "use the exact kNN graph builder")
 	quantize := fs.Bool("quantize", false, "serve through the SQ8 quantized path (4x fewer bytes per hop; exact rerank)")
+	maxPending := fs.Int("maxpending", 512, "delta depth that forces an immediate maintenance drain")
+	publishEvery := fs.Duration("publish-interval", 100*time.Millisecond, "max delay before pending inserts are folded into a published snapshot")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +87,11 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	// Live-update serving: lock-free searches, non-blocking inserts. The
+	// request path never takes a lock after this.
+	if err := idx.EnableLiveUpdates(nsg.LiveOptions{MaxPending: *maxPending, PublishInterval: *publishEvery}); err != nil {
+		return err
+	}
 	srv := newServer(idx, *defaultK, *searchL, *maxL)
 	fmt.Fprintf(stdout, "serving %d vectors (dim %d) across %d shards on %s\n",
 		idx.Len(), idx.Dim(), idx.Shards(), *addr)
@@ -136,10 +147,10 @@ func openIndex(indexPath, dataPath, savePath string, opts nsg.ShardedOptions, st
 }
 
 // server wraps the index with the HTTP surface and serving counters. The
-// RWMutex encodes the index's concurrency contract: searches share the
-// read half (any number in flight), inserts take the write half.
+// index serves in live-update mode, so handlers never take a lock:
+// searches read published snapshots, inserts append to a delta buffer, and
+// the maintenance lag between them is surfaced through /stats.
 type server struct {
-	mu       sync.RWMutex
 	idx      *nsg.ShardedIndex
 	defaultK int
 	defaultL int
@@ -155,7 +166,14 @@ type server struct {
 	searchMicros atomic.Uint64
 }
 
+// newServer wraps idx, enabling live updates if the caller has not
+// already: the handlers rely on the lock-free serving contract.
 func newServer(idx *nsg.ShardedIndex, defaultK, defaultL, maxL int) *server {
+	if !idx.Live() {
+		if err := idx.EnableLiveUpdates(nsg.LiveOptions{}); err != nil {
+			panic(err) // only fails on double-enable, excluded above
+		}
+	}
 	return &server{idx: idx, defaultK: defaultK, defaultL: defaultL, maxL: maxL}
 }
 
@@ -209,7 +227,6 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	var resp searchResponse
-	s.mu.RLock()
 	if req.Stats {
 		ids, dists, st := s.idx.SearchWithStats(req.Query, req.K, req.L)
 		resp = searchResponse{IDs: ids, Dists: dists, Hops: st.Hops, DistComps: st.DistanceComputations}
@@ -217,7 +234,6 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		ids, dists := s.idx.SearchWithPool(req.Query, req.K, req.L)
 		resp = searchResponse{IDs: ids, Dists: dists}
 	}
-	s.mu.RUnlock()
 	s.queries.Add(1)
 	s.searchMicros.Add(uint64(time.Since(start).Microseconds()))
 	writeJSON(w, resp)
@@ -242,10 +258,11 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "vector dim %d != index dim %d", len(req.Vector), s.idx.Dim())
 		return
 	}
-	s.mu.Lock()
+	// Non-blocking: Add appends to the routed shard's delta buffer; the
+	// point is searchable when the response is written, and the graph work
+	// happens on the maintainer goroutine, never stalling /search.
 	id, err := s.idx.Add(req.Vector)
 	n := s.idx.Len()
-	s.mu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "insert: %v", err)
 		return
@@ -264,18 +281,27 @@ type statsResponse struct {
 	Queries         uint64  `json:"queries"`
 	Inserts         uint64  `json:"inserts"`
 	MeanSearchMicro float64 `json:"mean_search_micros"`
+	// Live-update maintenance: how many inserted points are still served
+	// by the delta scan, how stale the oldest shard snapshot is, and how
+	// many snapshot publishes/drained points the maintainers have done.
+	DeltaDepth       int     `json:"delta_depth"`
+	LastPublishAgeMs float64 `json:"last_publish_age_ms"`
+	Publishes        uint64  `json:"publishes"`
+	Drained          uint64  `json:"drained"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
 	st := s.idx.Stats()
-	dim := s.idx.Dim()
-	s.mu.RUnlock()
+	ms := s.idx.MaintenanceStats()
 	q := s.queries.Load()
 	resp := statsResponse{
-		N: st.N, Dim: dim, Shards: st.Shards, Quantized: s.idx.Quantized(),
+		N: st.N, Dim: s.idx.Dim(), Shards: st.Shards, Quantized: s.idx.Quantized(),
 		ShardSizes: st.ShardSizes,
 		IndexBytes: st.IndexBytes, Queries: q, Inserts: s.inserts.Load(),
+		DeltaDepth:       ms.Pending,
+		LastPublishAgeMs: float64(time.Since(ms.LastPublish).Microseconds()) / 1000,
+		Publishes:        ms.Publishes,
+		Drained:          ms.Drained,
 	}
 	if q > 0 {
 		resp.MeanSearchMicro = float64(s.searchMicros.Load()) / float64(q)

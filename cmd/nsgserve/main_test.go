@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/dataset"
@@ -334,5 +336,124 @@ func TestQuantizedServing(t *testing.T) {
 	}
 	if ir.N != 601 {
 		t.Fatalf("insert did not grow the quantized index: n=%d", ir.N)
+	}
+}
+
+// TestSearchesNotBlockedBySlowInsertBatch is the regression gate for the
+// live-update rewrite: before it, /insert held the write half of an
+// RWMutex across the whole graph mutation, so a streaming insert batch
+// stalled every in-flight /search for the duration of the graph work. Now
+// inserts append to a delta buffer and the graph work runs on the
+// maintainer goroutine, so searches must keep completing — and keep
+// returning correct results — while a slow insert batch is in flight.
+func TestSearchesNotBlockedBySlowInsertBatch(t *testing.T) {
+	idx := testIndex(t)
+	// Aggressive maintenance: every insert immediately eligible for a
+	// drain, so the maintainer is doing graph work for the whole window.
+	if err := idx.EnableLiveUpdates(nsg.LiveOptions{MaxPending: 1, PublishInterval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(idx, 10, 60, 4096)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(17))
+	dim := idx.Dim()
+	const batch = 150
+	inserts := make([][]float32, batch)
+	for i := range inserts {
+		vec := make([]float32, dim)
+		for j := range vec {
+			vec[j] = rng.Float32()
+		}
+		inserts[i] = vec
+	}
+	queries := make([][]float32, 32)
+	for i := range queries {
+		queries[i] = append([]float32(nil), idx.Vector(i)...)
+	}
+
+	// Writer: the slow insert batch, issued back to back.
+	batchDone := make(chan struct{})
+	insertErr := make(chan error, 1)
+	go func() {
+		defer close(batchDone)
+		for i := range inserts {
+			resp, body, err := postJSONErr(ts.URL+"/insert", insertRequest{Vector: inserts[i]})
+			if err != nil || resp.StatusCode != http.StatusOK {
+				insertErr <- fmt.Errorf("insert %d failed: %v %s", i, err, body)
+				return
+			}
+		}
+	}()
+
+	// Readers: count searches that complete strictly while the batch is in
+	// flight. With the old write-lock serialization this loop made no
+	// progress during graph mutations; now every search must return
+	// promptly and correctly.
+	completed := 0
+	for qi := 0; ; qi++ {
+		select {
+		case <-batchDone:
+			qi = -1 // drained below
+		default:
+		}
+		if qi < 0 {
+			break
+		}
+		q := queries[qi%len(queries)]
+		resp, body, err := postJSONErr(ts.URL+"/search", searchRequest{Query: q, K: 5})
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("search during insert batch failed: %v %s", err, body)
+		}
+		var sr searchResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if len(sr.IDs) != 5 || sr.IDs[0] != int32(qi%len(queries)) || sr.Dists[0] != 0 {
+			t.Fatalf("self-search wrong during insert batch: ids=%v dists=%v", sr.IDs, sr.Dists)
+		}
+		completed++
+	}
+	select {
+	case err := <-insertErr:
+		t.Fatal(err)
+	default:
+	}
+	if completed < 5 {
+		t.Fatalf("only %d searches completed during a %d-insert batch; the write path is blocking readers", completed, batch)
+	}
+
+	// After the dust settles, the batch must be fully searchable and the
+	// maintenance counters coherent.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var stats statsResponse
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if stats.DeltaDepth == 0 && stats.Inserts == batch {
+			if stats.Drained != batch || stats.Publishes == 0 {
+				t.Fatalf("maintenance counters wrong after drain: %+v", stats)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delta never drained: %+v", stats)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, body := postJSON(t, ts.URL+"/search", searchRequest{Query: inserts[batch-1], K: 1})
+	var sr searchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.IDs) != 1 || sr.Dists[0] != 0 {
+		t.Fatalf("last inserted vector not findable after drain: %+v", sr)
 	}
 }

@@ -129,3 +129,35 @@ func ExampleBuildSharded() {
 	// nearest: 7 dist: 0
 	// searched 3 shards; merged hops > 0: true
 }
+
+// ExampleIndex_EnableLiveUpdates switches an index to non-blocking live
+// serving: Add is safe concurrently with Search, the added point is
+// searchable immediately (served by the delta scan), and Flush waits for
+// the background maintainer to fold it into the published graph snapshot.
+func ExampleIndex_EnableLiveUpdates() {
+	vectors := exampleVectors(400, 16)
+	opts := nsg.DefaultOptions()
+	opts.ExactKNN = true
+	index, err := nsg.Build(vectors, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := index.EnableLiveUpdates(nsg.LiveOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	defer index.Close()
+
+	id, err := index.Add(vectors[123]) // a duplicate of an indexed point
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids, dists := index.Search(vectors[123], 2) // searchable before any drain
+	fmt.Printf("id=%d nearest=[%d %d] d0=%.0f\n", id, ids[0], ids[1], dists[0])
+
+	index.Flush() // wait until the maintainer has drained the delta
+	st := index.MaintenanceStats()
+	fmt.Printf("pending=%d drained=%d snapshot=%d\n", st.Pending, st.Drained, st.SnapshotRows)
+	// Output:
+	// id=400 nearest=[123 400] d0=0
+	// pending=0 drained=1 snapshot=401
+}

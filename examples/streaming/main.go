@@ -1,6 +1,7 @@
 // Streaming: incremental index maintenance — the paper's Section 5 future
 // work ("It's also possible for NSG to enable incremental indexing"). A
-// live index absorbs inserts, serves queries between them, tombstones
+// live index absorbs inserts while serving queries concurrently (the
+// snapshot + delta-buffer path behind EnableLiveUpdates), tombstones
 // deletions, and compacts once the tombstone fraction grows.
 package main
 
@@ -8,20 +9,23 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
+	"time"
 
 	"repro"
 )
 
 func main() {
 	const dim = 32
-	rng := rand.New(rand.NewSource(21))
-	newVec := func() []float32 {
+	newVecFrom := func(rng *rand.Rand) []float32 {
 		v := make([]float32, dim)
 		for j := range v {
 			v[j] = rng.Float32()
 		}
 		return v
 	}
+	rng := rand.New(rand.NewSource(21))
+	newVec := func() []float32 { return newVecFrom(rng) }
 
 	// Bootstrap with a small batch build.
 	initial := make([][]float32, 2000)
@@ -34,7 +38,23 @@ func main() {
 	}
 	fmt.Printf("bootstrapped with %d vectors\n", index.Len())
 
-	// Stream: inserts interleaved with queries.
+	// Stream with live updates: Add is non-blocking and safe to run
+	// concurrently with searches — readers keep hitting the published
+	// snapshot (plus a brute-force-scanned delta of the newest points)
+	// while a background maintainer folds inserts into the graph.
+	if err := index.EnableLiveUpdates(nsg.LiveOptions{PublishInterval: 10 * time.Millisecond}); err != nil {
+		log.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // a concurrent reader, legal only in live mode
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if ids, _ := index.Search(newVecFrom(rand.New(rand.NewSource(int64(i)))), 3); len(ids) == 0 {
+				log.Fatal("empty result under live serving")
+			}
+		}
+	}()
 	for batch := 0; batch < 5; batch++ {
 		for i := 0; i < 400; i++ {
 			if _, err := index.Add(newVec()); err != nil {
@@ -46,6 +66,14 @@ func main() {
 		fmt.Printf("after batch %d (n=%d): 3-NN of a fresh query = %v (d=%.3f..)\n",
 			batch+1, index.Len(), ids, dists[0])
 	}
+	wg.Wait()
+	index.Flush() // fold the tail of the stream into the snapshot
+	st := index.MaintenanceStats()
+	fmt.Printf("maintainer published %d snapshots, drained %d inserts, %d pending\n",
+		st.Publishes, st.Drained, st.Pending)
+	// Close ends live serving and returns the index to the classic
+	// single-writer contract, which Compact below needs.
+	index.Close()
 
 	// Deletions: retire a slice of old vectors.
 	for id := int32(0); id < 500; id++ {

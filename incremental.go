@@ -11,11 +11,20 @@ import (
 // Delete tombstones ids, and Compact rebuilds without the deleted points.
 
 // Add inserts a vector into an existing index and returns its id. The
-// vector is copied. Not safe for concurrent use with Search; batch
-// ingestion alternating with concurrent serving should swap indexes.
+// vector is copied.
+//
+// Without live updates, Add mutates the graph in place and must not run
+// concurrently with Search. After EnableLiveUpdates, Add is non-blocking
+// and safe from any goroutine: it appends to the delta buffer, the point
+// is searchable (with exact distances) the moment Add returns, and the
+// background maintainer folds it into the graph off the query path.
 func (x *Index) Add(vec []float32) (int32, error) {
 	if len(vec) != x.inner.Base.Dim {
 		return -1, fmt.Errorf("nsg: vector dim %d != index dim %d", len(vec), x.inner.Base.Dim)
+	}
+	if h := x.live.Load(); h != nil {
+		// The delta buffer copies vec into its chunk; no caller-side copy.
+		return h.Append(vec)
 	}
 	own := make([]float32, len(vec))
 	copy(own, vec)
@@ -26,6 +35,12 @@ func (x *Index) Add(vec []float32) (int32, error) {
 // keeps routing searches until Compact. Deleting an already-deleted or
 // out-of-range id is an error.
 func (x *Index) Delete(id int32) error {
+	if h := x.live.Load(); h != nil {
+		// Range and duplicate checks happen inside the handle, under its
+		// writer mutex, so two concurrent Deletes cannot both pass a
+		// check-then-act window and report success.
+		return h.Delete(id)
+	}
 	if id < 0 || int(id) >= x.inner.Base.Rows {
 		return fmt.Errorf("nsg: id %d out of range [0,%d)", id, x.inner.Base.Rows)
 	}
@@ -41,11 +56,17 @@ func (x *Index) Delete(id int32) error {
 
 // Deleted reports whether id has been tombstoned.
 func (x *Index) Deleted(id int32) bool {
+	if h := x.live.Load(); h != nil {
+		return h.Deleted(id)
+	}
 	return x.dead != nil && x.dead.Deleted(id)
 }
 
 // DeletedCount returns the number of tombstoned ids awaiting Compact.
 func (x *Index) DeletedCount() int {
+	if h := x.live.Load(); h != nil {
+		return h.DeadCount()
+	}
 	if x.dead == nil {
 		return 0
 	}
@@ -56,6 +77,9 @@ func (x *Index) DeletedCount() int {
 // mapping from old ids to new ids (-1 for deleted); the receiving index is
 // replaced in place.
 func (x *Index) Compact() ([]int32, error) {
+	if x.live.Load() != nil {
+		return nil, fmt.Errorf("nsg: Compact is not available while live updates are enabled")
+	}
 	if x.dead == nil || x.dead.Len() == 0 {
 		remap := make([]int32, x.inner.Base.Rows)
 		for i := range remap {

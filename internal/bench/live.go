@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/vecmath"
+)
+
+// This file measures live-update serving: mixed read/write workloads
+// against a snapshot+delta nsg.Index, quantifying what the non-blocking
+// architecture buys. For each write fraction the harness runs concurrent
+// reader goroutines (recording every search's latency) while a writer
+// streams inserts paced to the read progress, then flushes the maintainer
+// and measures recall on the final point set against an exact ground truth
+// — and against a batch-built index over the same points, which is the
+// quality bar the incremental path must hold. cmd/bench -exp live prints
+// the sweep and records it to BENCH_live.json.
+//
+// The acceptance framing: search p99 under a 1% write stream should stay
+// within 2x of the read-only p99 at equal L (the pre-live architecture
+// stalled every reader for every graph mutation), and post-drain recall
+// should be within 0.01 of the batch build.
+
+// LivePoint is one write-fraction measurement.
+type LivePoint struct {
+	WriteFrac   float64 `json:"write_frac"`   // inserts per search
+	Searches    int     `json:"searches"`     // timed searches across all readers
+	Inserts     int     `json:"inserts"`      // inserts issued during the window
+	P50Ms       float64 `json:"p50_ms"`       // median search latency
+	P99Ms       float64 `json:"p99_ms"`       // 99th-percentile search latency
+	MeanMs      float64 `json:"mean_ms"`      // mean search latency
+	QPS         float64 `json:"qps"`          // aggregate search throughput
+	Recall      float64 `json:"recall"`       // recall@k of the drained live index
+	BatchRecall float64 `json:"batch_recall"` // recall@k of a batch build over the same points
+	Publishes   uint64  `json:"publishes"`    // snapshots published during the window
+	MaxPending  int     `json:"max_pending"`  // deepest delta observed
+	DrainMs     float64 `json:"drain_ms"`     // Flush duration once the load stopped
+}
+
+// LiveResult is the serialized record of one -exp live run.
+type LiveResult struct {
+	Dataset string      `json:"dataset"`
+	N       int         `json:"n"` // base points before the write stream
+	Dim     int         `json:"dim"`
+	Queries int         `json:"queries"`
+	K       int         `json:"k"`
+	L       int         `json:"l"`
+	Readers int         `json:"readers"`
+	Points  []LivePoint `json:"points"`
+}
+
+// liveWriteFracs are the measured write fractions: read-only, 1% (the
+// acceptance point) and 10% (heavy streaming).
+var liveWriteFracs = []float64{0, 0.01, 0.10}
+
+// LiveServing runs the live-update experiment on the SIFT-like suite.
+func LiveServing(w io.Writer, c ExpConfig) error {
+	const (
+		k       = 10
+		l       = 60
+		readers = 4
+	)
+	searches := 2000
+	if c.Scale > 1 {
+		searches = int(float64(searches) * c.Scale)
+	}
+	n := c.n(6000)
+	maxInserts := int(float64(searches) * liveWriteFracs[len(liveWriteFracs)-1])
+	// One generator call covers base + the insert stream, so inserted
+	// points follow the base distribution and the final point set is a
+	// prefix-free slice of one matrix.
+	ds, err := dataset.SIFTLike(dataset.Config{N: n + maxInserts, Queries: c.Queries, GTK: c.GTK, Seed: c.Seed})
+	if err != nil {
+		return err
+	}
+	full := ds.Base
+
+	res := LiveResult{Dataset: "SIFT-like", N: n, Dim: full.Dim, Queries: ds.Queries.Rows, K: k, L: l, Readers: readers}
+	fmt.Fprintf(w, "live updates on SIFT-like (base n=%d, dim=%d, k=%d, L=%d, %d readers, %d searches/run)\n",
+		n, full.Dim, k, l, readers, searches)
+	fmt.Fprintf(w, "%-10s %9s %9s %9s %9s %9s %10s %12s %10s %9s\n",
+		"write%", "p50 ms", "p99 ms", "mean ms", "QPS", "inserts", "publishes", "max pending", "recall", "batch")
+
+	for _, wf := range liveWriteFracs {
+		pt, err := measureLivePoint(full, ds.Queries, n, searches, readers, wf, k, l, c.Seed)
+		if err != nil {
+			return err
+		}
+		res.Points = append(res.Points, pt)
+		fmt.Fprintf(w, "%-10.2f %9.4f %9.4f %9.4f %9.0f %9d %10d %12d %10.4f %9.4f\n",
+			wf*100, pt.P50Ms, pt.P99Ms, pt.MeanMs, pt.QPS, pt.Inserts, pt.Publishes, pt.MaxPending, pt.Recall, pt.BatchRecall)
+	}
+
+	// The acceptance readout: write pressure must not stall readers, and
+	// the drained graph must hold batch-build quality.
+	base := res.Points[0]
+	for _, pt := range res.Points[1:] {
+		ratio := pt.P99Ms / base.P99Ms
+		fmt.Fprintf(w, "p99 at %.0f%% writes = %.2fx read-only p99; recall %+.4f vs batch build\n",
+			pt.WriteFrac*100, ratio, pt.Recall-pt.BatchRecall)
+	}
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_live.json", append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: write BENCH_live.json: %w", err)
+	}
+	fmt.Fprintln(w, "wrote BENCH_live.json")
+	return nil
+}
+
+// measureLivePoint runs one mixed workload: readers cycle the query set
+// concurrently while a writer streams full.Row(n0+i) inserts paced to the
+// read progress (wf inserts per completed search).
+func measureLivePoint(full, queries vecmath.Matrix, n0, searches, readers int, wf float64, k, l int, seed int64) (LivePoint, error) {
+	pt := LivePoint{WriteFrac: wf, Searches: searches}
+	inserts := int(float64(searches) * wf)
+	nTotal := n0 + inserts
+
+	opts := nsg.DefaultOptions()
+	opts.SearchL = l
+	opts.Seed = seed
+	idx, err := nsg.BuildFromFlat(full.Slice(0, n0).Clone().Data, full.Dim, opts)
+	if err != nil {
+		return pt, err
+	}
+	defer idx.Close()
+	if err := idx.EnableLiveUpdates(nsg.LiveOptions{MaxPending: 256, PublishInterval: 50 * time.Millisecond}); err != nil {
+		return pt, err
+	}
+
+	latencies := make([]float64, searches) // ms, one slot per search
+	var next atomic.Int64                  // search slots handed to readers
+	var done atomic.Int64                  // searches completed (paces the writer)
+	statsBefore := idx.MaintenanceStats()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= searches {
+					return
+				}
+				q := queries.Row(i % queries.Rows)
+				t0 := time.Now()
+				ids, _ := idx.SearchWithPool(q, k, l)
+				latencies[i] = float64(time.Since(t0).Microseconds()) / 1000
+				if len(ids) == 0 {
+					panic("bench: empty live search result")
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	// Writer: insert i once i/wf searches have completed, spreading the
+	// write stream evenly across the read window.
+	writerErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < inserts; i++ {
+			target := int64(float64(i) / wf)
+			for done.Load() < target {
+				time.Sleep(20 * time.Microsecond)
+			}
+			if _, err := idx.Add(full.Row(n0 + i)); err != nil {
+				writerErr <- err
+				return
+			}
+			if p := idx.MaintenanceStats().Pending; p > pt.MaxPending {
+				pt.MaxPending = p
+			}
+		}
+	}()
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-writerErr:
+		return pt, err
+	default:
+	}
+
+	flushStart := time.Now()
+	idx.Flush()
+	pt.DrainMs = float64(time.Since(flushStart).Microseconds()) / 1000
+	statsAfter := idx.MaintenanceStats()
+	pt.Inserts = inserts
+	pt.Publishes = statsAfter.Publishes - statsBefore.Publishes
+	if statsAfter.Pending != 0 || statsAfter.SnapshotRows != nTotal {
+		return pt, fmt.Errorf("bench: live index did not drain: %+v", statsAfter)
+	}
+
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	pt.P50Ms = percentile(sorted, 0.50)
+	pt.P99Ms = percentile(sorted, 0.99)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	pt.MeanMs = sum / float64(len(sorted))
+	pt.QPS = float64(searches) / elapsed.Seconds()
+
+	// Quality on the final point set: the drained live index vs a batch
+	// build over the same rows, both against the exact ground truth.
+	sub := full.Slice(0, nTotal)
+	gt := dataset.GroundTruth(sub, queries, k)
+	pt.Recall = liveRecall(idx, queries, gt, k, l)
+	batch, err := nsg.BuildFromFlat(sub.Clone().Data, full.Dim, opts)
+	if err != nil {
+		return pt, err
+	}
+	pt.BatchRecall = liveRecall(batch, queries, gt, k, l)
+	return pt, nil
+}
+
+// liveRecall scores recall@k for idx over the query matrix.
+func liveRecall(idx *nsg.Index, queries vecmath.Matrix, gt [][]int32, k, l int) float64 {
+	got := make([][]int32, queries.Rows)
+	for qi := 0; qi < queries.Rows; qi++ {
+		got[qi], _ = idx.SearchWithPool(queries.Row(qi), k, l)
+	}
+	return dataset.MeanRecall(got, gt, k)
+}
+
+// percentile reads the p-quantile from an ascending-sorted slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

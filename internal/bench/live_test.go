@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestLiveServingWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t.Chdir(t.TempDir())
+	c := DefaultExpConfig()
+	c.Scale = 0.04 // clamps to the 256-point floor; keep the smoke test fast
+	c.Queries = 20
+	var buf bytes.Buffer
+	if err := LiveServing(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"live updates", "p99", "read-only p99", "vs batch build", "wrote BENCH_live.json"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("live table missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile("BENCH_live.json")
+	if err != nil {
+		t.Fatalf("BENCH_live.json not written: %v", err)
+	}
+	var res LiveResult
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("BENCH_live.json not valid JSON: %v", err)
+	}
+	if res.N < 256 || res.K != 10 || res.L != 60 || res.Readers != 4 {
+		t.Errorf("implausible record: %+v", res)
+	}
+	if len(res.Points) != len(liveWriteFracs) {
+		t.Fatalf("got %d points, want %d", len(res.Points), len(liveWriteFracs))
+	}
+	for i, pt := range res.Points {
+		if pt.WriteFrac != liveWriteFracs[i] {
+			t.Errorf("point %d write_frac %v, want %v", i, pt.WriteFrac, liveWriteFracs[i])
+		}
+		if pt.QPS <= 0 || pt.P50Ms <= 0 || pt.P99Ms < pt.P50Ms || pt.MeanMs <= 0 {
+			t.Errorf("implausible latency stats: %+v", pt)
+		}
+		if pt.Recall < 0.8 || pt.Recall > 1 || pt.BatchRecall < 0.8 {
+			t.Errorf("implausible recall: %+v", pt)
+		}
+		if wantInserts := int(float64(pt.Searches) * pt.WriteFrac); pt.Inserts != wantInserts {
+			t.Errorf("point %d inserts %d, want %d", i, pt.Inserts, wantInserts)
+		}
+		if pt.WriteFrac > 0 && pt.Publishes == 0 {
+			t.Errorf("point %d: writes flowed but nothing published: %+v", i, pt)
+		}
+		// The drained incremental graph must hold batch-build quality —
+		// the -exp live acceptance bound, also gated here at smoke scale.
+		if pt.Recall < pt.BatchRecall-0.01 {
+			t.Errorf("point %d: live recall %.4f more than 0.01 below batch %.4f", i, pt.Recall, pt.BatchRecall)
+		}
+	}
+}
+
+func TestLiveExperimentRegistered(t *testing.T) {
+	if _, ok := Experiments()["live"]; !ok {
+		t.Error("experiment \"live\" not registered")
+	}
+}

@@ -133,6 +133,10 @@ type distSource interface {
 	one(counter *vecmath.Counter, id int32) float32
 	// toRows is the batched gather: distance to every id, one counter update.
 	toRows(counter *vecmath.Counter, ids []int32, out []float32)
+	// deltaRows is the batched scan over one delta chunk's rows, in the same
+	// distance space as one/toRows: exact float rows on the float path, SQ8
+	// code rows on the quantized path. out must hold ch.Rows() values.
+	deltaRows(counter *vecmath.Counter, ch *DeltaChunk, out []float32)
 }
 
 // floatDist scores candidates with exact squared L2 over the base matrix.
@@ -147,6 +151,10 @@ func (d floatDist) one(counter *vecmath.Counter, id int32) float32 {
 
 func (d floatDist) toRows(counter *vecmath.Counter, ids []int32, out []float32) {
 	counter.L2ToRows(d.base, d.query, ids, out)
+}
+
+func (d floatDist) deltaRows(counter *vecmath.Counter, ch *DeltaChunk, out []float32) {
+	counter.L2ToRows(ch.Vecs, d.query, ch.Seq, out)
 }
 
 // codeDist scores candidates with the asymmetric SQ8 kernel over the code
@@ -168,11 +176,24 @@ func (d codeDist) toRows(counter *vecmath.Counter, ids []int32, out []float32) {
 	d.q.L2ToRowsCount(counter, d.codes, d.levels, ids, out)
 }
 
+func (d codeDist) deltaRows(counter *vecmath.Counter, ch *DeltaChunk, out []float32) {
+	d.q.L2ToRowsCount(counter, ch.Codes, d.levels, ch.Seq, out)
+}
+
 // searchCtx is Algorithm 1: greedy best-first search from starts, keeping
 // the best l candidates and returning the nearest k. All scratch state lives
 // in ctx, so the steady state allocates nothing; the returned Neighbors
 // slice aliases ctx.out and is valid until ctx's next search.
-func searchCtx[A adjacencySource, D distSource](ctx *SearchContext, a A, n int, dist D, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor) SearchResult {
+//
+// delta, when non-nil, is a set of rows that exist outside the graph (a
+// live-update buffer not yet merged into the serving snapshot): after the
+// graph expansion finishes, every delta row is scored with the batched
+// deltaRows kernel — in the same distance space the expansion used — and
+// offered to the candidate pool under id n+offset, so delta points compete
+// with graph points for the final top k (and, on the quantized path, are
+// reranked with everything else). Delta elements are born checked: they
+// have no out-edges to expand.
+func searchCtx[A adjacencySource, D distSource](ctx *SearchContext, a A, n int, dist D, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor, delta *Delta) SearchResult {
 	if l < k {
 		l = k
 	}
@@ -231,6 +252,26 @@ func searchCtx[A adjacencySource, D distSource](ctx *SearchContext, a A, n int, 
 		}
 	}
 
+	// Merge the delta buffer into the pool: the final pool is the best l of
+	// (graph candidates ∪ delta rows), so a pending insert can displace a
+	// graph point from the top k exactly as it would after being drained.
+	if delta != nil {
+		for ci := range delta.Chunks {
+			ch := &delta.Chunks[ci]
+			rows := ch.Rows()
+			if rows == 0 {
+				continue
+			}
+			dists := ctx.distScratch(rows)
+			dist.deltaRows(counter, ch, dists)
+			for j := 0; j < rows; j++ {
+				if pos := p.insert(int32(n+ch.Off+j), dists[j]); pos >= 0 {
+					p.elems[pos].checked = true
+				}
+			}
+		}
+	}
+
 	if k > len(p.elems) {
 		k = len(p.elems)
 	}
@@ -249,7 +290,7 @@ func searchCtx[A adjacencySource, D distSource](ctx *SearchContext, a A, n int, 
 // next search — copy it to retain. visited, when non-nil, receives every
 // node whose distance to the query was computed. counter may be nil.
 func SearchOnGraphCtx(ctx *SearchContext, g *graphutil.FlatGraph, base vecmath.Matrix, query []float32, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor) SearchResult {
-	return searchCtx(ctx, flatAdj{g: g}, g.Nodes, floatDist{base: base, query: query}, starts, k, l, counter, visited)
+	return searchCtx(ctx, flatAdj{g: g}, g.Nodes, floatDist{base: base, query: query}, starts, k, l, counter, visited, nil)
 }
 
 // SearchOnGraphListCtx is SearchOnGraphCtx over ragged adjacency lists; it
@@ -257,7 +298,7 @@ func SearchOnGraphCtx(ctx *SearchContext, g *graphutil.FlatGraph, base vecmath.M
 // repair, incremental inserts), where maintaining a flat copy per mutation
 // would cost more than the layout saves.
 func SearchOnGraphListCtx(ctx *SearchContext, adj [][]int32, base vecmath.Matrix, query []float32, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor) SearchResult {
-	return searchCtx(ctx, listAdj{adj: adj}, len(adj), floatDist{base: base, query: query}, starts, k, l, counter, visited)
+	return searchCtx(ctx, listAdj{adj: adj}, len(adj), floatDist{base: base, query: query}, starts, k, l, counter, visited, nil)
 }
 
 // SearchOnGraph is Algorithm 1: greedy best-first search over adjacency
@@ -273,7 +314,7 @@ func SearchOnGraphListCtx(ctx *SearchContext, adj [][]int32, base vecmath.Matrix
 // result out.
 func SearchOnGraph(adj [][]int32, base vecmath.Matrix, query []float32, starts []int32, k, l int, counter *vecmath.Counter, visited *[]vecmath.Neighbor) SearchResult {
 	ctx := getCtx()
-	res := searchCtx(ctx, listAdj{adj: adj}, len(adj), floatDist{base: base, query: query}, starts, k, l, counter, visited)
+	res := searchCtx(ctx, listAdj{adj: adj}, len(adj), floatDist{base: base, query: query}, starts, k, l, counter, visited, nil)
 	out := copyNeighbors(res.Neighbors)
 	putCtx(ctx)
 	return SearchResult{Neighbors: out, Hops: res.Hops}

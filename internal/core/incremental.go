@@ -170,6 +170,21 @@ func (t *Tombstones) Deleted(id int32) bool {
 // Len returns the number of tombstoned ids.
 func (t *Tombstones) Len() int { return len(t.dead) }
 
+// Clone returns an independent copy of the deletion set. The live-update
+// path publishes tombstones copy-on-write: searches read a frozen set from
+// the current view while deletes build and publish a fresh copy, so the
+// read path never takes a lock. A nil receiver clones to an empty set.
+func (t *Tombstones) Clone() *Tombstones {
+	out := NewTombstones()
+	if t == nil {
+		return out
+	}
+	for id := range t.dead {
+		out.dead[id] = struct{}{}
+	}
+	return out
+}
+
 // SearchLive runs Search and filters tombstoned ids, over-fetching so k
 // live results come back whenever enough live points exist in the pool.
 // The result is caller-owned; hot loops should prefer SearchLiveCtx.

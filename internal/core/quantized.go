@@ -87,7 +87,7 @@ func (x *NSG) searchQuantCtx(ctx *SearchContext, query []float32, k, l int, coun
 		// neighbor misranked by quantization still reaches the top k.
 		fetch = l
 	}
-	res := searchCtx(ctx, flatAdj{g: f}, f.Nodes, dist, ctx.startBuf[:], fetch, l, counter, nil)
+	res := searchCtx(ctx, flatAdj{g: f}, f.Nodes, dist, ctx.startBuf[:], fetch, l, counter, nil, nil)
 	if !rerank {
 		return res
 	}

@@ -25,10 +25,12 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graphutil"
 	"repro/internal/knngraph"
+	"repro/internal/live"
 	"repro/internal/vecmath"
 	"repro/internal/vecmath/quant"
 )
@@ -46,6 +48,21 @@ type Sharded struct {
 	tasks     chan shardTask
 	closeOnce sync.Once
 	scratch   sync.Pool // *fanScratch
+
+	// Live-update state (see live.go): one handle per shard plus frozen
+	// routing vectors once EnableLive ran, published through an atomic
+	// pointer so enabling is safe while searches are in flight; liveMu
+	// serializes global id allocation and base growth between writers.
+	live   atomic.Pointer[liveState]
+	liveMu sync.Mutex
+	liveN  atomic.Int64
+}
+
+// liveState bundles what a live search or routed insert needs, immutable
+// once published.
+type liveState struct {
+	handles []*live.Handle
+	navVec  [][]float32 // per-shard navigating-node vectors (write-once rows)
 }
 
 // Params configures BuildSharded.
@@ -193,11 +210,22 @@ func (s *Sharded) startWorkers() {
 	}
 }
 
-// Close terminates the worker pool. The index must not be searched after
-// Close; build/serving code that discards a Sharded should call it so the
-// worker goroutines do not outlive the index.
+// Close terminates the worker pool and, on a live index, flushes and stops
+// the per-shard maintainers — flushing first so every acknowledged insert
+// reaches its shard graph and id map (a Save after Close stays
+// consistent). The index must not be searched after Close; build/serving
+// code that discards a Sharded should call it so the goroutines do not
+// outlive the index.
 func (s *Sharded) Close() {
-	s.closeOnce.Do(func() { close(s.tasks) })
+	s.closeOnce.Do(func() {
+		s.Flush()
+		close(s.tasks)
+		if ls := s.live.Load(); ls != nil {
+			for _, h := range ls.handles {
+				h.Close()
+			}
+		}
+	})
 }
 
 // Shards returns the number of partitions.
@@ -209,11 +237,16 @@ func (s *Sharded) Quantized() bool {
 	return len(s.shards) > 0 && s.shards[0].IsQuantized()
 }
 
-// ShardSizes returns the number of vectors in each shard.
+// ShardSizes returns the number of vectors in each shard. On a live index
+// a shard's size counts its published snapshot plus its pending delta.
 func (s *Sharded) ShardSizes() []int {
 	sizes := make([]int, len(s.shards))
-	for i, sh := range s.shards {
-		sizes[i] = sh.Base.Rows
+	for i := range s.shards {
+		if h := s.liveHandle(i); h != nil {
+			sizes[i] = h.Len()
+		} else {
+			sizes[i] = s.shards[i].Base.Rows
+		}
 	}
 	return sizes
 }
@@ -270,6 +303,22 @@ func (s *Sharded) putScratch(f *fanScratch) {
 func (f *fanScratch) run(ctx *core.SearchContext, counter *vecmath.Counter, sh int) {
 	s := f.owner
 	var res core.SearchResult
+	if h := s.liveHandle(sh); h != nil {
+		// Live path: the handle searches its published snapshot plus the
+		// shard's pending delta and already emits global ids (its translate
+		// table is the frozen id map), so no per-result translation here.
+		if f.stats {
+			counter.Reset()
+			res = h.SearchCtx(ctx, f.query, f.k, f.l, counter)
+			f.hops[sh] = res.Hops
+			f.comps[sh] = counter.Count()
+		} else {
+			res = h.SearchCtx(ctx, f.query, f.k, f.l, nil)
+		}
+		f.bufs[sh] = append(f.bufs[sh][:0], res.Neighbors...)
+		f.wg.Done()
+		return
+	}
 	if f.stats {
 		counter.Reset()
 		res = s.shards[sh].SearchWithHopsCtx(ctx, f.query, f.k, f.l, counter)
@@ -285,6 +334,16 @@ func (f *fanScratch) run(ctx *core.SearchContext, counter *vecmath.Counter, sh i
 	}
 	f.bufs[sh] = buf
 	f.wg.Done()
+}
+
+// liveHandle returns shard sh's live handle, or nil when live updates are
+// not enabled.
+func (s *Sharded) liveHandle(sh int) *live.Handle {
+	ls := s.live.Load()
+	if ls == nil {
+		return nil
+	}
+	return ls.handles[sh]
 }
 
 func (s *Sharded) worker() {
@@ -368,6 +427,11 @@ func (s *Sharded) SearchSequential(q []float32, k, l int) []vecmath.Neighbor {
 		f.seq = core.NewSearchContext()
 	}
 	for sh := range s.shards {
+		if h := s.liveHandle(sh); h != nil {
+			res := h.SearchCtx(f.seq, q, k, l, nil)
+			f.bufs[sh] = append(f.bufs[sh][:0], res.Neighbors...)
+			continue
+		}
 		res := s.shards[sh].SearchCtx(f.seq, q, k, l, nil)
 		ids := s.localID[sh]
 		buf := f.bufs[sh][:0]
@@ -417,11 +481,16 @@ func (s *Sharded) Insert(vec []float32, p core.InsertParams) (int32, int, error)
 	return gid, sh, nil
 }
 
-// IndexBytes sums the per-shard index footprints.
+// IndexBytes sums the per-shard index footprints. On a live index the
+// figures come from the published snapshots' frozen flat layouts.
 func (s *Sharded) IndexBytes() int64 {
 	var total int64
-	for _, sh := range s.shards {
-		total += sh.Graph.IndexBytes()
+	for i, sh := range s.shards {
+		if h := s.liveHandle(i); h != nil {
+			total += h.IndexStats().IndexBytes
+		} else {
+			total += sh.Graph.IndexBytes()
+		}
 	}
 	return total
 }

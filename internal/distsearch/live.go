@@ -1,0 +1,159 @@
+package distsearch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/live"
+	"repro/internal/vecmath"
+)
+
+// This file is the sharded side of live updates: one live.Handle per
+// shard, global ids allocated above them, and inserts routed (by nearest
+// navigating node, like the blocking Insert) to exactly one shard's delta
+// buffer — so a streaming write touches one shard's append path while all
+// other shards keep serving their published snapshots untouched, and even
+// the receiving shard's readers never wait.
+
+// EnableLive switches the index to non-blocking live serving: searches read
+// per-shard published snapshots (plus each shard's pending delta), and
+// InsertLive appends without blocking any reader. The index's id maps are
+// handed to the per-shard handles; from this call until Close, all
+// mutation must go through InsertLive.
+func (s *Sharded) EnableLive(opts live.Options) error {
+	if s.live.Load() != nil {
+		return fmt.Errorf("distsearch: live updates already enabled")
+	}
+	// Freeze the routing vectors now: navigating nodes never change during
+	// live serving, and the row contents are write-once, so these slices
+	// stay valid while the maintainers grow the shard bases.
+	ls := &liveState{
+		handles: make([]*live.Handle, len(s.shards)),
+		navVec:  make([][]float32, len(s.shards)),
+	}
+	for sh, idx := range s.shards {
+		ls.navVec[sh] = idx.Base.Row(int(idx.Navigating))
+	}
+	s.liveN.Store(int64(s.Base.Rows))
+	for sh := range s.shards {
+		ls.handles[sh] = live.Start(s.shards[sh], s.localID[sh], nil, opts)
+	}
+	// Publish last: a search that races the switch either sees nil (and
+	// serves the identical pre-live state) or the fully built handles.
+	if !s.live.CompareAndSwap(nil, ls) {
+		for _, h := range ls.handles {
+			h.Close()
+		}
+		return fmt.Errorf("distsearch: live updates already enabled")
+	}
+	return nil
+}
+
+// Live reports whether live updates are enabled.
+func (s *Sharded) Live() bool { return s.live.Load() != nil }
+
+// InsertLive adds vec under a new global id without blocking searches: the
+// vector is routed to the shard with the nearest navigating node and
+// appended to that shard's delta buffer. It is searchable the moment the
+// call returns; the shard's maintainer folds it into the graph off the
+// query path. Safe to call concurrently with searches and with other
+// InsertLive calls.
+func (s *Sharded) InsertLive(vec []float32) (int32, int, error) {
+	ls := s.live.Load()
+	if ls == nil {
+		return -1, -1, fmt.Errorf("distsearch: live updates not enabled")
+	}
+	if len(vec) != s.Base.Dim {
+		return -1, -1, fmt.Errorf("distsearch: insert dim %d != index dim %d", len(vec), s.Base.Dim)
+	}
+	sh := routeLive(ls.navVec, vec)
+	// Global id allocation and the global base append serialize on one
+	// mutex; rows below the published count are write-once, so concurrent
+	// readers of earlier rows are unaffected.
+	s.liveMu.Lock()
+	gid := int32(s.liveN.Load())
+	s.Base.Data = append(s.Base.Data, vec...)
+	s.Base.Rows++
+	s.liveN.Add(1)
+	s.liveMu.Unlock()
+	if err := ls.handles[sh].AppendWithID(vec, gid); err != nil {
+		return -1, -1, err
+	}
+	return gid, sh, nil
+}
+
+// routeLive is Route over the frozen navigating vectors, safe while the
+// maintainers mutate the shard bases.
+func routeLive(navVec [][]float32, vec []float32) int {
+	best, bestD := 0, float32(math.Inf(1))
+	for sh, nav := range navVec {
+		d := vecmath.L2(vec, nav)
+		if d < bestD {
+			best, bestD = sh, d
+		}
+	}
+	return best
+}
+
+// Len returns the number of indexed vectors; safe concurrently with
+// InsertLive on a live index.
+func (s *Sharded) Len() int {
+	if s.live.Load() != nil {
+		return int(s.liveN.Load())
+	}
+	return s.Base.Rows
+}
+
+// VectorByID returns the stored vector with the given global id. On a live
+// index the read takes the writer mutex so it cannot observe the base
+// matrix header mid-append; the returned row is write-once and stays valid
+// after the lock drops. Panics on an out-of-range id, matching Matrix.Row.
+func (s *Sharded) VectorByID(id int) []float32 {
+	if s.live.Load() == nil {
+		return s.Base.Row(id)
+	}
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	return s.Base.Row(id)
+}
+
+// LiveStats aggregates the per-shard maintenance state: pending depths and
+// drain counters are summed, LastPublish is the oldest shard publish (the
+// staleness bound a monitoring page wants).
+func (s *Sharded) LiveStats() live.Stats {
+	var out live.Stats
+	ls := s.live.Load()
+	if ls == nil {
+		return out
+	}
+	for i, h := range ls.handles {
+		st := h.Stats()
+		out.Pending += st.Pending
+		out.SnapshotRows += st.SnapshotRows
+		out.Publishes += st.Publishes
+		out.Drained += st.Drained
+		if i == 0 || st.LastPublish.Before(out.LastPublish) {
+			out.LastPublish = st.LastPublish
+		}
+	}
+	return out
+}
+
+// Flush blocks until every insert issued before the call is folded into a
+// published shard snapshot, then refreshes the index's id maps from the
+// handles (their translate tables grew during drains) so persistence sees
+// the complete mapping.
+func (s *Sharded) Flush() {
+	ls := s.live.Load()
+	if ls == nil {
+		return
+	}
+	for _, h := range ls.handles {
+		h.Flush()
+	}
+	s.liveMu.Lock()
+	for sh, h := range ls.handles {
+		s.localID[sh] = h.Translate()
+	}
+	s.liveMu.Unlock()
+}

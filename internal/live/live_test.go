@@ -1,0 +1,359 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/knngraph"
+	"repro/internal/vecmath"
+)
+
+// testVectors returns n deterministic random vectors as one flat matrix.
+func testVectors(n, dim int, seed int64) vecmath.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := vecmath.NewMatrix(n, dim)
+	for i := range m.Data {
+		m.Data[i] = rng.Float32()
+	}
+	return m
+}
+
+// buildNSG builds a small exact-kNN NSG over base (which it takes
+// ownership of).
+func buildNSG(t *testing.T, base vecmath.Matrix) *core.NSG {
+	t.Helper()
+	k := 10
+	if k >= base.Rows {
+		k = base.Rows - 1
+	}
+	knn, err := knngraph.BuildExact(base, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := core.NSGBuild(knn, base, core.BuildParams{L: 20, M: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// checkExact verifies one result list against the ledger of true vectors:
+// ids in range, no duplicates, distances exactly equal to the float32 L2
+// against the ledger row, and ascending (dist, id) order. This is the
+// torn-read detector: any partially-written vector or mixed-epoch state
+// surfaces as a distance mismatch.
+func checkExact(t *testing.T, q []float32, res []vecmath.Neighbor, ledger *vecmath.Matrix, ledgerLen func() int) {
+	t.Helper()
+	n := ledgerLen()
+	seen := make(map[int32]bool, len(res))
+	for i, nb := range res {
+		if nb.ID < 0 || int(nb.ID) >= n {
+			t.Fatalf("result %d: id %d out of ledger range [0,%d)", i, nb.ID, n)
+		}
+		if seen[nb.ID] {
+			t.Fatalf("duplicate id %d in results", nb.ID)
+		}
+		seen[nb.ID] = true
+		if want := vecmath.L2(q, ledger.Row(int(nb.ID))); nb.Dist != want {
+			t.Fatalf("result %d (id %d): dist %v != exact %v", i, nb.ID, nb.Dist, want)
+		}
+		if i > 0 && vecmath.CompareNeighbors(res[i-1], nb) > 0 {
+			t.Fatalf("results out of order at %d", i)
+		}
+	}
+}
+
+func TestAppendSearchableImmediately(t *testing.T) {
+	const n0, dim = 300, 12
+	all := testVectors(n0+50, dim, 1)
+	idx := buildNSG(t, all.Slice(0, n0).Clone())
+	// A huge interval and threshold so nothing drains during the test: the
+	// appended points are served purely by the delta scan.
+	h := Start(idx, nil, nil, Options{Interval: time.Hour, MaxPending: 1 << 20})
+	defer h.Close()
+
+	ctx := core.NewSearchContext()
+	for i := n0; i < all.Rows; i++ {
+		id, err := h.Append(all.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != int32(i) {
+			t.Fatalf("append id %d, want %d", id, i)
+		}
+		res := h.SearchCtx(ctx, all.Row(i), 3, 20, nil)
+		if len(res.Neighbors) == 0 || res.Neighbors[0].ID != id || res.Neighbors[0].Dist != 0 {
+			t.Fatalf("appended point %d not nearest to itself: %+v", id, res.Neighbors)
+		}
+		checkExact(t, all.Row(i), res.Neighbors, &all, func() int { return i + 1 })
+	}
+	if st := h.Stats(); st.Pending != 50 || st.SnapshotRows != n0 || st.Drained != 0 {
+		t.Fatalf("stats before drain: %+v", st)
+	}
+	if h.Len() != all.Rows {
+		t.Fatalf("Len %d, want %d", h.Len(), all.Rows)
+	}
+}
+
+func TestFlushDrainsAndMatchesSynchronousInserts(t *testing.T) {
+	const n0, extra, dim = 300, 120, 12
+	all := testVectors(n0+extra, dim, 2)
+
+	idx := buildNSG(t, all.Slice(0, n0).Clone())
+	h := Start(idx, nil, nil, Options{Interval: time.Hour, MaxPending: 1 << 20, ChunkRows: 32})
+	defer h.Close()
+	for i := n0; i < all.Rows; i++ {
+		if _, err := h.Append(all.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Flush()
+	st := h.Stats()
+	if st.Pending != 0 || st.SnapshotRows != all.Rows || st.Drained != extra || st.Publishes == 0 {
+		t.Fatalf("stats after flush: %+v", st)
+	}
+
+	// Reference: the same inserts applied synchronously through the same
+	// incremental path. The drain is FIFO, so the graphs — and therefore
+	// every search result — must match exactly.
+	ref := buildNSG(t, all.Slice(0, n0).Clone())
+	for i := n0; i < all.Rows; i++ {
+		if _, err := ref.Insert(all.Row(i), core.InsertParams{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, refCtx := core.NewSearchContext(), core.NewSearchContext()
+	queries := testVectors(40, dim, 3)
+	for qi := 0; qi < queries.Rows; qi++ {
+		q := queries.Row(qi)
+		got := h.SearchCtx(ctx, q, 10, 30, nil)
+		want := ref.SearchWithHopsCtx(refCtx, q, 10, 30, nil)
+		if len(got.Neighbors) != len(want.Neighbors) {
+			t.Fatalf("query %d: %d results vs %d", qi, len(got.Neighbors), len(want.Neighbors))
+		}
+		for i := range got.Neighbors {
+			if got.Neighbors[i] != want.Neighbors[i] {
+				t.Fatalf("query %d result %d: %+v != %+v", qi, i, got.Neighbors[i], want.Neighbors[i])
+			}
+		}
+		checkExact(t, q, got.Neighbors, &all, func() int { return all.Rows })
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	const n0, dim = 300, 12
+	all := testVectors(n0+200, dim, 4)
+	idx := buildNSG(t, all.Slice(0, n0).Clone())
+
+	// Freeze the pre-mutation view and record its answers.
+	snap := idx.Snapshot()
+	ctx := core.NewSearchContext()
+	queries := testVectors(20, dim, 5)
+	type answer struct {
+		ids   []int32
+		dists []float32
+	}
+	before := make([]answer, queries.Rows)
+	for qi := range before {
+		res := snap.SearchLiveCtx(ctx, queries.Row(qi), 10, 30, nil, core.LiveQuery{})
+		for _, nb := range res.Neighbors {
+			before[qi].ids = append(before[qi].ids, nb.ID)
+			before[qi].dists = append(before[qi].dists, nb.Dist)
+		}
+	}
+
+	// Mutate heavily through the live path (forcing drains), then re-ask
+	// the frozen snapshot: byte-identical answers, or isolation is broken.
+	h := Start(idx, nil, nil, Options{Interval: time.Millisecond, MaxPending: 16})
+	for i := n0; i < all.Rows; i++ {
+		if _, err := h.Append(all.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Flush()
+	h.Close()
+
+	for qi := range before {
+		res := snap.SearchLiveCtx(ctx, queries.Row(qi), 10, 30, nil, core.LiveQuery{})
+		if len(res.Neighbors) != len(before[qi].ids) {
+			t.Fatalf("query %d: snapshot result count changed", qi)
+		}
+		for i, nb := range res.Neighbors {
+			if nb.ID != before[qi].ids[i] || nb.Dist != before[qi].dists[i] {
+				t.Fatalf("query %d result %d changed after mutation: (%d,%v) != (%d,%v)",
+					qi, i, nb.ID, nb.Dist, before[qi].ids[i], before[qi].dists[i])
+			}
+		}
+	}
+}
+
+func TestDeleteLive(t *testing.T) {
+	const n0, dim = 300, 12
+	all := testVectors(n0+20, dim, 6)
+	idx := buildNSG(t, all.Slice(0, n0).Clone())
+	h := Start(idx, nil, nil, Options{Interval: time.Hour, MaxPending: 1 << 20})
+	defer h.Close()
+
+	ctx := core.NewSearchContext()
+	// Delete a snapshot point: the exact-match query must stop returning it.
+	q := all.Row(42)
+	res := h.SearchCtx(ctx, q, 1, 20, nil)
+	if res.Neighbors[0].ID != 42 {
+		t.Fatalf("self query returned %d", res.Neighbors[0].ID)
+	}
+	if err := h.Delete(42); err != nil {
+		t.Fatal(err)
+	}
+	res = h.SearchCtx(ctx, q, 1, 20, nil)
+	if len(res.Neighbors) == 0 || res.Neighbors[0].ID == 42 {
+		t.Fatalf("deleted id still returned: %+v", res.Neighbors)
+	}
+	if !h.Deleted(42) || h.DeadCount() != 1 {
+		t.Fatalf("tombstone state wrong: %v %d", h.Deleted(42), h.DeadCount())
+	}
+
+	// Delete a pending delta point before it drains.
+	id, err := h.Append(all.Row(n0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	res = h.SearchCtx(ctx, all.Row(n0), 1, 20, nil)
+	if len(res.Neighbors) > 0 && res.Neighbors[0].ID == id {
+		t.Fatalf("deleted delta id still returned")
+	}
+}
+
+func TestQuantizedRelaidLive(t *testing.T) {
+	const n0, extra, dim = 400, 90, 16
+	all := testVectors(n0+extra, dim, 7)
+	idx := buildNSG(t, all.Slice(0, n0).Clone())
+	idx.Relayout()
+	if err := idx.EnableQuantization(nil); err != nil {
+		t.Fatal(err)
+	}
+	h := Start(idx, nil, nil, Options{Interval: time.Hour, MaxPending: 1 << 20, ChunkRows: 32})
+	defer h.Close()
+
+	ctx := core.NewSearchContext()
+	for i := n0; i < all.Rows; i++ {
+		id, err := h.Append(all.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The quantized path expands over codes but reranks exactly; delta
+		// or not, every emitted distance must be the exact float32 L2.
+		res := h.SearchCtx(ctx, all.Row(i), 5, 30, nil)
+		if res.Neighbors[0].ID != id || res.Neighbors[0].Dist != 0 {
+			t.Fatalf("appended point %d not exact-nearest: %+v", id, res.Neighbors[0])
+		}
+		checkExact(t, all.Row(i), res.Neighbors, &all, func() int { return i + 1 })
+	}
+	h.Flush()
+	queries := testVectors(30, dim, 8)
+	for qi := 0; qi < queries.Rows; qi++ {
+		q := queries.Row(qi)
+		res := h.SearchCtx(ctx, q, 10, 40, nil)
+		checkExact(t, q, res.Neighbors, &all, func() int { return all.Rows })
+	}
+}
+
+// TestStraddlePublishConsistency is the live-update torture test: readers
+// hammer the index while a writer streams inserts and the maintainer
+// publishes aggressively. Every result list must be self-consistent and
+// exact against the write-once ledger — a query that straddled a publish
+// and saw a torn mix of epochs would return a wrong distance, a duplicate,
+// or an out-of-range id. Run with -race this doubles as the lock-free read
+// path's race gate.
+func TestStraddlePublishConsistency(t *testing.T) {
+	const n0, extra, dim, readers = 400, 400, 12, 4
+	all := testVectors(n0+extra, dim, 9)
+	idx := buildNSG(t, all.Slice(0, n0).Clone())
+	// Tiny thresholds force constant drains and chunk rollovers while the
+	// readers run.
+	h := Start(idx, nil, nil, Options{Interval: time.Millisecond, MaxPending: 8, ChunkRows: 16})
+	defer h.Close()
+
+	var visible atomic.Int64 // ids < visible are safe to validate against
+	visible.Store(n0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ctx := core.NewSearchContext()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			q := make([]float32, dim)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := range q {
+					q[j] = rng.Float32()
+				}
+				// Load the visibility floor BEFORE searching: anything the
+				// search can see has an id below what was published at that
+				// moment... plus whatever landed mid-search, so re-load the
+				// ceiling afterwards for the range check.
+				res := h.SearchCtx(ctx, q, 10, 30, nil)
+				ceil := visible.Load()
+				seen := make(map[int32]bool, len(res.Neighbors))
+				for i, nb := range res.Neighbors {
+					if nb.ID < 0 || int64(nb.ID) >= ceil {
+						errs <- errf("id %d >= visible ceiling %d", nb.ID, ceil)
+						return
+					}
+					if seen[nb.ID] {
+						errs <- errf("duplicate id %d", nb.ID)
+						return
+					}
+					seen[nb.ID] = true
+					if want := vecmath.L2(q, all.Row(int(nb.ID))); nb.Dist != want {
+						errs <- errf("id %d dist %v != exact %v (torn read?)", nb.ID, nb.Dist, want)
+						return
+					}
+					if i > 0 && vecmath.CompareNeighbors(res.Neighbors[i-1], nb) > 0 {
+						errs <- errf("results out of order")
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	for i := n0; i < all.Rows; i++ {
+		if _, err := h.Append(all.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+		visible.Store(int64(i + 1))
+		if i%50 == 0 {
+			time.Sleep(time.Millisecond) // let drains interleave
+		}
+	}
+	h.Flush()
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if st := h.Stats(); st.Pending != 0 || st.SnapshotRows != all.Rows {
+		t.Fatalf("final stats: %+v", st)
+	}
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

@@ -2,12 +2,18 @@
 
 package quant
 
+import "os"
+
 // AVX2 dispatch for the SQ8 kernel. The toolchain assembles the .s file
 // directly, so this costs no dependency; support is probed once at init
 // through CPUID/XGETBV (AVX2 in the CPU *and* YMM state enabled by the OS).
-// useAVX2 can be flipped off in tests to exercise the generic path.
+// useAVX2 can be flipped off in tests to exercise the generic path, and
+// the NSG_NO_AVX2 environment variable (any non-empty value) forces the
+// scalar fallback at startup — the hook CI's kernel-matrix lane uses to
+// gate the portable path on hardware where the vector path would
+// otherwise always win the dispatch.
 
-var useAVX2 = hasAVX2()
+var useAVX2 = hasAVX2() && os.Getenv("NSG_NO_AVX2") == ""
 
 // l2Levels16AVX2 sums (levels[i]-code[i])² over i < n, n a multiple of 16.
 // Implemented in kernels_amd64.s.

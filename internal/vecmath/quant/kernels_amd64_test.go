@@ -1,0 +1,23 @@
+//go:build amd64
+
+package quant
+
+import (
+	"os"
+	"testing"
+)
+
+// TestNoAVX2EnvHonored asserts the CI kernel-matrix contract: when
+// NSG_NO_AVX2 is set, the package must have dispatched to the scalar
+// fallback at init. The CI lane that force-disables the vector path runs
+// the whole test suite with the variable set; this test is what proves the
+// kill-switch actually took, rather than the lane silently re-testing the
+// AVX2 path.
+func TestNoAVX2EnvHonored(t *testing.T) {
+	if os.Getenv("NSG_NO_AVX2") == "" {
+		t.Skip("NSG_NO_AVX2 not set; dispatch follows hardware")
+	}
+	if useAVX2 {
+		t.Fatal("NSG_NO_AVX2 is set but the AVX2 kernel is still dispatched")
+	}
+}

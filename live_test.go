@@ -1,0 +1,309 @@
+package nsg
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vecmath"
+)
+
+func liveTestVectors(n, dim int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestLiveIndexConcurrentAddSearch is the public-API live contract:
+// concurrent Adds and Searches, every result exact against the write-once
+// ledger, every added point immediately findable, and the drained index
+// identical to one that inserted synchronously.
+func TestLiveIndexConcurrentAddSearch(t *testing.T) {
+	const n0, extra, dim = 500, 200, 12
+	all := liveTestVectors(n0+extra, dim, 21)
+
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	idx, err := Build(all[:n0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.EnableLiveUpdates(LiveOptions{MaxPending: 32, PublishInterval: time.Millisecond, ChunkRows: 16}); err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if !idx.Live() {
+		t.Fatal("Live() false after enable")
+	}
+	if err := idx.EnableLiveUpdates(LiveOptions{}); err == nil {
+		t.Fatal("double enable must fail")
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			q := make([]float32, dim)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := range q {
+					q[j] = rng.Float32()
+				}
+				ids, dists := idx.SearchWithPool(q, 10, 40)
+				for i, id := range ids {
+					if want := vecmath.L2(q, all[id]); dists[i] != want {
+						t.Errorf("id %d dist %v != exact %v", id, dists[i], want)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	for i := n0; i < len(all); i++ {
+		id, err := idx.Add(all[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != int32(i) {
+			t.Fatalf("add id %d, want %d", id, i)
+		}
+		// The point must be findable before any drain could have happened.
+		ids, dists := idx.SearchWithPool(all[i], 1, 40)
+		if len(ids) != 1 || ids[0] != id || dists[0] != 0 {
+			t.Fatalf("added point %d not immediately findable: %v %v", id, ids, dists)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	idx.Flush()
+	st := idx.MaintenanceStats()
+	if st.Pending != 0 || st.SnapshotRows != len(all) || st.Drained != extra || st.Publishes == 0 {
+		t.Fatalf("maintenance stats after flush: %+v", st)
+	}
+	if idx.Len() != len(all) {
+		t.Fatalf("Len %d, want %d", idx.Len(), len(all))
+	}
+	if idx.Stats().N != len(all) {
+		t.Fatalf("Stats().N = %d, want %d", idx.Stats().N, len(all))
+	}
+
+	// Parity with synchronous inserts: drains are FIFO through the same
+	// incremental path, so results must match exactly.
+	ref, err := Build(all[:n0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := n0; i < len(all); i++ {
+		if _, err := ref.Add(all[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for qi := 0; qi < 30; qi++ {
+		q := all[(qi*13)%len(all)]
+		gi, gd := idx.SearchWithPool(q, 10, 40)
+		wi, wd := ref.SearchWithPool(q, 10, 40)
+		if len(gi) != len(wi) {
+			t.Fatalf("query %d: %d vs %d results", qi, len(gi), len(wi))
+		}
+		for i := range gi {
+			if gi[i] != wi[i] || gd[i] != wd[i] {
+				t.Fatalf("query %d result %d: (%d,%v) != (%d,%v)", qi, i, gi[i], gd[i], wi[i], wd[i])
+			}
+		}
+	}
+
+	// SearchWithStats still reports work on the live path.
+	_, _, stats := idx.SearchWithStats(all[3], 5, 40)
+	if stats.Hops == 0 || stats.DistanceComputations == 0 {
+		t.Fatalf("live SearchWithStats reported no work: %+v", stats)
+	}
+}
+
+func TestLiveIndexDeleteAndCompactGuard(t *testing.T) {
+	all := liveTestVectors(400, 10, 22)
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	idx, err := Build(all[:300], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pre-live tombstone must carry over into live mode.
+	if err := idx.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.EnableLiveUpdates(LiveOptions{PublishInterval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if !idx.Deleted(7) || idx.DeletedCount() != 1 {
+		t.Fatalf("pre-live tombstone lost: %v %d", idx.Deleted(7), idx.DeletedCount())
+	}
+	ids, _ := idx.SearchWithPool(all[7], 3, 40)
+	for _, id := range ids {
+		if id == 7 {
+			t.Fatal("deleted id 7 returned")
+		}
+	}
+	if err := idx.Delete(11); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Delete(11); err == nil {
+		t.Fatal("double delete must fail")
+	}
+	if _, err := idx.Compact(); err == nil {
+		t.Fatal("Compact must fail on a live index")
+	}
+}
+
+func TestLiveIndexSaveLoad(t *testing.T) {
+	const n0, extra, dim = 400, 80, 10
+	all := liveTestVectors(n0+extra, dim, 23)
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	idx, err := Build(all[:n0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.EnableLiveUpdates(LiveOptions{MaxPending: 32, PublishInterval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	for i := n0; i < len(all); i++ {
+		if _, err := idx.Add(all[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "live.nsgb")
+	if err := idx.Save(path); err != nil { // Save flushes internally
+		t.Fatal(err)
+	}
+	re, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != len(all) {
+		t.Fatalf("reloaded Len %d, want %d", re.Len(), len(all))
+	}
+	for _, probe := range []int{0, n0 - 1, n0, len(all) - 1} {
+		ids, dists := re.SearchWithPool(all[probe], 1, 40)
+		if len(ids) != 1 || ids[0] != int32(probe) || dists[0] != 0 {
+			t.Fatalf("probe %d after reload: %v %v", probe, ids, dists)
+		}
+	}
+}
+
+// TestLiveShardedConcurrentAddSearch exercises the sharded live path:
+// routed non-blocking inserts under concurrent fan-out searches, global
+// ids, and aggregate maintenance stats.
+func TestLiveShardedConcurrentAddSearch(t *testing.T) {
+	const n0, extra, dim = 600, 150, 12
+	all := liveTestVectors(n0+extra, dim, 24)
+	opts := DefaultShardedOptions(3)
+	opts.Shard.ExactKNN = true
+	idx, err := BuildSharded(all[:n0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if err := idx.EnableLiveUpdates(LiveOptions{MaxPending: 32, PublishInterval: time.Millisecond, ChunkRows: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if !idx.Live() {
+		t.Fatal("Live() false after enable")
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(300 + r)))
+			q := make([]float32, dim)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := range q {
+					q[j] = rng.Float32()
+				}
+				ids, dists := idx.SearchWithPool(q, 10, 40)
+				for i, id := range ids {
+					if want := vecmath.L2(q, all[id]); dists[i] != want {
+						t.Errorf("id %d dist %v != exact %v", id, dists[i], want)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	for i := n0; i < len(all); i++ {
+		id, err := idx.Add(all[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != int32(i) {
+			t.Fatalf("add id %d, want %d", id, i)
+		}
+		ids, dists := idx.SearchWithPool(all[i], 1, 40)
+		if len(ids) != 1 || ids[0] != id || dists[0] != 0 {
+			t.Fatalf("added point %d not immediately findable: %v %v", id, ids, dists)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	idx.Flush()
+	st := idx.MaintenanceStats()
+	if st.Pending != 0 || st.SnapshotRows != len(all) || st.Drained != extra {
+		t.Fatalf("aggregate maintenance stats: %+v", st)
+	}
+	if idx.Len() != len(all) || idx.Stats().N != len(all) {
+		t.Fatalf("Len/Stats after flush: %d / %d", idx.Len(), idx.Stats().N)
+	}
+
+	// Save/Load after flush keeps every point (the id maps grown during
+	// drains must persist).
+	path := filepath.Join(t.TempDir(), "live.nsgd")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadSharded(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(all) {
+		t.Fatalf("reloaded Len %d, want %d", re.Len(), len(all))
+	}
+	for _, probe := range []int{0, n0, len(all) - 1} {
+		ids, dists := re.SearchWithPool(all[probe], 1, 40)
+		if len(ids) != 1 || ids[0] != int32(probe) || dists[0] != 0 {
+			t.Fatalf("probe %d after reload: %v %v", probe, ids, dists)
+		}
+	}
+	// SearchWithStats merges per-shard work on the live path too.
+	_, _, stats := idx.SearchWithStats(all[5], 5, 40)
+	if stats.Hops == 0 || stats.DistanceComputations == 0 {
+		t.Fatalf("live sharded stats: %+v", stats)
+	}
+}

@@ -33,7 +33,11 @@
 // be queried from any number of goroutines concurrently; each context is
 // owned by one goroutine at a time (the pool enforces this for the simple
 // API, and SearchBatch keeps one context per worker). Add/Delete/Compact
-// mutate the index and must not run concurrently with searches.
+// mutate the index and must not run concurrently with searches — unless
+// live updates are enabled (EnableLiveUpdates), which makes Add and Delete
+// non-blocking and safe from any goroutine: queries then read an immutable
+// published snapshot plus a scanned delta buffer, and a background
+// maintainer folds pending inserts into the graph off the query path.
 //
 // For throughput-bound workloads prefer SearchBatch, which fans queries out
 // across worker goroutines, each reusing one context for its whole share of
@@ -57,11 +61,13 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/graphutil"
 	"repro/internal/knngraph"
+	"repro/internal/live"
 	"repro/internal/vecmath"
 )
 
@@ -122,8 +128,14 @@ type Index struct {
 	inner *core.NSG
 	opts  Options
 	build BuildStats
+	// live, when non-nil, owns all mutation and serving state: queries read
+	// its published snapshot and delta, Add appends to its buffer. Held
+	// through an atomic pointer so EnableLiveUpdates may be called while
+	// searches are already in flight (the switch-over publishes the fully
+	// initialized handle). See EnableLiveUpdates.
+	live atomic.Pointer[live.Handle]
 	// dead tracks tombstoned ids between Delete and Compact; nil until the
-	// first Delete.
+	// first Delete. Owned by live once live updates are enabled.
 	dead *core.Tombstones
 	// ctxPool recycles per-goroutine search scratch so the simple API is
 	// allocation-free on the steady state while staying safe to call from
@@ -232,15 +244,27 @@ func buildFromMatrix(base vecmath.Matrix, opts Options) (*Index, error) {
 	}}, nil
 }
 
-// Len returns the number of indexed vectors.
-func (x *Index) Len() int { return x.inner.Base.Rows }
+// Len returns the number of indexed vectors. Safe to call concurrently
+// with Add on a live index.
+func (x *Index) Len() int {
+	if h := x.live.Load(); h != nil {
+		return h.Len()
+	}
+	return x.inner.Base.Rows
+}
 
 // Dim returns the vector dimension.
 func (x *Index) Dim() int { return x.inner.Base.Dim }
 
 // Vector returns the stored vector with the given id. The returned slice
 // aliases the index's storage; do not modify it.
-func (x *Index) Vector(id int) []float32 { return x.inner.VectorByID(int32(id)) }
+func (x *Index) Vector(id int) []float32 {
+	if h := x.live.Load(); h != nil {
+		vec, _ := h.Vector(int32(id))
+		return vec
+	}
+	return x.inner.VectorByID(int32(id))
+}
 
 // Quantized reports whether the index serves through the SQ8 quantized
 // search path (built with Options.Quantize or loaded from a quantized
@@ -267,9 +291,21 @@ func (x *Index) SearchWithPool(query []float32, k, l int) ([]int32, []float32) {
 }
 
 // searchIntoFresh runs the tombstone-aware ctx search and copies the
-// context-owned result into fresh caller-owned slices.
+// context-owned result into fresh caller-owned slices. On a live index the
+// query goes through the published snapshot + delta scan instead.
 func (x *Index) searchIntoFresh(ctx *core.SearchContext, query []float32, k, l int) ([]int32, []float32) {
-	res := x.inner.SearchLiveCtx(ctx, query, k, l, x.dead, nil)
+	var res []vecmath.Neighbor
+	if h := x.live.Load(); h != nil {
+		res = h.SearchCtx(ctx, query, k, l, nil).Neighbors
+	} else {
+		res = x.inner.SearchLiveCtx(ctx, query, k, l, x.dead, nil)
+	}
+	return extractResults(res)
+}
+
+// extractResults copies a context-owned neighbor list into the two fresh
+// caller-owned slices every public search returns.
+func extractResults(res []vecmath.Neighbor) ([]int32, []float32) {
 	ids := make([]int32, len(res))
 	dists := make([]float32, len(res))
 	for i, n := range res {
@@ -287,16 +323,27 @@ type Stats struct {
 	IndexBytes int64   // graph footprint with fixed-stride rows
 }
 
-// Stats reports graph statistics.
+// Stats reports graph statistics. On a live index they describe the
+// published snapshot (pending delta points join once drained) and are safe
+// to read concurrently with serving.
 func (x *Index) Stats() Stats {
-	s := x.inner.Stats()
+	var s core.IndexStats
+	if h := x.live.Load(); h != nil {
+		s = h.IndexStats()
+	} else {
+		s = x.inner.Stats()
+	}
 	return Stats{N: s.N, AvgDegree: s.AvgDegree, MaxDegree: s.MaxDegree, IndexBytes: s.IndexBytes}
 }
 
 const fileMagic = 0x4e534742 // "NSGB" — bundled index+vectors format
 
-// Save writes the index, including its vectors, to path.
+// Save writes the index, including its vectors, to path. On a live index,
+// stop issuing Adds and Deletes and call Flush first so the maintainer is
+// quiescent and the file captures every point; concurrent searches are
+// fine.
 func (x *Index) Save(path string) error {
+	x.Flush()
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("nsg: %w", err)

@@ -103,8 +103,38 @@ func buildShardedFromMatrix(base vecmath.Matrix, opts ShardedOptions) (*ShardedI
 	return &ShardedIndex{s: s, opts: opts}, nil
 }
 
-// Len returns the number of indexed vectors across all shards.
-func (x *ShardedIndex) Len() int { return x.s.Base.Rows }
+// EnableLiveUpdates switches the sharded index to non-blocking live
+// serving: Add becomes safe to call concurrently with Search (and with
+// other Adds), routing each vector to one shard's delta buffer while every
+// shard keeps serving its published snapshot without locks. The per-shard
+// maintainers fold pending points into their graphs off the query path.
+// See Index.EnableLiveUpdates and the README's "Live updates" section.
+func (x *ShardedIndex) EnableLiveUpdates(opts LiveOptions) error {
+	if err := x.s.EnableLive(opts.internal(core.InsertParams{M: x.opts.Shard.MaxDegree, L: x.opts.Shard.BuildL})); err != nil {
+		return fmt.Errorf("nsg: %w", err)
+	}
+	return nil
+}
+
+// Live reports whether live updates are enabled.
+func (x *ShardedIndex) Live() bool { return x.s.Live() }
+
+// MaintenanceStats aggregates the per-shard live maintenance state:
+// pending depths and drain counters are summed, LastPublish is the oldest
+// shard's publish time (the staleness bound). Zero value when live updates
+// are not enabled.
+func (x *ShardedIndex) MaintenanceStats() MaintenanceStats {
+	return maintenanceStats(x.s.LiveStats())
+}
+
+// Flush blocks until every point added before the call is folded into a
+// published shard snapshot. Useful in tests and before Save; serving never
+// needs it.
+func (x *ShardedIndex) Flush() { x.s.Flush() }
+
+// Len returns the number of indexed vectors across all shards. Safe to
+// call concurrently with Add on a live index.
+func (x *ShardedIndex) Len() int { return x.s.Len() }
 
 // Dim returns the vector dimension.
 func (x *ShardedIndex) Dim() int { return x.s.Base.Dim }
@@ -117,8 +147,9 @@ func (x *ShardedIndex) Shards() int { return x.s.Shards() }
 func (x *ShardedIndex) Quantized() bool { return x.s.Quantized() }
 
 // Vector returns the stored vector with the given global id. The returned
-// slice aliases the index's storage; do not modify it.
-func (x *ShardedIndex) Vector(id int) []float32 { return x.s.Base.Row(id) }
+// slice aliases the index's storage; do not modify it. Safe to call
+// concurrently with Add on a live index.
+func (x *ShardedIndex) Vector(id int) []float32 { return x.s.VectorByID(id) }
 
 // Close releases the index's shard-worker goroutines. The index must not
 // be searched after Close. Long-lived serving processes never need it;
@@ -199,14 +230,22 @@ func (x *ShardedIndex) SearchBatch(queries [][]float32, k, l, workers int) []Bat
 }
 
 // Add inserts a vector and returns its new global id. The vector is routed
-// to the shard whose navigating node (its approximate medoid) is nearest,
-// then inserted with the incremental MRNG insertion path; only that
-// shard's frozen serving layout is invalidated and lazily rebuilt — the
-// other shards keep serving untouched. Not safe for concurrent use with
-// Search.
+// to the shard whose navigating node (its approximate medoid) is nearest.
+//
+// Without live updates the insert mutates that shard's graph in place and
+// must not run concurrently with Search. After EnableLiveUpdates, Add is
+// non-blocking and safe from any goroutine: the point lands in the routed
+// shard's delta buffer, is searchable the moment Add returns, and is
+// folded into the graph by that shard's maintainer off the query path.
 func (x *ShardedIndex) Add(vec []float32) (int32, error) {
 	if len(vec) != x.s.Base.Dim {
 		return -1, fmt.Errorf("nsg: vector dim %d != index dim %d", len(vec), x.s.Base.Dim)
+	}
+	if x.s.Live() {
+		// InsertLive copies vec into the global base and the routed
+		// shard's delta chunk; no caller-side copy needed.
+		id, _, err := x.s.InsertLive(vec)
+		return id, err
 	}
 	own := make([]float32, len(vec))
 	copy(own, vec)
@@ -222,10 +261,12 @@ type ShardedStats struct {
 	IndexBytes int64 // summed per-shard graph footprints (fixed-stride rows)
 }
 
-// Stats reports per-shard and aggregate statistics.
+// Stats reports per-shard and aggregate statistics. Safe to call
+// concurrently with serving on a live index (graph figures describe the
+// published snapshots).
 func (x *ShardedIndex) Stats() ShardedStats {
 	return ShardedStats{
-		N:          x.s.Base.Rows,
+		N:          x.s.Len(),
 		Shards:     x.s.Shards(),
 		ShardSizes: x.s.ShardSizes(),
 		IndexBytes: x.s.IndexBytes(),
@@ -249,8 +290,11 @@ const (
 // to path. The format shares the chunked vector codec with Index.Save: a
 // versioned header (shape + the per-shard Options, so a reloaded index
 // keeps its Add/Search parameters), the base matrix in 64 KiB chunks, then
-// the shard id maps and per-shard graphs.
+// the shard id maps and per-shard graphs. On a live index, stop issuing
+// Adds first; Save flushes the maintainers so the file captures every
+// point (concurrent searches are fine).
 func (x *ShardedIndex) Save(path string) error {
+	x.Flush()
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("nsg: %w", err)

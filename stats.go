@@ -15,6 +15,12 @@ type SearchStats struct {
 func (x *Index) SearchWithStats(query []float32, k, l int) ([]int32, []float32, SearchStats) {
 	var counter vecmath.Counter
 	ctx := x.getCtx()
+	if h := x.live.Load(); h != nil {
+		res := h.SearchCtx(ctx, query, k, l, &counter)
+		ids, dists := extractResults(res.Neighbors)
+		x.putCtx(ctx)
+		return ids, dists, SearchStats{Hops: res.Hops, DistanceComputations: counter.Count()}
+	}
 	res := x.inner.SearchWithHopsCtx(ctx, query, k, l, &counter)
 	hops := res.Hops
 	neighbors := res.Neighbors
@@ -24,12 +30,7 @@ func (x *Index) SearchWithStats(query []float32, k, l int) ([]int32, []float32, 
 		// (This second search reuses the same context, invalidating res.)
 		neighbors = x.inner.SearchLiveCtx(ctx, query, k, l, x.dead, nil)
 	}
-	ids := make([]int32, len(neighbors))
-	dists := make([]float32, len(neighbors))
-	for i, n := range neighbors {
-		ids[i] = n.ID
-		dists[i] = n.Dist
-	}
+	ids, dists := extractResults(neighbors)
 	x.putCtx(ctx)
 	return ids, dists, SearchStats{Hops: hops, DistanceComputations: counter.Count()}
 }
