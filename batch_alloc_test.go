@@ -1,0 +1,68 @@
+//go:build !race
+
+// The batch allocation gate lives behind !race with the other alloc
+// budgets: the race detector defeats sync.Pool caching, making the counts
+// meaningless there.
+
+package nsg
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestBatchSearchZeroAlloc is the acceptance gate for the fused cohort
+// path: with a reused CohortContext, a steady-state cohort search — float
+// or quantized — performs zero heap allocations; the public SearchBatch
+// adds only the returned result slices.
+func TestBatchSearchZeroAlloc(t *testing.T) {
+	ds := shardedTestData(t, 1500, 32)
+	for _, quantize := range []bool{false, true} {
+		opts := DefaultOptions()
+		opts.ExactKNN = true
+		opts.Seed = 7
+		opts.Quantize = quantize
+		data := make([]float32, len(ds.Base.Data))
+		copy(data, ds.Base.Data)
+		idx, err := BuildFromFlat(data, ds.Base.Dim, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := make([][]float32, ds.Queries.Rows)
+		for qi := range queries {
+			queries[qi] = ds.Queries.Row(qi)
+		}
+
+		cc := core.NewCohortContext()
+		for i := 0; i < 8; i++ { // warm every cohort buffer
+			idx.searchCohort(cc, queries[:8], 10, 60)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			res := idx.searchCohort(cc, queries[:8], 10, 60)
+			if len(res) != 8 || len(res[0].Neighbors) != 10 {
+				t.Fatal("short result")
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("quantize=%v: ctx-reuse cohort search allocated %.2f times per cohort, want 0", quantize, allocs)
+		}
+
+		for i := 0; i < 4; i++ { // warm the public cohort-context pool
+			idx.SearchBatch(queries[:8], 10, 60, 1)
+		}
+		allocs = testing.AllocsPerRun(100, func() {
+			res := idx.SearchBatch(queries[:8], 10, 60, 1)
+			if len(res) != 8 {
+				t.Fatal("short result")
+			}
+		})
+		// Per batch: two result slices per query plus a constant handful for
+		// the fan-out itself (out slice, worker context table, closures). The
+		// gate catches any per-query or per-hop regression, which would show
+		// up as tens to hundreds of allocations per batch.
+		if allocs > 2*8+6.5 {
+			t.Fatalf("quantize=%v: public SearchBatch allocated %.2f times per batch, want <= %.0f (result slices + constant fan-out)", quantize, allocs, 2*8+6.5)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package nsg
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestSearchBatchMatchesSerial(t *testing.T) {
 	vecs := randomVectors(900, 12, 12)
@@ -70,5 +73,121 @@ func TestMetricSearchBatchMatchesSerial(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestSearchBatchFusedMatchesLegacy: the fused cohort path must return
+// exactly what the legacy per-query path returns — float and quantized,
+// across cohort sizes (including ragged tails) and worker counts.
+func TestSearchBatchFusedMatchesLegacy(t *testing.T) {
+	for _, quantize := range []bool{false, true} {
+		vecs := randomVectors(900, 12, 18)
+		opts := DefaultOptions()
+		opts.ExactKNN = true
+		opts.Quantize = quantize
+		opts.BatchCohort = 1 // legacy reference
+		idx, err := Build(vecs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := randomVectors(41, 12, 19)
+		want := idx.SearchBatch(queries, 5, 40, 2)
+		for _, cohort := range []int{2, 5, 8, 17} {
+			for _, workers := range []int{1, 3} {
+				idx.opts.BatchCohort = cohort
+				got := idx.SearchBatch(queries, 5, 40, workers)
+				idx.opts.BatchCohort = 1
+				for i := range want {
+					if len(got[i].IDs) != len(want[i].IDs) {
+						t.Fatalf("quantize=%v cohort=%d workers=%d query %d: %d results vs %d",
+							quantize, cohort, workers, i, len(got[i].IDs), len(want[i].IDs))
+					}
+					for j := range want[i].IDs {
+						if got[i].IDs[j] != want[i].IDs[j] || got[i].Dists[j] != want[i].Dists[j] {
+							t.Fatalf("quantize=%v cohort=%d workers=%d query %d result %d: (%d,%v) != (%d,%v)",
+								quantize, cohort, workers, i, j, got[i].IDs[j], got[i].Dists[j], want[i].IDs[j], want[i].Dists[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearchBatchFusedLive: on a live index with pending inserts and a
+// tombstone, the fused batch must match per-query SearchWithPool against
+// the same frozen view.
+func TestSearchBatchFusedLive(t *testing.T) {
+	vecs := randomVectors(500, 12, 20)
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	idx, err := Build(vecs[:460], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A huge publish interval and pending cap keep the appended rows in the
+	// delta buffer, so every search below sees one stable snapshot + delta.
+	if err := idx.EnableLiveUpdates(LiveOptions{PublishInterval: time.Hour, MaxPending: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	for _, v := range vecs[460:] {
+		if _, err := idx.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := idx.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	queries := randomVectors(30, 12, 21)
+	batch := idx.SearchBatch(queries, 5, 40, 3)
+	for i, q := range queries {
+		ids, dists := idx.SearchWithPool(q, 5, 40)
+		if len(batch[i].IDs) != len(ids) {
+			t.Fatalf("query %d: %d results vs %d", i, len(batch[i].IDs), len(ids))
+		}
+		for j := range ids {
+			if batch[i].IDs[j] != ids[j] || batch[i].Dists[j] != dists[j] {
+				t.Fatalf("query %d result %d: (%d,%v) != (%d,%v)", i, j,
+					batch[i].IDs[j], batch[i].Dists[j], ids[j], dists[j])
+			}
+		}
+	}
+}
+
+// TestSearchBatchDimMismatchPanics: both batch entry points must reject a
+// malformed query up front, before any goroutine fan-out.
+func TestSearchBatchDimMismatchPanics(t *testing.T) {
+	vecs := randomVectors(200, 8, 22)
+	opts := DefaultOptions()
+	opts.ExactKNN = true
+	idx, err := Build(vecs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	midx, err := BuildMetric(vecs, Cosine, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]float32{make([]float32, 8), make([]float32, 3)}
+	for _, cohort := range []int{1, 8} { // legacy and fused paths both check
+		idx.opts.BatchCohort = cohort
+		midx.idx.opts.BatchCohort = cohort
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("cohort=%d: Index.SearchBatch accepted a bad dim", cohort)
+				}
+			}()
+			idx.SearchBatch(bad, 2, 10, 1)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("cohort=%d: MetricIndex.SearchBatch accepted a bad dim", cohort)
+				}
+			}()
+			midx.SearchBatch(bad, 2, 10, 1)
+		}()
 	}
 }

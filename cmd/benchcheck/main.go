@@ -1,8 +1,9 @@
 // Command benchcheck compares a freshly generated BENCH_*.json against a
 // committed baseline and fails when quality or throughput regressed beyond
 // a tolerance band. It is the gate the bench-regression CI job runs after
-// regenerating the quant/sharded/live experiment records, so a PR that
-// silently costs recall or QPS turns the build red instead of landing.
+// regenerating the quant/sharded/live/mqbatch experiment records, so a PR
+// that silently costs recall or QPS turns the build red instead of
+// landing.
 //
 // Usage:
 //
@@ -15,7 +16,7 @@
 // computed across every group of every pair, so a record whose points all
 // go through one code path (and would regress in lockstep, self-
 // normalizing) is anchored by the other files' groups. CI checks all
-// three experiment records in one call for exactly this reason.
+// four experiment records in one call for exactly this reason.
 //
 // The tool understands any experiment record with a top-level "points"
 // array (the shared shape of BENCH_quant/sharded/live): each point is
@@ -164,7 +165,7 @@ func run(args []string, stdout io.Writer) error {
 // name the search-effort axis, which is dropped when grouping points into
 // QPS sweeps.
 var (
-	identityKeys = []string{"variant", "shards", "effort", "l", "k", "write_frac", "dataset"}
+	identityKeys = []string{"variant", "shards", "cohort", "effort", "l", "k", "write_frac", "dataset"}
 	effortKeys   = map[string]bool{"effort": true, "l": true}
 )
 

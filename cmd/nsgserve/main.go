@@ -18,6 +18,8 @@
 //
 //	POST /search  {"query": [...], "k": 10, "l": 60, "stats": true}
 //	              → {"ids": [...], "dists": [...], "hops": h, "dist_comps": c}
+//	POST /search/batch  {"queries": [[...], ...], "k": 10, "l": 60}
+//	              → {"results": [{"ids": [...], "dists": [...]}, ...]}
 //	POST /insert  {"vector": [...]} → {"id": n, "n": total}
 //	GET  /stats   → index shape, per-shard sizes, serving + delta counters
 //	GET  /healthz → {"status":"ok"} once the index is ready
@@ -180,6 +182,7 @@ func newServer(idx *nsg.ShardedIndex, defaultK, defaultL, maxL int) *server {
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /search", s.handleSearch)
+	mux.HandleFunc("POST /search/batch", s.handleSearchBatch)
 	mux.HandleFunc("POST /insert", s.handleInsert)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -235,6 +238,69 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp = searchResponse{IDs: ids, Dists: dists}
 	}
 	s.queries.Add(1)
+	s.searchMicros.Add(uint64(time.Since(start).Microseconds()))
+	writeJSON(w, resp)
+}
+
+type batchSearchRequest struct {
+	Queries [][]float32 `json:"queries"`
+	K       int         `json:"k"`
+	L       int         `json:"l"`
+}
+
+type batchSearchResponse struct {
+	Results []searchResponse `json:"results"`
+}
+
+// maxBatchQueries bounds one /search/batch request: the batch is answered
+// in full before the response streams, so an unbounded batch would hold
+// all its results in memory at once.
+const maxBatchQueries = 1024
+
+// handleSearchBatch answers many queries in one request through the fused
+// cohort path: SearchBatch groups the queries into cohorts and each shard
+// worker advances a whole cohort in lockstep over its graph, sharing
+// gathered rows across the cohort's queries. Results are byte-identical to
+// issuing the queries one at a time against /search.
+func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchSearchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "queries must be non-empty")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		httpError(w, http.StatusBadRequest, "%d queries exceed the batch limit %d", len(req.Queries), maxBatchQueries)
+		return
+	}
+	for i, q := range req.Queries {
+		if len(q) != s.idx.Dim() {
+			httpError(w, http.StatusBadRequest, "query %d dim %d != index dim %d", i, len(q), s.idx.Dim())
+			return
+		}
+	}
+	if req.K <= 0 {
+		req.K = s.defaultK
+	}
+	if req.L <= 0 {
+		req.L = s.defaultL
+	}
+	if req.K > s.maxL || req.L > s.maxL {
+		httpError(w, http.StatusBadRequest, "k %d / l %d exceed the server limit %d", req.K, req.L, s.maxL)
+		return
+	}
+	start := time.Now()
+	res := s.idx.SearchBatch(req.Queries, req.K, req.L, 0)
+	resp := batchSearchResponse{Results: make([]searchResponse, len(res))}
+	for i, r := range res {
+		resp.Results[i] = searchResponse{IDs: r.IDs, Dists: r.Dists}
+	}
+	s.queries.Add(uint64(len(req.Queries)))
+	// The whole batch's wall time is attributed once; /stats divides by the
+	// query count, so the mean reflects per-query cost under batching.
 	s.searchMicros.Add(uint64(time.Since(start).Microseconds()))
 	writeJSON(w, resp)
 }

@@ -457,3 +457,79 @@ func TestSearchesNotBlockedBySlowInsertBatch(t *testing.T) {
 		t.Fatalf("last inserted vector not findable after drain: %+v", sr)
 	}
 }
+
+// TestBatchSearchEndpoint: /search/batch must return one result row per
+// query, matching /search answers, and reject malformed batches.
+func TestBatchSearchEndpoint(t *testing.T) {
+	idx := testIndex(t)
+	srv := newServer(idx, 10, 60, 4096)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	queries := make([][]float32, 6)
+	for i := range queries {
+		queries[i] = append([]float32(nil), idx.Vector(i*7)...)
+	}
+	resp, body := postJSON(t, ts.URL+"/search/batch", batchSearchRequest{Queries: queries, K: 5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var br batchSearchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != len(queries) {
+		t.Fatalf("got %d results, want %d", len(br.Results), len(queries))
+	}
+	for i, r := range br.Results {
+		if len(r.IDs) != 5 || len(r.Dists) != 5 {
+			t.Fatalf("query %d: %d ids, %d dists", i, len(r.IDs), len(r.Dists))
+		}
+		_, solo := postJSON(t, ts.URL+"/search", searchRequest{Query: queries[i], K: 5})
+		var sr searchResponse
+		if err := json.Unmarshal(solo, &sr); err != nil {
+			t.Fatal(err)
+		}
+		for j := range r.IDs {
+			if r.IDs[j] != sr.IDs[j] || r.Dists[j] != sr.Dists[j] {
+				t.Fatalf("query %d result %d: batch (%d,%v) != solo (%d,%v)",
+					i, j, r.IDs[j], r.Dists[j], sr.IDs[j], sr.Dists[j])
+			}
+		}
+	}
+
+	// Malformed batches: empty, oversized, bad dimension, oversized l.
+	resp, _ = postJSON(t, ts.URL+"/search/batch", batchSearchRequest{K: 5})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/search/batch", batchSearchRequest{
+		Queries: make([][]float32, maxBatchQueries+1), K: 5})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/search/batch", batchSearchRequest{
+		Queries: [][]float32{{1, 2}}, K: 5})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dim-mismatch batch status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/search/batch", batchSearchRequest{
+		Queries: queries, K: 5, L: 1 << 30})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized-l batch status %d, want 400", resp.StatusCode)
+	}
+
+	// The query counter reflects every query in the batch.
+	resp2, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if q, _ := st["queries"].(float64); int(q) < 2*len(queries) {
+		t.Fatalf("stats queries = %v, want >= %d", st["queries"], 2*len(queries))
+	}
+}

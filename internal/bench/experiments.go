@@ -696,6 +696,7 @@ func Experiments() map[string]func(io.Writer, ExpConfig) error {
 		"build":    BuildPerf,
 		"sharded":  ShardedServing,
 		"quant":    Quantized,
+		"mqbatch":  MQBatch,
 		"live":     LiveServing,
 		"all":      RunAll,
 	}

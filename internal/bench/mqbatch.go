@@ -1,0 +1,375 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/knngraph"
+	"repro/internal/vecmath"
+)
+
+// This file measures the fused multi-query traversal: cohorts of B queries
+// advance through Algorithm 1 in lockstep over one shared graph, so a graph
+// row gathered from memory in a step is scored against every query in the
+// cohort that wants it instead of being re-fetched per query. Because each
+// query keeps its own pool and termination, results are byte-identical to
+// solo runs — the fusion only changes how many times the same bytes cross
+// the memory bus. cmd/bench -exp mqbatch sweeps cohort size x variant x
+// search effort at full-core concurrency (cohort=1 is the embarrassingly
+// parallel baseline the fused path must beat) and records the sweep to
+// BENCH_mqbatch.json.
+
+// MQBatchPoint is one (variant, cohort, effort) measurement.
+type MQBatchPoint struct {
+	Variant     string  `json:"variant"` // float32 | sq8+rerank
+	Cohort      int     `json:"cohort"`  // queries fused per traversal (1 = solo baseline)
+	Effort      int     `json:"effort"`  // search pool L
+	Recall      float64 `json:"recall"`  // mean recall@k vs exact ground truth
+	QPS         float64 `json:"qps"`     // full-core concurrent queries/second
+	Hops        float64 `json:"hops"`    // mean greedy expansions per query
+	DistComps   float64 `json:"dist_comps"`
+	BytesPerHop float64 `json:"bytes_per_hop"` // vector + adjacency bytes gathered per expansion
+	// SharedHitRate is the fraction of pair distances served by a row
+	// another cohort member already paid to gather: 1 - rows/pairs. Zero
+	// for the solo baseline (every distance gathers its own row).
+	SharedHitRate float64 `json:"shared_gather_hit_rate"`
+	AllocsPerQ    float64 `json:"allocs_per_q"`
+	// Identical reports that every query's ids and distances matched its
+	// solo run byte for byte — the correctness half of the experiment.
+	Identical bool `json:"identical"`
+}
+
+// MQBatchTarget is the matched-recall comparison the acceptance gate uses:
+// QPS per cohort size at the smallest effort reaching the target recall
+// (recall does not depend on cohort — results are identical — so every
+// cohort is read at the same effort).
+type MQBatchTarget struct {
+	Variant string  `json:"variant"`
+	Cohort  int     `json:"cohort"`
+	Target  float64 `json:"target_recall"`
+	Effort  int     `json:"effort"`
+	QPS     float64 `json:"qps"`
+	Speedup float64 `json:"speedup_vs_solo"` // QPS / cohort=1 QPS at the same effort
+	Reached bool    `json:"reached"`
+}
+
+// MQBatchResult is the serialized record of one -exp mqbatch run.
+type MQBatchResult struct {
+	Dataset string          `json:"dataset"`
+	N       int             `json:"n"`
+	Dim     int             `json:"dim"`
+	Queries int             `json:"queries"` // replicated serving-load query count
+	K       int             `json:"k"`
+	Workers int             `json:"workers"`
+	Points  []MQBatchPoint  `json:"points"`
+	Targets []MQBatchTarget `json:"targets"`
+}
+
+// mqbatchCohorts is the cohort-size sweep; 1 is the baseline.
+var mqbatchCohorts = []int{1, 4, 8, 16}
+
+// mqbatchEfforts is the L sweep per (variant, cohort).
+var mqbatchEfforts = []int{10, 20, 30, 40, 60, 100, 160}
+
+// mqbatchLoadQueries is the replicated query-stream length: large enough
+// that every core stays busy through a timed pass and per-pass dispatch
+// overhead is amortized.
+const mqbatchLoadQueries = 1024
+
+// MQBatch runs the fused multi-query traversal experiment on the 8k-point
+// SIFT-like suite (scaled by the config).
+func MQBatch(w io.Writer, c ExpConfig) error {
+	n := c.n(8000)
+	ds, err := dataset.SIFTLike(dataset.Config{N: n, Queries: c.Queries, GTK: c.GTK, Seed: c.Seed})
+	if err != nil {
+		return err
+	}
+	k := 10
+	workers := runtime.GOMAXPROCS(0)
+	res := MQBatchResult{Dataset: "SIFT-like", N: ds.Base.Rows, Dim: ds.Base.Dim,
+		Queries: mqbatchLoadQueries, K: k, Workers: workers}
+
+	// One float index and one quantized index (relayout + SQ8, the
+	// production Options.Quantize shape), both deterministic.
+	buildOne := func(quantize bool) (*core.NSG, error) {
+		base := ds.Base.Clone()
+		kp := knngraph.DefaultParams(20)
+		kp.Seed = c.Seed
+		knn, err := knngraph.BuildNNDescent(base, kp)
+		if err != nil {
+			return nil, err
+		}
+		idx, _, err := core.NSGBuild(knn, base, core.BuildParams{L: 50, M: 30, Seed: c.Seed})
+		if err != nil {
+			return nil, err
+		}
+		if quantize {
+			idx.Relayout()
+			if err := idx.EnableQuantization(nil); err != nil {
+				return nil, err
+			}
+		}
+		return idx, nil
+	}
+	floatIdx, err := buildOne(false)
+	if err != nil {
+		return err
+	}
+	quantIdx, err := buildOne(true)
+	if err != nil {
+		return err
+	}
+
+	// The serving load replicates the query set to mqbatchLoadQueries rows
+	// (row i answers query i mod Q, so recall and identity references line
+	// up for free).
+	qs := make([][]float32, mqbatchLoadQueries)
+	for i := range qs {
+		qs[i] = ds.Queries.Row(i % ds.Queries.Rows)
+	}
+
+	fmt.Fprintf(w, "fused multi-query traversal on SIFT-like subset (n=%d, dim=%d, k=%d, %d workers, %d queries/pass)\n",
+		ds.Base.Rows, ds.Base.Dim, k, workers, mqbatchLoadQueries)
+	fmt.Fprintf(w, "%-12s %7s %7s %9s %9s %7s %11s %10s %8s %9s %6s\n",
+		"variant", "cohort", "effort", "recall", "QPS", "hops", "dist/query", "bytes/hop", "shared", "allocs/q", "ident")
+
+	for _, v := range []struct {
+		name string
+		idx  *core.NSG
+	}{{"float32", floatIdx}, {"sq8+rerank", quantIdx}} {
+		// Per-effort solo references for identity checks and recall, and the
+		// per-effort baseline QPS for the speedup column.
+		type effortRow struct {
+			recall  float64
+			baseQPS float64
+		}
+		rows := map[int]*effortRow{}
+		for _, b := range mqbatchCohorts {
+			for _, effort := range mqbatchEfforts {
+				pt := measureMQBatchPoint(v.idx, ds, qs, v.name, b, k, effort, workers)
+				res.Points = append(res.Points, pt)
+				if b == 1 {
+					rows[effort] = &effortRow{recall: pt.Recall, baseQPS: pt.QPS}
+				}
+				fmt.Fprintf(w, "%-12s %7d %7d %9.4f %9.0f %7.1f %11.0f %10.0f %7.1f%% %9.2f %6v\n",
+					v.name, b, effort, pt.Recall, pt.QPS, pt.Hops, pt.DistComps, pt.BytesPerHop,
+					pt.SharedHitRate*100, pt.AllocsPerQ, pt.Identical)
+			}
+		}
+		// Matched-recall reading: the smallest effort whose recall reaches
+		// 0.99 (identical for every cohort), QPS per cohort there.
+		targetEffort, reached := 0, false
+		for _, effort := range mqbatchEfforts {
+			if rows[effort] != nil && rows[effort].recall >= 0.99 {
+				targetEffort, reached = effort, true
+				break
+			}
+		}
+		for _, b := range mqbatchCohorts {
+			tg := MQBatchTarget{Variant: v.name, Cohort: b, Target: 0.99, Reached: reached}
+			if reached {
+				tg.Effort = targetEffort
+				for _, pt := range res.Points {
+					if pt.Variant == v.name && pt.Cohort == b && pt.Effort == targetEffort {
+						tg.QPS = pt.QPS
+						if base := rows[targetEffort].baseQPS; base > 0 {
+							tg.Speedup = pt.QPS / base
+						}
+					}
+				}
+			}
+			res.Targets = append(res.Targets, tg)
+		}
+	}
+
+	fmt.Fprintf(w, "QPS at recall>=0.99, %d workers (cohort=1 is the embarrassingly parallel baseline):\n", workers)
+	for _, tg := range res.Targets {
+		if !tg.Reached {
+			fmt.Fprintf(w, "  %-12s cohort=%-3d (0.99 unreachable in the effort sweep)\n", tg.Variant, tg.Cohort)
+			continue
+		}
+		fmt.Fprintf(w, "  %-12s cohort=%-3d %9.0f QPS (L=%d)  %.2fx solo\n", tg.Variant, tg.Cohort, tg.QPS, tg.Effort, tg.Speedup)
+	}
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_mqbatch.json", append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: write BENCH_mqbatch.json: %w", err)
+	}
+	fmt.Fprintln(w, "wrote BENCH_mqbatch.json")
+	return nil
+}
+
+// measureMQBatchPoint scores one (index, variant, cohort, effort) cell:
+// a single-threaded collect pass produces the work stats and checks every
+// query's results against its solo run byte for byte, then three full-core
+// timed passes (keeping the fastest) price the throughput.
+func measureMQBatchPoint(idx *core.NSG, ds dataset.Dataset, qs [][]float32, variant string, cohort, k, effort, workers int) MQBatchPoint {
+	pt := MQBatchPoint{Variant: variant, Cohort: cohort, Effort: effort}
+	nq := len(qs)
+	dim := ds.Base.Dim
+
+	// Solo references over the distinct queries: ids + dists from the
+	// single-query path, which is also the recall source.
+	refCtx := core.NewSearchContext()
+	refIDs := make([][]int32, ds.Queries.Rows)
+	refDists := make([][]float32, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		r := idx.SearchWithHopsCtx(refCtx, ds.Queries.Row(qi), k, effort, nil)
+		refIDs[qi] = make([]int32, 0, k)
+		refDists[qi] = make([]float32, 0, k)
+		for _, nb := range r.Neighbors {
+			refIDs[qi] = append(refIDs[qi], nb.ID)
+			refDists[qi] = append(refDists[qi], nb.Dist)
+		}
+	}
+	pt.Recall = dataset.MeanRecall(refIDs, ds.GT, k)
+
+	// Collect pass: one worker walks the whole load with the cohort (or
+	// solo) path, accumulating hops, distance counts, the row/pair tallies
+	// behind the shared-gather rate, and the identity verdict.
+	var counter vecmath.Counter
+	identical := true
+	var hops, rowLoads, pairDists float64
+	// The cohort=1 stats also come from the cohort engine — a single-query
+	// cohort is byte-identical to the solo search (gated by the parity
+	// tests) and its row/pair tallies then use the same accounting as the
+	// fused points, so SharedHitRate and BytesPerHop compare like for
+	// like. The timed passes below still run the true legacy path when
+	// cohort <= 1.
+	step := max(cohort, 1)
+	cc := core.NewCohortContext()
+	for lo := 0; lo < nq; lo += step {
+		hi := min(lo+step, nq)
+		for qi, r := range idx.SearchCohortCtx(cc, qs[lo:hi], k, effort, nil, &counter) {
+			hops += float64(r.Hops)
+			identical = identical && sameNeighbors(r.Neighbors, refIDs[(lo+qi)%ds.Queries.Rows], refDists[(lo+qi)%ds.Queries.Rows])
+		}
+	}
+	rowLoads = float64(cc.RowLoads)
+	pairDists = float64(cc.PairDists)
+	pt.Identical = identical
+	q := float64(nq)
+	total := float64(counter.Count())
+	pt.Hops = hops / q
+	pt.DistComps = total / q
+	if pairDists > 0 {
+		pt.SharedHitRate = 1 - rowLoads/pairDists
+	}
+
+	// Bytes gathered per expansion: each gathered vector row is paid once
+	// (that is the quantity fusion amortizes), plus the expanded node's
+	// fixed-stride adjacency row; on the quantized path the rerank's exact
+	// float gathers (every counted distance beyond the code pairs) are
+	// rows touched at 4 bytes/dim.
+	adjBytes := float64(idx.FlatView().Stride) * 4
+	var vecBytes float64
+	if idx.IsQuantized() {
+		exact := total - pairDists // rerank float gathers
+		vecBytes = rowLoads*float64(dim) + exact*float64(dim)*4
+	} else {
+		vecBytes = rowLoads * float64(dim) * 4
+	}
+	if hops > 0 {
+		pt.BytesPerHop = (vecBytes + hops*adjBytes) / hops
+	}
+
+	// Timed passes at full-core concurrency: per-worker warm contexts,
+	// atomic chunk claiming (cohort-sized chunks, so cohort membership —
+	// and therefore every result — is independent of scheduling),
+	// preallocated result rows. Three passes, keeping the fastest.
+	got := make([][]int32, nq)
+	for qi := range got {
+		got[qi] = make([]int32, 0, k)
+	}
+	ctxs := make([]*core.SearchContext, workers)
+	ccs := make([]*core.CohortContext, workers)
+	for w := range ctxs {
+		ctxs[w] = core.NewSearchContext()
+		ccs[w] = core.NewCohortContext()
+	}
+	chunk := cohort
+	if chunk < 1 {
+		chunk = 1
+	}
+	chunks := (nq + chunk - 1) / chunk
+	runPass := func() time.Duration {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					ci := int(next.Add(1)) - 1
+					if ci >= chunks {
+						return
+					}
+					lo := ci * chunk
+					hi := min(lo+chunk, nq)
+					if cohort <= 1 {
+						r := idx.SearchWithHopsCtx(ctxs[w], qs[lo], k, effort, nil)
+						ids := got[lo][:0]
+						for _, nb := range r.Neighbors {
+							ids = append(ids, nb.ID)
+						}
+						got[lo] = ids
+						continue
+					}
+					for qi, r := range idx.SearchCohortCtx(ccs[w], qs[lo:hi], k, effort, nil, nil) {
+						ids := got[lo+qi][:0]
+						for _, nb := range r.Neighbors {
+							ids = append(ids, nb.ID)
+						}
+						got[lo+qi] = ids
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	runPass() // warm every worker's scratch to steady-state sizes
+	allocStart := heapAllocs()
+	elapsed := runPass()
+	pt.AllocsPerQ = float64(heapAllocs()-allocStart) / q
+	for rep := 0; rep < 2; rep++ {
+		if el := runPass(); el < elapsed {
+			elapsed = el
+		}
+	}
+	pt.QPS = q / elapsed.Seconds()
+	return pt
+}
+
+// sameNeighbors reports whether a result list matches the reference ids and
+// distances exactly (bit-for-bit on the float32 distances).
+func sameNeighbors(got []vecmath.Neighbor, ids []int32, dists []float32) bool {
+	if len(got) != len(ids) {
+		return false
+	}
+	for i, nb := range got {
+		if nb.ID != ids[i] || !sameFloatBits(nb.Dist, dists[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameFloatBits compares two float32s by bit pattern, so NaNs and signed
+// zeros cannot slip through an == comparison.
+func sameFloatBits(a, b float32) bool {
+	return math.Float32bits(a) == math.Float32bits(b)
+}

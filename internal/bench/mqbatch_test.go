@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestMQBatchWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t.Chdir(t.TempDir())
+	c := DefaultExpConfig()
+	c.Scale = 0.04 // clamps to the 256-point floor; keep the smoke test fast
+	c.Queries = 20
+	var buf bytes.Buffer
+	if err := MQBatch(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fused multi-query traversal", "cohort", "shared", "ident", "wrote BENCH_mqbatch.json"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mqbatch table missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile("BENCH_mqbatch.json")
+	if err != nil {
+		t.Fatalf("BENCH_mqbatch.json not written: %v", err)
+	}
+	var res MQBatchResult
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("BENCH_mqbatch.json not valid JSON: %v", err)
+	}
+	if res.N < 256 || res.K != 10 || res.Dim != 128 {
+		t.Errorf("implausible record: n=%d dim=%d k=%d", res.N, res.Dim, res.K)
+	}
+	if want := 2 * len(mqbatchCohorts) * len(mqbatchEfforts); len(res.Points) != want {
+		t.Errorf("got %d points, want %d", len(res.Points), want)
+	}
+	if want := 2 * len(mqbatchCohorts); len(res.Targets) != want {
+		t.Errorf("got %d targets, want %d", len(res.Targets), want)
+	}
+	solo := map[string]float64{} // variant -> solo dist_comps at L=60
+	for _, pt := range res.Points {
+		if pt.Recall < 0 || pt.Recall > 1 || pt.QPS <= 0 {
+			t.Errorf("implausible point: %+v", pt)
+		}
+		if pt.Hops <= 0 || pt.DistComps <= 0 || pt.BytesPerHop <= 0 {
+			t.Errorf("work stats missing from point: %+v", pt)
+		}
+		// The correctness half of the experiment: every cell must report
+		// byte-identical results against the solo runs.
+		if !pt.Identical {
+			t.Errorf("%s cohort=%d L=%d: results not identical to solo", pt.Variant, pt.Cohort, pt.Effort)
+		}
+		switch {
+		case pt.Cohort <= 1:
+			if pt.SharedHitRate != 0 {
+				t.Errorf("solo point reports shared rate %.3f", pt.SharedHitRate)
+			}
+			if pt.Effort == 60 {
+				solo[pt.Variant] = pt.DistComps
+			}
+		case pt.SharedHitRate < 0 || pt.SharedHitRate >= 1:
+			t.Errorf("cohort=%d shared rate %.3f out of range", pt.Cohort, pt.SharedHitRate)
+		}
+	}
+	// Dense rounds buy the shared gather with extra pair distances, never
+	// fewer: a fused cohort's per-query distance count is >= solo's.
+	for _, pt := range res.Points {
+		if pt.Cohort > 1 && pt.Effort == 60 && pt.DistComps < solo[pt.Variant]-1e-9 {
+			t.Errorf("%s cohort=%d: dist comps %.1f below solo %.1f", pt.Variant, pt.Cohort, pt.DistComps, solo[pt.Variant])
+		}
+	}
+}
+
+func TestMQBatchExperimentRegistered(t *testing.T) {
+	if _, ok := Experiments()["mqbatch"]; !ok {
+		t.Error("experiment \"mqbatch\" not registered")
+	}
+}

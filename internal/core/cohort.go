@@ -1,0 +1,503 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graphutil"
+	"repro/internal/vecmath"
+	"repro/internal/vecmath/quant"
+)
+
+// This file is the fused multi-query ("cohort") traversal: B queries advance
+// through Algorithm 1 in lockstep over one shared flat graph. Per round,
+// every still-active query expands exactly the candidate its solo run would
+// expand next; the union of all fresh (per-query unvisited) neighbors is
+// deduplicated into one staging buffer and scored in one shot. Pools,
+// visited sets and termination are strictly per query, so each query's
+// expansion sequence — and therefore its result — is byte-identical to a
+// solo search; only the memory traffic is shared. That sharing is the
+// point: graph traversal is memory-bound (the PR-4 measurement: the SQ8 win
+// was bytes per hop, not arithmetic), and cohort members expand overlapping
+// frontiers — totally in the first rounds, which all start at the
+// navigating node, partially afterwards — so a row gathered for one query
+// is reused by the others while it is still hot in cache.
+//
+// Scoring adapts to how shared the round's frontier actually is. When most
+// (query, staged-row) pairs are wanted — the early rounds — the dense
+// multi-query block kernels (vecmath.L2RowsToQueries and its SQ8 twin)
+// compute the full cohort x union block, loading each row exactly once.
+// Once the frontiers diverge, a dense block would mostly compute distances
+// nobody offers to a pool, so the round switches to per-query gathers over
+// each query's own staged ids, back to back — rows staged by several
+// queries are still served from cache by the earlier gather. Both shapes
+// score each pair with the same scalar kernel, so the choice never changes
+// a distance bit.
+
+// CohortContext holds every piece of scratch a fused cohort search needs:
+// one SearchContext per query slot, the lockstep bookkeeping (per-slot
+// cursor, hop count, compact-row table), the shared union staging buffer
+// with its epoch-stamped position map, and the distance block. Like
+// SearchContext, a CohortContext is owned by one goroutine at a time and
+// grows to the largest cohort it has served, after which a cohort search
+// performs zero heap allocations.
+type CohortContext struct {
+	slots   []*SearchContext
+	results []SearchResult
+	hops    []int
+	next    []int // per-slot index of the first unchecked pool element
+
+	// slot maps a compact engine row to its query slot. The engine keeps one
+	// row per *active* query; finished queries are swap-removed so the block
+	// kernel always works on a dense prefix.
+	slot []int
+
+	qbuf       []float32 // compact float queries, row-major (float path)
+	levels     []int16   // compact prepared queries (quantized path)
+	slotLevels []int16   // stable per-slot prepared queries (quantized path)
+
+	// union is the round's deduplicated fresh-neighbor staging buffer; pos
+	// and stamp form its epoch-stamped membership map (the same trick as
+	// graphutil.EpochVisited, plus a position payload).
+	union []int32
+	pos   []int32
+	stamp []uint32
+	epoch uint32
+
+	block    []float32
+	finished []int
+
+	// fd/cd are the per-search distance sources. They live here so taking
+	// their address for the cohortDist interface never escapes to the heap.
+	fd floatCohort
+	cd codeCohort
+
+	// RowLoads counts rows gathered from memory, PairDists the (query, row)
+	// distance pairs computed from them. Their ratio is the shared-gather hit
+	// rate (1 - RowLoads/PairDists): how often a loaded row was reused by
+	// another cohort member instead of being fetched again.
+	RowLoads  uint64
+	PairDists uint64
+}
+
+// NewCohortContext returns an empty context; buffers are sized on first use.
+func NewCohortContext() *CohortContext { return &CohortContext{} }
+
+// ResetStats zeroes the shared-gather accounting.
+func (cc *CohortContext) ResetStats() { cc.RowLoads, cc.PairDists = 0, 0 }
+
+// prep sizes the per-slot state for a cohort of nq queries and returns the
+// (reused) results slice.
+func (cc *CohortContext) prep(nq int) []SearchResult {
+	for len(cc.slots) < nq {
+		cc.slots = append(cc.slots, NewSearchContext())
+	}
+	if cap(cc.results) < nq {
+		cc.results = make([]SearchResult, nq)
+	}
+	if cap(cc.hops) < nq {
+		cc.hops = make([]int, nq)
+		cc.next = make([]int, nq)
+		cc.slot = make([]int, nq)
+	}
+	cc.results = cc.results[:nq]
+	cc.hops = cc.hops[:nq]
+	cc.next = cc.next[:nq]
+	cc.slot = cc.slot[:nq]
+	for i := 0; i < nq; i++ {
+		cc.results[i] = SearchResult{}
+		cc.hops[i] = 0
+		cc.next[i] = 0
+		cc.slot[i] = i
+	}
+	return cc.results
+}
+
+// unionReset starts a new staging round over n nodes.
+func (cc *CohortContext) unionReset(n int) {
+	if len(cc.stamp) < n {
+		grown := 2 * len(cc.stamp)
+		if grown < n {
+			grown = n
+		}
+		cc.stamp = make([]uint32, grown)
+		cc.pos = make([]int32, grown)
+		cc.epoch = 0
+	}
+	cc.epoch++
+	if cc.epoch == 0 {
+		for i := range cc.stamp {
+			cc.stamp[i] = 0
+		}
+		cc.epoch = 1
+	}
+	cc.union = cc.union[:0]
+}
+
+// noteUnion adds id to the round's union if it is not already a member,
+// recording its position for dense-round block lookups.
+func (cc *CohortContext) noteUnion(id int32) {
+	if cc.stamp[id] == cc.epoch {
+		return
+	}
+	cc.stamp[id] = cc.epoch
+	cc.pos[id] = int32(len(cc.union))
+	cc.union = append(cc.union, id)
+}
+
+// blockScratch returns a distance-block buffer of at least n entries.
+func (cc *CohortContext) blockScratch(n int) []float32 {
+	if cap(cc.block) < n {
+		cc.block = make([]float32, n+n/2+8)
+	}
+	return cc.block[:n]
+}
+
+// checkDims panics on a dimension mismatch before any per-query state is
+// touched, mirroring the solo kernels' panic.
+func checkDims(queries [][]float32, dim int) {
+	for i, q := range queries {
+		if len(q) != dim {
+			panic(fmt.Sprintf("core: cohort query %d dim %d != index dim %d", i, len(q), dim))
+		}
+	}
+}
+
+// prepFloat copies the queries into the compact row-major working matrix.
+func (cc *CohortContext) prepFloat(queries [][]float32, dim int) {
+	need := len(queries) * dim
+	if cap(cc.qbuf) < need {
+		cc.qbuf = make([]float32, need)
+	}
+	cc.qbuf = cc.qbuf[:need]
+	for s, q := range queries {
+		copy(cc.qbuf[s*dim:(s+1)*dim], q)
+	}
+}
+
+// prepLevels prepares every query into the stable per-slot level table and
+// copies it into the compact working table the engine swap-removes. The
+// stable copy survives the engine so post-engine per-slot phases (delta
+// merge) can still read slot s's prepared query.
+func (cc *CohortContext) prepLevels(q *quant.Quantizer, queries [][]float32) {
+	cc.slotLevels = cc.slotLevels[:0]
+	for _, qv := range queries {
+		cc.slotLevels = q.PrepareInto(cc.slotLevels, qv)
+	}
+	cc.levels = append(cc.levels[:0], cc.slotLevels...)
+}
+
+// slotLevel returns slot s's prepared query from the stable table.
+func (cc *CohortContext) slotLevel(s, dim int) []int16 {
+	return cc.slotLevels[s*dim : (s+1)*dim : (s+1)*dim]
+}
+
+// cohortDist is the multi-query counterpart of distSource: a fused block
+// gather for dense rounds plus a single-query gather for sparse ones. The
+// two implementations score with exactly the kernels the solo sources use
+// (vecmath.L2 / quant.L2Levels per pair) in both shapes, so every distance
+// is bit-identical to its solo twin regardless of which shape scored it.
+type cohortDist interface {
+	// block writes the rows x len(ids) distance block for the compact query
+	// rows [0, rows): out[r*len(ids)+i] = dist(query row r, base row ids[i]).
+	block(counter *vecmath.Counter, rows int, ids []int32, out []float32)
+	// toSlot writes dist(query row r, base row ids[i]) into out[i] — the
+	// sparse-round shape, one compact query row against its own staged ids.
+	toSlot(counter *vecmath.Counter, r int, ids []int32, out []float32)
+	// swapRemove moves compact query row last into row r when row r's query
+	// finished, keeping the block kernel's input dense.
+	swapRemove(r, last int)
+}
+
+// floatCohort scores the cohort against exact float32 rows.
+type floatCohort struct {
+	base vecmath.Matrix
+	q    []float32 // compact queries, rows x dim
+	dim  int
+}
+
+func (d *floatCohort) block(counter *vecmath.Counter, rows int, ids []int32, out []float32) {
+	counter.L2RowsToQueries(d.base, vecmath.Matrix{Data: d.q[:rows*d.dim], Rows: rows, Dim: d.dim}, ids, out)
+}
+
+func (d *floatCohort) toSlot(counter *vecmath.Counter, r int, ids []int32, out []float32) {
+	counter.L2ToRows(d.base, d.q[r*d.dim:(r+1)*d.dim], ids, out)
+}
+
+func (d *floatCohort) swapRemove(r, last int) {
+	copy(d.q[r*d.dim:(r+1)*d.dim], d.q[last*d.dim:(last+1)*d.dim])
+}
+
+// codeCohort scores the cohort against SQ8 code rows with the asymmetric
+// int32 kernel — 1 byte per dimension gathered, shared across the cohort.
+type codeCohort struct {
+	qz     *quant.Quantizer
+	codes  quant.CodeMatrix
+	levels []int16 // compact prepared queries, rows x dim
+	dim    int
+}
+
+func (d *codeCohort) block(counter *vecmath.Counter, rows int, ids []int32, out []float32) {
+	d.qz.L2RowsToQueriesCount(counter, d.codes, d.levels[:rows*d.dim], rows, ids, out)
+}
+
+func (d *codeCohort) toSlot(counter *vecmath.Counter, r int, ids []int32, out []float32) {
+	d.qz.L2ToRowsCount(counter, d.codes, d.levels[r*d.dim:(r+1)*d.dim], ids, out)
+}
+
+func (d *codeCohort) swapRemove(r, last int) {
+	copy(d.levels[r*d.dim:(r+1)*d.dim], d.levels[last*d.dim:(last+1)*d.dim])
+}
+
+// expand advances every query of the cohort through Algorithm 1 in lockstep
+// until all pools are exhausted. Each slot's pool evolution depends only on
+// its own inserts (distances are bit-identical per pair, offers arrive in
+// adjacency order, the cursor logic matches searchCtx line for line), so the
+// final pools and hop counts equal the per-query solo runs exactly.
+func (cc *CohortContext) expand(g *graphutil.FlatGraph, n int, d cohortDist, start int32, l int, counter *vecmath.Counter) {
+	nq := len(cc.slot)
+	if nq == 0 {
+		return
+	}
+	for s := 0; s < nq; s++ {
+		cc.slots[s].begin(n, l)
+	}
+
+	// Seed round: every query scores the navigating node — one gathered row
+	// for the whole cohort.
+	cc.unionReset(n)
+	cc.union = append(cc.union, start)
+	out := cc.blockScratch(nq)
+	d.block(counter, nq, cc.union, out)
+	cc.RowLoads++
+	cc.PairDists += uint64(nq)
+	for s := 0; s < nq; s++ {
+		ctx := cc.slots[s]
+		ctx.visited.Visit(start)
+		ctx.pool.insert(start, out[s])
+	}
+
+	active := nq
+	for active > 0 {
+		// Stage: each active row checks its first unchecked candidate and
+		// stages its fresh neighbors' ids. Visited sets are per query; the
+		// union dedupes the dense gather and measures overlap.
+		cc.unionReset(n)
+		totalStaged := 0
+		for r := 0; r < active; r++ {
+			s := cc.slot[r]
+			ctx := cc.slots[s]
+			cur := &ctx.pool.elems[cc.next[s]]
+			cur.checked = true
+			cc.hops[s]++
+			staged := ctx.idBuf[:0]
+			for _, nb := range g.Neighbors(cur.id) {
+				if ctx.visited.Visit(nb) {
+					staged = append(staged, nb)
+					cc.noteUnion(nb)
+				}
+			}
+			ctx.idBuf = staged
+			totalStaged += len(staged)
+		}
+
+		// Score: dense when at least 3/4 of the (active query, union row)
+		// pairs are actually wanted — then the fused block loads each row
+		// once for the whole cohort and the few unwanted pairs are cheap.
+		// Below that, the block would mostly compute distances nobody
+		// offers to a pool, so each row gathers only its own staged ids;
+		// rows staged by several queries still hit cache from the earlier
+		// gather in the same round. Pair-for-pair the two shapes run the
+		// same kernel, so the mode never changes a distance bit.
+		u := len(cc.union)
+		dense := 4*totalStaged >= 3*active*u
+		if dense && u > 0 {
+			out = cc.blockScratch(active * u)
+			d.block(counter, active, cc.union, out)
+			cc.RowLoads += uint64(u)
+			cc.PairDists += uint64(active) * uint64(u)
+		} else if u > 0 {
+			cc.RowLoads += uint64(u)
+			cc.PairDists += uint64(totalStaged)
+		}
+
+		// Insert: each row offers its staged candidates to its own pool in
+		// adjacency order and advances its cursor exactly as searchCtx does.
+		cc.finished = cc.finished[:0]
+		for r := 0; r < active; r++ {
+			s := cc.slot[r]
+			ctx := cc.slots[s]
+			p := &ctx.pool
+			lowest := len(p.elems)
+			if dense {
+				row := out[r*u : r*u+u]
+				for _, id := range ctx.idBuf {
+					if pos := p.insert(id, row[cc.pos[id]]); pos >= 0 && pos < lowest {
+						lowest = pos
+					}
+				}
+			} else if len(ctx.idBuf) > 0 {
+				dists := ctx.distScratch(len(ctx.idBuf))
+				d.toSlot(counter, r, ctx.idBuf, dists)
+				for j, id := range ctx.idBuf {
+					if pos := p.insert(id, dists[j]); pos >= 0 && pos < lowest {
+						lowest = pos
+					}
+				}
+			}
+			nx := cc.next[s]
+			if lowest < nx {
+				nx = lowest
+			}
+			for nx < len(p.elems) && p.elems[nx].checked {
+				nx++
+			}
+			cc.next[s] = nx
+			if nx >= len(p.elems) {
+				cc.finished = append(cc.finished, r)
+			}
+		}
+
+		// Retire finished rows by swapping the last active row into their
+		// place — in descending row order, and only after the insert phase
+		// consumed the whole block, so every row index and every swap source
+		// stays valid.
+		for i := len(cc.finished) - 1; i >= 0; i-- {
+			r := cc.finished[i]
+			last := active - 1
+			if r != last {
+				cc.slot[r] = cc.slot[last]
+				d.swapRemove(r, last)
+			}
+			active--
+		}
+	}
+}
+
+// SearchCohortCtx answers a cohort of queries with the fused lockstep
+// traversal. Per query, the result (ids, distances, hop count) is
+// byte-identical to a solo SearchLiveCtx call with the same k, l, dead set
+// and quantization state — the fusion shares only memory traffic, never
+// per-query search state. Ids are public; quantized indexes keep the exact
+// per-query float rerank. Results alias cc and are valid until its next
+// search. counter may be nil.
+func (x *NSG) SearchCohortCtx(cc *CohortContext, queries [][]float32, k, l int, dead *Tombstones, counter *vecmath.Counter) []SearchResult {
+	checkDims(queries, x.Base.Dim)
+	results := cc.prep(len(queries))
+	if len(queries) == 0 {
+		return results
+	}
+	if l < k {
+		l = k
+	}
+	fetch := k
+	filtered := dead != nil && dead.Len() > 0
+	if filtered {
+		fetch = k + dead.Len()
+		if l < fetch {
+			l = fetch
+		}
+	}
+	f := x.FlatView()
+	n := x.Base.Rows
+	if qz := x.Quant; qz != nil {
+		cc.prepLevels(&qz.Q, queries)
+		cc.cd = codeCohort{qz: &qz.Q, codes: qz.Codes, levels: cc.levels, dim: x.Base.Dim}
+		cc.expand(f, n, &cc.cd, x.Navigating, l, counter)
+		for s := range queries {
+			ctx := cc.slots[s]
+			ns := emit(ctx, l)
+			ns = rerankPool(ctx, x.Base, queries[s], fetch, counter, nil, ns)
+			x.toPublic(ns)
+			if filtered {
+				ns = filterDead(ns, dead, k)
+			}
+			results[s] = SearchResult{Neighbors: ns, Hops: cc.hops[s]}
+		}
+		return results
+	}
+	cc.prepFloat(queries, x.Base.Dim)
+	cc.fd = floatCohort{base: x.Base, q: cc.qbuf, dim: x.Base.Dim}
+	cc.expand(f, n, &cc.fd, x.Navigating, l, counter)
+	for s := range queries {
+		ns := emit(cc.slots[s], fetch)
+		x.toPublic(ns)
+		if filtered {
+			ns = filterDead(ns, dead, k)
+		}
+		results[s] = SearchResult{Neighbors: ns, Hops: cc.hops[s]}
+	}
+	return results
+}
+
+// SearchLiveCohortCtx is the cohort twin of Snapshot.SearchLiveCtx: the
+// fused traversal over the frozen snapshot, then per query the same delta
+// merge, exact rerank (quantized), tombstone filter and id translation the
+// solo path runs — through the same helpers, so each query's result is
+// byte-identical to its solo run against the same view. Results alias cc.
+func (s *Snapshot) SearchLiveCohortCtx(cc *CohortContext, queries [][]float32, k, l int, counter *vecmath.Counter, lq LiveQuery) []SearchResult {
+	checkDims(queries, s.base.Dim)
+	results := cc.prep(len(queries))
+	if len(queries) == 0 {
+		return results
+	}
+	if l < k {
+		l = k
+	}
+	fetch := k
+	if lq.Dead != nil {
+		fetch += lq.Dead.Len()
+		if l < fetch {
+			l = fetch
+		}
+	}
+	d := lq.Delta
+	if d != nil && d.Total == 0 {
+		d = nil
+	}
+	n := s.base.Rows
+	if qz := s.quant; qz != nil {
+		cc.prepLevels(&qz.Q, queries)
+		cc.cd = codeCohort{qz: &qz.Q, codes: qz.Codes, levels: cc.levels, dim: s.base.Dim}
+		cc.expand(s.flat, n, &cc.cd, s.nav, l, counter)
+		for si := range queries {
+			ctx := cc.slots[si]
+			if d != nil {
+				mergeDelta(ctx, n, codeDist{q: &qz.Q, codes: qz.Codes, levels: cc.slotLevel(si, s.base.Dim)}, d, counter)
+			}
+			ns := emit(ctx, l)
+			ns = rerankPool(ctx, s.base, queries[si], fetch, counter, d, ns)
+			ns = s.finishLive(ns, k, lq, d)
+			results[si] = SearchResult{Neighbors: ns, Hops: cc.hops[si]}
+		}
+		return results
+	}
+	cc.prepFloat(queries, s.base.Dim)
+	cc.fd = floatCohort{base: s.base, q: cc.qbuf, dim: s.base.Dim}
+	cc.expand(s.flat, n, &cc.fd, s.nav, l, counter)
+	for si := range queries {
+		ctx := cc.slots[si]
+		if d != nil {
+			mergeDelta(ctx, n, floatDist{base: s.base, query: queries[si]}, d, counter)
+		}
+		ns := emit(ctx, fetch)
+		ns = s.finishLive(ns, k, lq, d)
+		results[si] = SearchResult{Neighbors: ns, Hops: cc.hops[si]}
+	}
+	return results
+}
+
+// filterDead drops tombstoned ids in place and caps the result at k — the
+// same in-place rewrite the solo SearchLiveCtx paths run.
+func filterDead(ns []vecmath.Neighbor, dead *Tombstones, k int) []vecmath.Neighbor {
+	out := ns[:0]
+	for _, nb := range ns {
+		if dead.Deleted(nb.ID) {
+			continue
+		}
+		out = append(out, nb)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}

@@ -256,22 +256,40 @@ func searchCtx[A adjacencySource, D distSource](ctx *SearchContext, a A, n int, 
 	// (graph candidates ∪ delta rows), so a pending insert can displace a
 	// graph point from the top k exactly as it would after being drained.
 	if delta != nil {
-		for ci := range delta.Chunks {
-			ch := &delta.Chunks[ci]
-			rows := ch.Rows()
-			if rows == 0 {
-				continue
-			}
-			dists := ctx.distScratch(rows)
-			dist.deltaRows(counter, ch, dists)
-			for j := 0; j < rows; j++ {
-				if pos := p.insert(int32(n+ch.Off+j), dists[j]); pos >= 0 {
-					p.elems[pos].checked = true
-				}
+		mergeDelta(ctx, n, dist, delta, counter)
+	}
+
+	return SearchResult{Neighbors: emit(ctx, k), Hops: hops}
+}
+
+// mergeDelta offers every pending delta row to the candidate pool under id
+// n+offset, scored by the batched deltaRows kernel in the same distance
+// space the graph expansion used. Delta elements are born checked: they have
+// no out-edges to expand. Shared by the solo search tail and the per-slot
+// cohort tail, so both merge identically.
+func mergeDelta[D distSource](ctx *SearchContext, n int, dist D, delta *Delta, counter *vecmath.Counter) {
+	p := &ctx.pool
+	for ci := range delta.Chunks {
+		ch := &delta.Chunks[ci]
+		rows := ch.Rows()
+		if rows == 0 {
+			continue
+		}
+		dists := ctx.distScratch(rows)
+		dist.deltaRows(counter, ch, dists)
+		for j := 0; j < rows; j++ {
+			if pos := p.insert(int32(n+ch.Off+j), dists[j]); pos >= 0 {
+				p.elems[pos].checked = true
 			}
 		}
 	}
+}
 
+// emit copies the pool's nearest k candidates into ctx.out and returns the
+// slice — the final step of the solo search and of every per-slot cohort
+// tail.
+func emit(ctx *SearchContext, k int) []vecmath.Neighbor {
+	p := &ctx.pool
 	if k > len(p.elems) {
 		k = len(p.elems)
 	}
@@ -280,7 +298,7 @@ func searchCtx[A adjacencySource, D distSource](ctx *SearchContext, a A, n int, 
 		out = append(out, vecmath.Neighbor{ID: p.elems[i].id, Dist: p.elems[i].dist})
 	}
 	ctx.out = out
-	return SearchResult{Neighbors: out, Hops: hops}
+	return out
 }
 
 // SearchOnGraphCtx is Algorithm 1 over the fixed-stride flat layout with

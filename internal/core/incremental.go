@@ -207,18 +207,7 @@ func (x *NSG) SearchLiveCtx(ctx *SearchContext, query []float32, k, l int, t *To
 	if l < fetch {
 		l = fetch
 	}
-	res := x.SearchCtx(ctx, query, fetch, l, counter)
-	out := res[:0]
-	for _, n := range res {
-		if t.Deleted(n.ID) {
-			continue
-		}
-		out = append(out, n)
-		if len(out) == k {
-			break
-		}
-	}
-	return out
+	return filterDead(x.SearchCtx(ctx, query, fetch, l, counter), t, k)
 }
 
 // Compact rebuilds the index without the tombstoned points, returning the

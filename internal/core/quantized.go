@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"slices"
 
 	"repro/internal/vecmath"
 	"repro/internal/vecmath/quant"
@@ -93,26 +92,10 @@ func (x *NSG) searchQuantCtx(ctx *SearchContext, query []float32, k, l int, coun
 	}
 
 	// Phase two: exact distances for the survivors in one batched gather,
-	// then re-sort and truncate to k. All scratch is context-owned: ids are
-	// staged in idBuf (free once the expansion loop is done) and the result
-	// entries are rebuilt in place in ctx.out.
-	ids := ctx.idBuf[:0]
-	for _, nb := range res.Neighbors {
-		ids = append(ids, nb.ID)
-	}
-	ctx.idBuf = ids
-	dists := ctx.distScratch(len(ids))
-	counter.L2ToRows(x.Base, query, ids, dists)
-	out := ctx.out[:0]
-	for i, id := range ids {
-		out = append(out, vecmath.Neighbor{ID: id, Dist: dists[i]})
-	}
-	slices.SortFunc(out, vecmath.CompareNeighbors)
-	if len(out) > k {
-		out = out[:k]
-	}
-	ctx.out = out
-	return SearchResult{Neighbors: out, Hops: res.Hops}
+	// then re-sort and truncate to k — the shared rerank tail (no delta on
+	// this path). All scratch is context-owned.
+	res.Neighbors = rerankPool(ctx, x.Base, query, k, counter, nil, res.Neighbors)
+	return res
 }
 
 // toPublic rewrites internal ids to public ids in place; identity (and

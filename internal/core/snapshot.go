@@ -198,11 +198,17 @@ func (s *Snapshot) SearchLiveCtx(ctx *SearchContext, query []float32, k, l int, 
 		res = searchCtx(ctx, flatAdj{g: s.flat}, s.base.Rows, floatDist{base: s.base, query: query}, ctx.startBuf[:], fetch, l, counter, nil, d)
 	}
 
-	// Emit: translate to final ids, drop tombstones, cap at k. The filter
-	// rewrites the result slice in place (entry i is read before slot w<=i
-	// is rewritten), so no scratch is needed.
+	res.Neighbors = s.finishLive(res.Neighbors, k, lq, d)
+	return res
+}
+
+// finishLive emits a live search's results: translate snapshot ids to final
+// ids (remap, then the caller's Translate table), resolve delta ids from
+// their chunks, drop tombstones, cap at k. The filter rewrites the result
+// slice in place (entry i is read before slot w<=i is rewritten), so no
+// scratch is needed. Shared by the solo and cohort live paths.
+func (s *Snapshot) finishLive(src []vecmath.Neighbor, k int, lq LiveQuery, d *Delta) []vecmath.Neighbor {
 	n := int32(s.base.Rows)
-	src := res.Neighbors
 	out := src[:0]
 	for i := range src {
 		nb := src[i]
@@ -230,8 +236,7 @@ func (s *Snapshot) SearchLiveCtx(ctx *SearchContext, query []float32, k, l int, 
 			break
 		}
 	}
-	res.Neighbors = out
-	return res
+	return out
 }
 
 // searchQuantDelta is the two-phase SQ8 search over a snapshot: code-space
@@ -247,21 +252,31 @@ func (s *Snapshot) searchQuantDelta(ctx *SearchContext, query []float32, fetch, 
 	// Keep the whole pool (k = l): the rerank reorders all l survivors so a
 	// true neighbor misranked by quantization still reaches the top.
 	res := searchCtx(ctx, flatAdj{g: s.flat}, s.base.Rows, dist, ctx.startBuf[:], l, l, counter, nil, d)
+	res.Neighbors = rerankPool(ctx, s.base, query, fetch, counter, d, res.Neighbors)
+	return res
+}
 
-	n := int32(s.base.Rows)
+// rerankPool rescores the pool's survivors with exact float32 distances —
+// base ids through one batched gather, delta ids from their chunk's float
+// rows — then re-sorts and truncates to fetch. in must alias ctx.out (an
+// emit result): the output is rebuilt in place, entry i read before slot i
+// is rewritten. Shared by every quantized tail, solo and cohort, live and
+// not (d == nil when no delta is pending).
+func rerankPool(ctx *SearchContext, base vecmath.Matrix, query []float32, fetch int, counter *vecmath.Counter, d *Delta, in []vecmath.Neighbor) []vecmath.Neighbor {
+	n := int32(base.Rows)
 	ids := ctx.idBuf[:0]
-	for _, nb := range res.Neighbors {
+	for _, nb := range in {
 		if nb.ID < n {
 			ids = append(ids, nb.ID)
 		}
 	}
 	ctx.idBuf = ids
 	dists := ctx.distScratch(len(ids))
-	counter.L2ToRows(s.base, query, ids, dists)
-	out := ctx.out[:0] // rebuilt in place: entry i is read before slot i is rewritten
+	counter.L2ToRows(base, query, ids, dists)
+	out := ctx.out[:0]
 	bi := 0
-	for i := range res.Neighbors {
-		nb := res.Neighbors[i]
+	for i := range in {
+		nb := in[i]
 		if nb.ID < n {
 			nb.Dist = dists[bi]
 			bi++
@@ -275,5 +290,5 @@ func (s *Snapshot) searchQuantDelta(ctx *SearchContext, query []float32, fetch, 
 		out = out[:fetch]
 	}
 	ctx.out = out
-	return SearchResult{Neighbors: out, Hops: res.Hops}
+	return out
 }

@@ -440,6 +440,28 @@ func (h *Handle) SearchCtx(ctx *core.SearchContext, query []float32, k, l int, c
 	return res
 }
 
+// SearchCohortCtx answers a cohort of queries with the fused lockstep
+// traversal over the current view. The view and the delta cut are loaded
+// once for the whole cohort, so every member sees the same epoch; per query
+// the result is byte-identical to a solo SearchCtx against that view. The
+// returned results alias cc; with a reused per-goroutine cohort context the
+// steady state allocates nothing.
+func (h *Handle) SearchCohortCtx(cc *core.CohortContext, queries [][]float32, k, l int, counter *vecmath.Counter) []core.SearchResult {
+	v := h.view.Load()
+	sc, _ := h.scratch.Get().(*queryScratch)
+	if sc == nil {
+		sc = &queryScratch{}
+	}
+	d := sc.fill(v, h.seq)
+	res := v.snap.SearchLiveCohortCtx(cc, queries, k, l, counter, core.LiveQuery{
+		Delta:     d,
+		Dead:      v.dead,
+		Translate: v.translate,
+	})
+	h.scratch.Put(sc)
+	return res
+}
+
 // fill rebuilds the core.Delta for one query from the loaded view. Each
 // chunk's row count is loaded once, so the scanned prefix is frozen for
 // the whole query.

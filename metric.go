@@ -140,24 +140,31 @@ func (x *MetricIndex) searchWithPoolCtx(ctx *core.SearchContext, query []float32
 	if len(query) != x.dim {
 		panic(fmt.Sprintf("nsg: query dim %d != index dim %d", len(query), x.dim))
 	}
-	var q []float32
-	switch x.metric {
-	case L2:
-		q = query
-	case Cosine:
-		q = append([]float32{}, query...)
-		vecmath.Normalize(q)
-	case InnerProduct:
-		q = make([]float32, x.dim+1)
-		copy(q, query)
-		// Augmented query coordinate is 0; MIPS order is preserved.
-	}
-	ids, _ := x.idx.searchIntoFresh(ctx, q, k, l)
+	ids, _ := x.idx.searchIntoFresh(ctx, x.transformQuery(query), k, l)
 	scores := make([]float32, len(ids))
 	for i, id := range ids {
 		scores[i] = x.score(query, id)
 	}
 	return ids, scores
+}
+
+// transformQuery maps a caller query into the underlying L2 index's
+// coordinate space: identity for L2 (no copy), normalized copy for Cosine,
+// zero-augmented copy for InnerProduct (the augmented coordinate is 0, so
+// MIPS order is preserved).
+func (x *MetricIndex) transformQuery(query []float32) []float32 {
+	switch x.metric {
+	case Cosine:
+		q := append([]float32{}, query...)
+		vecmath.Normalize(q)
+		return q
+	case InnerProduct:
+		q := make([]float32, x.dim+1)
+		copy(q, query)
+		return q
+	default:
+		return query
+	}
 }
 
 // score reports the match quality in the caller's metric using the original

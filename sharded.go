@@ -211,17 +211,46 @@ func (x *ShardedIndex) SearchWithStats(query []float32, k, l int) ([]int32, []fl
 }
 
 // SearchBatch answers many queries on workers concurrent callers
-// (GOMAXPROCS when workers <= 0). Each query still fans out across the
-// shard-worker pool; workers only bounds how many queries are in flight at
-// once.
+// (GOMAXPROCS when workers <= 0). By default queries are grouped into
+// cohorts of Options.BatchCohort and each cohort fans out across the
+// shard-worker pool as a unit: a shard worker advances the whole cohort in
+// one fused lockstep traversal of its graph, sharing gathered rows across
+// the cohort's queries. Results are byte-identical to per-query fan-out;
+// set Shard.BatchCohort to 1 for the one-query-per-fan behaviour. workers
+// bounds how many cohorts (or queries) are in flight at once. Panics if
+// any query's dimension does not match the index.
 func (x *ShardedIndex) SearchBatch(queries [][]float32, k, l, workers int) []BatchResult {
+	dim := x.s.Base.Dim
+	for i, q := range queries {
+		if len(q) != dim {
+			panic(fmt.Sprintf("nsg: query %d dim %d != index dim %d", i, len(q), dim))
+		}
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]BatchResult, len(queries))
+	if b := x.opts.Shard.BatchCohort; b > 1 && len(queries) > 0 {
+		cohorts := (len(queries) + b - 1) / b
+		if workers > cohorts {
+			workers = cohorts
+		}
+		graphutil.ParallelForWorkers(workers, cohorts, func(_, c int) {
+			lo := c * b
+			hi := lo + b
+			if hi > len(queries) {
+				hi = len(queries)
+			}
+			x.s.SearchCohort(queries[lo:hi], k, l, func(qi int, ns []vecmath.Neighbor) {
+				ids, dists := extractResults(ns)
+				out[lo+qi] = BatchResult{IDs: ids, Dists: dists}
+			})
+		})
+		return out
 	}
 	if workers > len(queries) {
 		workers = len(queries)
 	}
-	out := make([]BatchResult, len(queries))
 	graphutil.ParallelForWorkers(workers, len(queries), func(_, i int) {
 		ids, dists := x.SearchWithPool(queries[i], k, l)
 		out[i] = BatchResult{IDs: ids, Dists: dists}
