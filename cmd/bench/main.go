@@ -15,6 +15,11 @@
 //	bench -exp quant             # SQ8 quantized search vs float32, with
 //	                             # and without rerank/relayout, recorded
 //	                             # to BENCH_quant.json in the working dir
+//	bench -exp cluster           # chaos bench: boots a real 3-shard x
+//	                             # 2-replica nsgserve cluster, SIGKILLs a
+//	                             # replica mid-run, records availability /
+//	                             # failover latency / recall parity to
+//	                             # BENCH_cluster.json in the working dir
 //	bench -list                  # show valid experiment ids
 //
 // Every experiment, its parameters and its output schema are documented in

@@ -22,7 +22,16 @@
 //	              → {"results": [{"ids": [...], "dists": [...]}, ...]}
 //	POST /insert  {"vector": [...]} → {"id": n, "n": total}
 //	GET  /stats   → index shape, per-shard sizes, serving + delta counters
-//	GET  /healthz → {"status":"ok"} once the index is ready
+//	GET  /healthz → liveness: {"status":"ok"} while the process can answer
+//	GET  /readyz  → readiness: 200 only while the index is loaded, the
+//	               delta backlog is below -ready-max-pending, and the
+//	               server is not draining — the signal routers and
+//	               orchestrators use to steer traffic away
+//
+// On SIGINT/SIGTERM the server drains gracefully: /readyz flips to 503,
+// in-flight requests get up to -drain to finish, pending live inserts are
+// flushed into the shard graphs, and — when -save or -index names a bundle
+// path — the bundle is re-saved so acknowledged inserts survive the restart.
 //
 // The server runs the index in live-update mode (no lock anywhere on the
 // request path): searches read the per-shard published snapshots, inserts
@@ -35,14 +44,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro"
@@ -74,8 +88,13 @@ func run(args []string, stdout io.Writer) error {
 	maxPending := fs.Int("maxpending", 512, "delta depth that forces an immediate maintenance drain")
 	publishEvery := fs.Duration("publish-interval", 100*time.Millisecond, "max delay before pending inserts are folded into a published snapshot")
 	seed := fs.Int64("seed", 1, "RNG seed")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	readyMaxPending := fs.Int("ready-max-pending", 0, "delta depth above which /readyz reports not ready (0 = 4x -maxpending)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *readyMaxPending <= 0 {
+		*readyMaxPending = 4 * *maxPending
 	}
 
 	idx, err := openIndex(*indexPath, *dataPath, *savePath, nsg.ShardedOptions{
@@ -95,18 +114,74 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	srv := newServer(idx, *defaultK, *searchL, *maxL)
-	fmt.Fprintf(stdout, "serving %d vectors (dim %d) across %d shards on %s\n",
-		idx.Len(), idx.Dim(), idx.Shards(), *addr)
+	srv.readyMaxPending = *readyMaxPending
+
+	// Listen explicitly (rather than ListenAndServe) so -addr :0 works for
+	// harnesses: the chosen port is printed before any request can arrive.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "serving %d vectors (dim %d) across %d shards\n",
+		idx.Len(), idx.Dim(), idx.Shards())
+	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
 	hs := &http.Server{
-		Addr:    *addr,
 		Handler: srv.mux(),
-		// Bounded header/body reads and idle keep-alives, so stalled
-		// clients cannot pin connections and goroutines indefinitely.
+		// Bounded header/body reads, response writes and idle keep-alives,
+		// so stalled clients cannot pin connections and goroutines
+		// indefinitely.
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return hs.ListenAndServe()
+
+	// Re-save target for acknowledged inserts: an explicit -save wins, else
+	// the loaded bundle is refreshed in place.
+	persistPath := *savePath
+	if persistPath == "" {
+		persistPath = *indexPath
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, hs, ln, srv, *drain, persistPath, stdout)
+}
+
+// serve runs hs on ln until ctx is canceled (SIGINT/SIGTERM), then shuts
+// down gracefully: /readyz flips to 503 so load balancers stop sending
+// traffic, in-flight requests get up to drain to finish, the live handle is
+// flushed so every acknowledged insert is folded into the shard graphs, and
+// when persistPath is set and inserts happened the bundle is re-saved so
+// those inserts survive the restart.
+func serve(ctx context.Context, hs *http.Server, ln net.Listener, srv *server, drain time.Duration, persistPath string, stdout io.Writer) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err // listener failed before any shutdown was requested
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(stdout, "shutting down: draining in-flight requests (up to %v)\n", drain)
+	srv.draining.Store(true)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	shutdownErr := hs.Shutdown(sctx)
+	<-errCh // hs.Serve has returned http.ErrServerClosed
+
+	// Fold every acknowledged insert into the shard graphs before exit; a
+	// point acknowledged over /insert must not live only in a delta buffer.
+	srv.idx.Flush()
+	if persistPath != "" && srv.inserts.Load() > 0 {
+		if err := srv.idx.Save(persistPath); err != nil {
+			return fmt.Errorf("re-save %s on shutdown: %w", persistPath, err)
+		}
+		fmt.Fprintf(stdout, "saved %d live inserts to %s\n", srv.inserts.Load(), persistPath)
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	fmt.Fprintln(stdout, "bye")
+	return nil
 }
 
 // openIndex loads a bundle or builds one from an fvecs file, whichever the
@@ -160,6 +235,13 @@ type server struct {
 	// the pool and cached in the long-lived worker contexts, so an
 	// unbounded request could permanently bloat (or OOM) the process.
 	maxL int
+	// readyMaxPending is the delta depth beyond which /readyz reports not
+	// ready: the snapshots are lagging far behind the acknowledged inserts
+	// and a router should prefer a fresher replica.
+	readyMaxPending int
+	// draining flips when graceful shutdown starts so /readyz turns traffic
+	// away while in-flight requests finish.
+	draining atomic.Bool
 
 	queries atomic.Uint64
 	inserts atomic.Uint64
@@ -176,7 +258,7 @@ func newServer(idx *nsg.ShardedIndex, defaultK, defaultL, maxL int) *server {
 			panic(err) // only fails on double-enable, excluded above
 		}
 	}
-	return &server{idx: idx, defaultK: defaultK, defaultL: defaultL, maxL: maxL}
+	return &server{idx: idx, defaultK: defaultK, defaultL: defaultL, maxL: maxL, readyMaxPending: 4 * 512}
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -186,6 +268,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /insert", s.handleInsert)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -375,8 +458,28 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// handleHealthz is pure liveness: the process is up and answering. It stays
+// 200 even while draining or lagging — restarting the process would not
+// help, so an orchestrator must not kill it over this endpoint.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: whether a router should send this replica
+// traffic right now. The index is necessarily loaded once the mux exists;
+// what can still go wrong is a draining shutdown or a delta backlog deep
+// enough that the maintainers are falling behind the insert stream.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if ms := s.idx.MaintenanceStats(); ms.Pending > s.readyMaxPending {
+		httpError(w, http.StatusServiceUnavailable,
+			"delta backlog %d exceeds ready threshold %d", ms.Pending, s.readyMaxPending)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

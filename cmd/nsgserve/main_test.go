@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -531,5 +534,123 @@ func TestBatchSearchEndpoint(t *testing.T) {
 	}
 	if q, _ := st["queries"].(float64); int(q) < 2*len(queries) {
 		t.Fatalf("stats queries = %v, want >= %d", st["queries"], 2*len(queries))
+	}
+}
+
+// TestReadyzTracksBacklogAndDraining pins the liveness/readiness split:
+// /healthz stays 200 no matter what, while /readyz turns traffic away when
+// the delta backlog outruns the threshold or a drain is in progress.
+func TestReadyzTracksBacklogAndDraining(t *testing.T) {
+	idx := testIndex(t)
+	// A maintainer that never publishes on its own, so inserted points stay
+	// in the delta buffer until Flush — deterministic backlog control.
+	if err := idx.EnableLiveUpdates(nsg.LiveOptions{MaxPending: 1 << 20, PublishInterval: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(idx, 10, 60, 4096)
+	srv.readyMaxPending = 2
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("fresh server /readyz = %d", got)
+	}
+	vec := append([]float32(nil), idx.Vector(0)...)
+	for i := 0; i < 3; i++ {
+		if resp, _ := postJSON(t, ts.URL+"/insert", insertRequest{Vector: vec}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("insert %d status %d", i, resp.StatusCode)
+		}
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with backlog 3 > threshold 2 = %d, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("liveness must survive a backlog: /healthz = %d", got)
+	}
+	idx.Flush()
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz after flush = %d", got)
+	}
+	srv.draining.Store(true)
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining = %d, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("liveness must survive draining: /healthz = %d", got)
+	}
+}
+
+// TestGracefulShutdownSavesInserts runs the real serve loop, inserts a
+// point, cancels the context (the SIGTERM path), and checks the drained
+// bundle on disk contains the acknowledged insert.
+func TestGracefulShutdownSavesInserts(t *testing.T) {
+	idx := testIndex(t)
+	path := filepath.Join(t.TempDir(), "idx.nsgd")
+	srv := newServer(idx, 10, 60, 4096)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.mux()}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, hs, ln, srv, 5*time.Second, path, &out) }()
+
+	url := "http://" + ln.Addr().String()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	n0 := idx.Len()
+	vec := append([]float32(nil), idx.Vector(0)...)
+	if resp, body := postJSON(t, url+"/insert", insertRequest{Vector: vec}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d: %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+	if !srv.draining.Load() {
+		t.Fatal("draining flag never set")
+	}
+	if s := out.String(); !strings.Contains(s, "saved 1 live inserts") {
+		t.Fatalf("shutdown log missing save line:\n%s", s)
+	}
+
+	loaded, err := nsg.LoadSharded(path)
+	if err != nil {
+		t.Fatalf("re-saved bundle unreadable: %v", err)
+	}
+	defer loaded.Close()
+	if loaded.Len() != n0+1 {
+		t.Fatalf("re-saved bundle has %d vectors, want %d (insert lost)", loaded.Len(), n0+1)
 	}
 }

@@ -1,0 +1,645 @@
+package bench
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/distsearch"
+	"repro/internal/vecmath"
+)
+
+// ClusterPoint is one steady-state (variant, effort) cell: the router over
+// real nsgserve processes vs the single-process in-memory fan-out over the
+// same data and shard count.
+type ClusterPoint struct {
+	Variant string  `json:"variant"` // "router" (network) or "single" (in-process)
+	Shards  int     `json:"shards"`
+	Effort  int     `json:"effort"`
+	Recall  float64 `json:"recall"`
+	QPS     float64 `json:"qps"`
+	MsPerQ  float64 `json:"ms_per_query"`
+}
+
+// ClusterOverhead prices the router tier at the paper's operating point
+// (the smallest effort reaching recall 0.95). A routed query pays for the
+// slowest of its parallel per-shard calls no matter who issues them, so the
+// router's own cost is measured against a direct client-side fan-out — the
+// same parallel calls and merge with none of the retry/hedge/health
+// machinery — and expressed as a fraction of single-shard call latency.
+type ClusterOverhead struct {
+	Effort int `json:"effort"`
+	// RouterMs is the median routed per-query latency (medians, not pass
+	// means, so scheduler/GC tail outliers cancel out of the comparison).
+	RouterMs float64 `json:"router_ms_per_query"`
+	// FanoutMs is the floor: parallel direct calls (same per-call deadline)
+	// to one replica of every shard plus the same k-way merge, with no
+	// robustness machinery.
+	FanoutMs float64 `json:"direct_fanout_ms_per_query"`
+	// ShardMs is one direct HTTP call to a single shard replica.
+	ShardMs float64 `json:"single_shard_ms_per_query"`
+	// OverheadFrac = (RouterMs - FanoutMs) / ShardMs: the latency the
+	// router machinery adds, as a fraction of single-shard latency.
+	OverheadFrac float64 `json:"overhead_frac"`
+}
+
+// ClusterChaos records the SIGKILL phase: one replica of shard 0 is killed
+// mid-run and every query must still be answered completely by the sibling.
+type ClusterChaos struct {
+	TotalQueries   int     `json:"total_queries"`
+	KillAtQuery    int     `json:"kill_at_query"`
+	Errors         int     `json:"errors"`
+	Degraded       int     `json:"degraded"`
+	Availability   float64 `json:"availability"`
+	P50BeforeMs    float64 `json:"p50_before_kill_ms"`
+	MaxAfterKillMs float64 `json:"max_after_kill_ms"` // worst failover latency
+	Retries        uint64  `json:"retries"`
+	Hedges         uint64  `json:"hedges"`
+	Ejections      uint64  `json:"ejections"`
+}
+
+// ClusterDegradedPhase records the whole-shard-down phase: with both
+// replicas of shard 0 killed, a serve-policy router must answer every query
+// degraded (flagging shard 0), and a fail-policy router must answer 503.
+type ClusterDegradedPhase struct {
+	Queries       int     `json:"queries"`
+	Degraded      int     `json:"degraded"`
+	Errors        int     `json:"errors"`
+	MissingShard  int     `json:"missing_shard"`
+	Recall        float64 `json:"recall"` // over the surviving 2/3 of the corpus
+	FailPolicyErr bool    `json:"fail_policy_errored"`
+}
+
+// ClusterResult is the serialized record of one -exp cluster run.
+type ClusterResult struct {
+	Dataset        string               `json:"dataset"`
+	N              int                  `json:"n"`
+	Dim            int                  `json:"dim"`
+	Queries        int                  `json:"queries"`
+	K              int                  `json:"k"`
+	Shards         int                  `json:"shards"`
+	Replicas       int                  `json:"replicas"`
+	Points         []ClusterPoint       `json:"points"`
+	RecallDeltaMax float64              `json:"recall_delta_max"` // |router - single| over the sweep
+	Overhead       ClusterOverhead      `json:"router_overhead"`
+	Chaos          ClusterChaos         `json:"chaos"`
+	DegradedPhase  ClusterDegradedPhase `json:"degraded_phase"`
+}
+
+// clusterEfforts is the steady-state L sweep.
+var clusterEfforts = []int{10, 20, 40, 80, 160}
+
+// localCluster is a real cluster on localhost: per-shard bundles on disk
+// and shards x replicas nsgserve processes, each listening on an ephemeral
+// port. Replicas of a shard serve the same bundle; shard si covers the
+// contiguous row span [spans[si], spans[si+1]) of the corpus so its
+// IDOffset recovers global ids.
+type localCluster struct {
+	dir   string
+	topo  cluster.Topology
+	procs [][]*exec.Cmd
+}
+
+// buildShardBundles builds one single-shard NSG per contiguous span of the
+// corpus and saves each as a bundle nsgserve can load.
+func buildShardBundles(dir string, ds dataset.Dataset, shards int, seed int64) ([]string, []int, error) {
+	n, dim := ds.Base.Rows, ds.Base.Dim
+	paths := make([]string, shards)
+	spans := make([]int, shards+1)
+	for si := 0; si < shards; si++ {
+		spans[si+1] = (si + 1) * n / shards
+	}
+	for si := 0; si < shards; si++ {
+		lo, hi := spans[si], spans[si+1]
+		sub := append([]float32(nil), ds.Base.Data[lo*dim:hi*dim]...)
+		opts := nsg.DefaultShardedOptions(1)
+		opts.Shard.GraphK = 20
+		opts.Shard.Seed = seed + int64(si)
+		idx, err := nsg.BuildShardedFromFlat(sub, dim, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: build shard %d: %w", si, err)
+		}
+		paths[si] = filepath.Join(dir, fmt.Sprintf("shard%d.nsgd", si))
+		err = idx.Save(paths[si])
+		idx.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: save shard %d: %w", si, err)
+		}
+	}
+	return paths, spans, nil
+}
+
+// startReplica execs one nsgserve on an ephemeral port and parses the
+// "listening on" line for the real address.
+func startReplica(bin, bundle string) (*exec.Cmd, string, error) {
+	cmd := exec.Command(bin, "-index", bundle, "-addr", "127.0.0.1:0")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	type scanResult struct {
+		addr string
+		err  error
+	}
+	ch := make(chan scanResult, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+				ch <- scanResult{addr: strings.TrimSpace(a)}
+				// Keep draining so the child never blocks on a full pipe.
+				io.Copy(io.Discard, stdout)
+				return
+			}
+		}
+		ch <- scanResult{err: fmt.Errorf("nsgserve exited before listening: %v", sc.Err())}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, "", r.err
+		}
+		return cmd, r.addr, nil
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, "", fmt.Errorf("nsgserve did not start listening within 60s")
+	}
+}
+
+// startLocalCluster builds the per-shard bundles, compiles nsgserve once,
+// and boots shards x replicas processes. Callers must defer stop().
+func startLocalCluster(w io.Writer, ds dataset.Dataset, shards, replicas int, seed int64) (*localCluster, error) {
+	dir, err := os.MkdirTemp("", "nsgcluster")
+	if err != nil {
+		return nil, err
+	}
+	lc := &localCluster{dir: dir}
+	bundles, spans, err := buildShardBundles(dir, ds, shards, seed)
+	if err != nil {
+		lc.stop()
+		return nil, err
+	}
+	bin := filepath.Join(dir, "nsgserve")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/nsgserve").CombinedOutput(); err != nil {
+		lc.stop()
+		return nil, fmt.Errorf("bench: go build nsgserve: %v: %s", err, out)
+	}
+	lc.procs = make([][]*exec.Cmd, shards)
+	for si := 0; si < shards; si++ {
+		sh := cluster.Shard{IDOffset: int32(spans[si])}
+		lc.procs[si] = make([]*exec.Cmd, replicas)
+		for ri := 0; ri < replicas; ri++ {
+			cmd, addr, err := startReplica(bin, bundles[si])
+			if err != nil {
+				lc.stop()
+				return nil, fmt.Errorf("bench: start shard %d replica %d: %w", si, ri, err)
+			}
+			lc.procs[si][ri] = cmd
+			sh.Replicas = append(sh.Replicas, addr)
+		}
+		lc.topo.Shards = append(lc.topo.Shards, sh)
+	}
+	fmt.Fprintf(w, "cluster up: %d shards x %d replicas (pid/addr per shard):\n", shards, replicas)
+	for si, sh := range lc.topo.Shards {
+		for ri, a := range sh.Replicas {
+			fmt.Fprintf(w, "  shard %d replica %d: pid %-6d %s\n", si, ri, lc.procs[si][ri].Process.Pid, a)
+		}
+	}
+	return lc, nil
+}
+
+// waitReady blocks until every replica answers /readyz (or the deadline).
+func (lc *localCluster) waitReady(tr cluster.Transport, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, sh := range lc.topo.Shards {
+		for _, a := range sh.Replicas {
+			for {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				err := tr.Ready(ctx, a)
+				cancel()
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("bench: replica %s never ready: %w", a, err)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+	}
+	return nil
+}
+
+// kill SIGKILLs one replica process — the real thing, not an injected
+// fault: the OS closes its sockets and in-flight requests die with it.
+func (lc *localCluster) kill(si, ri int) error {
+	p := lc.procs[si][ri]
+	if p == nil {
+		return fmt.Errorf("bench: shard %d replica %d already dead", si, ri)
+	}
+	if err := p.Process.Kill(); err != nil {
+		return err
+	}
+	p.Wait()
+	lc.procs[si][ri] = nil
+	return nil
+}
+
+// stop kills every remaining process and removes the work dir.
+func (lc *localCluster) stop() {
+	for si := range lc.procs {
+		for ri, p := range lc.procs[si] {
+			if p != nil {
+				p.Process.Kill()
+				p.Wait()
+				lc.procs[si][ri] = nil
+			}
+		}
+	}
+	os.RemoveAll(lc.dir)
+}
+
+// routerPass runs the query set once through the router, filling got (when
+// non-nil) with the returned global ids per query. Any error or degraded
+// answer during a steady-state pass fails the pass.
+func routerPass(rt *cluster.Router, ds dataset.Dataset, k, l int, got [][]int32) error {
+	var buf []vecmath.Neighbor
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		var res cluster.Result
+		var err error
+		buf, res, err = rt.SearchAppend(context.Background(), buf[:0], ds.Queries.Row(qi), k, l)
+		if err != nil {
+			return fmt.Errorf("bench: steady-state query %d: %w", qi, err)
+		}
+		if res.Degraded {
+			return fmt.Errorf("bench: steady-state query %d answered degraded (missing %v)", qi, res.Missing)
+		}
+		if got != nil {
+			ids := make([]int32, len(buf))
+			for i, nb := range buf {
+				ids[i] = nb.ID
+			}
+			got[qi] = ids
+		}
+	}
+	return nil
+}
+
+// ClusterServing is the -exp cluster chaos benchmark: boot a real 3-shard x
+// 2-replica nsgserve cluster, sweep the router against the single-process
+// fan-out for recall parity and routing overhead, then SIGKILL one replica
+// mid-run (every query must survive via the sibling) and finally the whole
+// shard (the serve policy must answer degraded, the fail policy 503).
+// Results go to BENCH_cluster.json; only the steady-state sweep feeds the
+// CI regression baseline.
+func ClusterServing(w io.Writer, c ExpConfig) error {
+	if _, err := exec.LookPath("go"); err != nil {
+		return fmt.Errorf("bench: -exp cluster needs the go tool to build nsgserve: %w", err)
+	}
+	n := c.n(12000)
+	ds, err := dataset.SIFTLike(dataset.Config{N: n, Queries: c.Queries, GTK: c.GTK, Seed: c.Seed})
+	if err != nil {
+		return err
+	}
+	k := 10
+	const shards, replicas = 3, 2
+	res := ClusterResult{
+		Dataset: ds.Name, N: ds.Base.Rows, Dim: ds.Base.Dim,
+		Queries: ds.Queries.Rows, K: k, Shards: shards, Replicas: replicas,
+	}
+	fmt.Fprintf(w, "Cluster serving (%d shards x %d replicas of nsgserve) on %s (n=%d, dim=%d, k=%d)\n",
+		shards, replicas, ds.Name, n, ds.Base.Dim, k)
+
+	lc, err := startLocalCluster(w, ds, shards, replicas, c.Seed)
+	if err != nil {
+		return err
+	}
+	defer lc.stop()
+	tr := cluster.NewHTTPTransport()
+	if err := lc.waitReady(tr, 60*time.Second); err != nil {
+		return err
+	}
+	rt, err := cluster.New(lc.topo, tr, cluster.Options{
+		AttemptTimeout: 2 * time.Second,
+		RetryBackoff:   5 * time.Millisecond,
+		HedgeAfter:     25 * time.Millisecond,
+		Partial:        cluster.PartialServe,
+		EjectAfter:     3,
+		ProbeInterval:  200 * time.Millisecond,
+		Seed:           c.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	// Single-process reference: the same corpus, shard count and build
+	// parameters served by the in-process fan-out.
+	refOpts := nsg.DefaultShardedOptions(shards)
+	refOpts.Shard.GraphK = 20
+	refOpts.Shard.Seed = c.Seed
+	ref, err := nsg.BuildShardedFromFlat(append([]float32(nil), ds.Base.Data...), ds.Base.Dim, refOpts)
+	if err != nil {
+		return err
+	}
+	defer ref.Close()
+
+	// Steady-state sweep: recall parity and QPS, router vs single-process.
+	fmt.Fprintf(w, "%8s %8s %9s %9s %12s\n", "variant", "effort", "recall", "QPS", "ms/query")
+	q := float64(ds.Queries.Rows)
+	routerMsByEffort := map[int]float64{}
+	routerRecallByEffort := map[int]float64{}
+	for _, effort := range clusterEfforts {
+		got := make([][]int32, ds.Queries.Rows)
+		for i := 0; i < 4 && i < ds.Queries.Rows; i++ { // warm pools and conns
+			ref.SearchWithPool(ds.Queries.Row(i), k, effort)
+		}
+		elapsed := bestOf(3, func() {
+			for qi := 0; qi < ds.Queries.Rows; qi++ {
+				ids, _ := ref.SearchWithPool(ds.Queries.Row(qi), k, effort)
+				got[qi] = ids
+			}
+		})
+		single := ClusterPoint{
+			Variant: "single", Shards: shards, Effort: effort,
+			Recall: dataset.MeanRecall(got, ds.GT, k),
+			QPS:    q / elapsed.Seconds(), MsPerQ: elapsed.Seconds() * 1000 / q,
+		}
+		res.Points = append(res.Points, single)
+		fmt.Fprintf(w, "%8s %8d %9.4f %9.0f %12.4f\n", single.Variant, effort, single.Recall, single.QPS, single.MsPerQ)
+
+		if err := routerPass(rt, ds, k, effort, got); err != nil { // warm + correctness
+			return err
+		}
+		elapsed = bestOf(3, func() {
+			if perr := routerPass(rt, ds, k, effort, nil); perr != nil && err == nil {
+				err = perr
+			}
+		})
+		if err != nil {
+			return err
+		}
+		router := ClusterPoint{
+			Variant: "router", Shards: shards, Effort: effort,
+			Recall: dataset.MeanRecall(got, ds.GT, k),
+			QPS:    q / elapsed.Seconds(), MsPerQ: elapsed.Seconds() * 1000 / q,
+		}
+		res.Points = append(res.Points, router)
+		routerMsByEffort[effort] = router.MsPerQ
+		routerRecallByEffort[effort] = router.Recall
+		fmt.Fprintf(w, "%8s %8d %9.4f %9.0f %12.4f\n", router.Variant, effort, router.Recall, router.QPS, router.MsPerQ)
+		if d := router.Recall - single.Recall; d > res.RecallDeltaMax || -d > res.RecallDeltaMax {
+			if d < 0 {
+				d = -d
+			}
+			res.RecallDeltaMax = d
+		}
+	}
+	fmt.Fprintf(w, "max |router - single| recall over the sweep: %.4f\n", res.RecallDeltaMax)
+
+	// Router overhead at the 95%-recall operating point. All three sides
+	// (routed, direct fan-out, single shard) are timed back to back here —
+	// reusing the sweep's router number would compare measurements taken
+	// minutes apart, and between-phase machine variance swamps the router's
+	// own cost at these latencies.
+	opEffort := clusterEfforts[len(clusterEfforts)-1]
+	for _, e := range clusterEfforts {
+		if routerRecallByEffort[e] >= 0.95 {
+			opEffort = e
+			break
+		}
+	}
+	shardAddr := lc.topo.Shards[0].Replicas[0]
+	var directLat, fanoutLat, routedLat []time.Duration
+	direct := func() {
+		for qi := 0; qi < ds.Queries.Rows; qi++ {
+			start := time.Now()
+			_, derr := tr.Search(context.Background(), shardAddr, &cluster.SearchRequest{
+				Query: ds.Queries.Row(qi), K: k, L: opEffort,
+			})
+			directLat = append(directLat, time.Since(start))
+			if derr != nil && err == nil {
+				err = derr
+			}
+		}
+	}
+	direct() // warm
+	directLat = directLat[:0]
+	if err != nil {
+		return err
+	}
+
+	// The floor a routed query cannot beat: the same parallel per-shard
+	// calls — carrying the same per-call deadline and rotating replicas
+	// per query, as any load-balancing client would — and the same k-way
+	// merge, with no retry/hedge/health machinery in the path. (Rotation
+	// matters: on an otherwise idle host, waking the sibling process costs
+	// real latency, and a floor pinned to one warm replica would charge
+	// that to the router.)
+	nShards := len(lc.topo.Shards)
+	fanLists := make([][]vecmath.Neighbor, nShards)
+	fanErrs := make([]error, nShards)
+	var fanOut, fanMerged []vecmath.Neighbor
+	fanout := func() {
+		for qi := 0; qi < ds.Queries.Rows; qi++ {
+			start := time.Now()
+			req := &cluster.SearchRequest{Query: ds.Queries.Row(qi), K: k, L: opEffort}
+			var wg sync.WaitGroup
+			wg.Add(nShards)
+			for si := 0; si < nShards; si++ {
+				go func(si int) {
+					defer wg.Done()
+					cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+					defer cancel()
+					reps := lc.topo.Shards[si].Replicas
+					resp, derr := tr.Search(cctx, reps[qi%len(reps)], req)
+					if derr != nil {
+						fanErrs[si] = derr
+						fanLists[si] = fanLists[si][:0]
+						return
+					}
+					list := fanLists[si][:0]
+					off := lc.topo.Shards[si].IDOffset
+					for i := range resp.IDs {
+						list = append(list, vecmath.Neighbor{ID: resp.IDs[i] + off, Dist: resp.Dists[i]})
+					}
+					fanLists[si] = list
+				}(si)
+			}
+			wg.Wait()
+			for si := 0; si < nShards; si++ {
+				if fanErrs[si] != nil && err == nil {
+					err = fanErrs[si]
+				}
+			}
+			fanOut, fanMerged = distsearch.MergeInto(fanOut[:0], fanMerged, k, fanLists)
+			fanoutLat = append(fanoutLat, time.Since(start))
+		}
+	}
+	fanout() // warm
+	fanoutLat = fanoutLat[:0]
+	if err != nil {
+		return err
+	}
+	routed := func() {
+		var buf []vecmath.Neighbor
+		for qi := 0; qi < ds.Queries.Rows; qi++ {
+			start := time.Now()
+			var perr error
+			buf, _, perr = rt.SearchAppend(context.Background(), buf[:0], ds.Queries.Row(qi), k, opEffort)
+			routedLat = append(routedLat, time.Since(start))
+			if perr != nil && err == nil {
+				err = perr
+			}
+		}
+	}
+	// Interleave the three sides round-robin so slow stretches of the host
+	// machine penalize all of them equally, and compare per-query medians:
+	// a pass total is a mean, and at these latencies scheduler and GC tail
+	// outliers swamp the router's own cost.
+	for round := 0; round < 5; round++ {
+		routed()
+		fanout()
+		direct()
+		if err != nil {
+			return err
+		}
+	}
+	medianMs := func(lat []time.Duration) float64 {
+		slices.Sort(lat)
+		return lat[len(lat)/2].Seconds() * 1000
+	}
+	routedMs := medianMs(routedLat)
+	fanoutMs := medianMs(fanoutLat)
+	directMs := medianMs(directLat)
+	res.Overhead = ClusterOverhead{
+		Effort:       opEffort,
+		RouterMs:     routedMs,
+		FanoutMs:     fanoutMs,
+		ShardMs:      directMs,
+		OverheadFrac: (routedMs - fanoutMs) / directMs,
+	}
+	fmt.Fprintf(w, "router overhead at L=%d: %.4f ms routed vs %.4f ms direct fan-out (%+.4f ms = %.1f%% of the %.4f ms single-shard call)\n",
+		opEffort, res.Overhead.RouterMs, res.Overhead.FanoutMs,
+		routedMs-fanoutMs, 100*res.Overhead.OverheadFrac, res.Overhead.ShardMs)
+
+	// Chaos phase A: SIGKILL one replica of shard 0 mid-run. The sibling
+	// must absorb every query: zero errors, zero degraded answers.
+	m0 := rt.Metrics()
+	chaos := ClusterChaos{TotalQueries: 600, KillAtQuery: 200}
+	lat := make([]time.Duration, 0, chaos.TotalQueries)
+	var buf []vecmath.Neighbor
+	for qi := 0; qi < chaos.TotalQueries; qi++ {
+		if qi == chaos.KillAtQuery {
+			if err := lc.kill(0, 0); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "SIGKILLed shard 0 replica 0 at query %d\n", qi)
+		}
+		start := time.Now()
+		var r cluster.Result
+		buf, r, err = rt.SearchAppend(context.Background(), buf[:0], ds.Queries.Row(qi%ds.Queries.Rows), k, opEffort)
+		lat = append(lat, time.Since(start))
+		if err != nil {
+			chaos.Errors++
+			err = nil
+		} else if r.Degraded {
+			chaos.Degraded++
+		}
+	}
+	before := append([]time.Duration(nil), lat[:chaos.KillAtQuery]...)
+	slices.Sort(before)
+	chaos.P50BeforeMs = before[len(before)/2].Seconds() * 1000
+	chaos.MaxAfterKillMs = slices.Max(lat[chaos.KillAtQuery:]).Seconds() * 1000
+	chaos.Availability = 1 - float64(chaos.Errors)/float64(chaos.TotalQueries)
+	m1 := rt.Metrics()
+	chaos.Retries = m1.Retries - m0.Retries
+	chaos.Hedges = m1.Hedges - m0.Hedges
+	chaos.Ejections = m1.Ejections - m0.Ejections
+	res.Chaos = chaos
+	fmt.Fprintf(w, "chaos: %d queries, %d errors, %d degraded (availability %.4f)\n",
+		chaos.TotalQueries, chaos.Errors, chaos.Degraded, chaos.Availability)
+	fmt.Fprintf(w, "chaos: p50 before kill %.3f ms, max after kill %.3f ms, %d retries, %d hedges, %d ejections\n",
+		chaos.P50BeforeMs, chaos.MaxAfterKillMs, chaos.Retries, chaos.Hedges, chaos.Ejections)
+
+	// Chaos phase B: kill the sibling too, taking shard 0 fully down. The
+	// serve-policy router answers every query degraded with shard 0 listed;
+	// a fail-policy router refuses with ShardsDownError.
+	if err := lc.kill(0, 1); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "SIGKILLed shard 0 replica 1: shard 0 fully down")
+	dp := ClusterDegradedPhase{Queries: 100, MissingShard: -1}
+	got := make([][]int32, 0, dp.Queries)
+	gt := make([][]int32, 0, dp.Queries)
+	for qi := 0; qi < dp.Queries; qi++ {
+		var r cluster.Result
+		buf, r, err = rt.SearchAppend(context.Background(), buf[:0], ds.Queries.Row(qi%ds.Queries.Rows), k, opEffort)
+		if err != nil {
+			dp.Errors++
+			err = nil
+			continue
+		}
+		if r.Degraded {
+			dp.Degraded++
+			if len(r.Missing) == 1 {
+				dp.MissingShard = r.Missing[0]
+			}
+			ids := make([]int32, len(buf))
+			for i, nb := range buf {
+				ids[i] = nb.ID
+			}
+			got = append(got, ids)
+			gt = append(gt, ds.GT[qi%ds.Queries.Rows])
+		}
+	}
+	if len(got) > 0 {
+		dp.Recall = dataset.MeanRecall(got, gt, k)
+	}
+	failRt, err := cluster.New(lc.topo, tr, cluster.Options{
+		AttemptTimeout: time.Second,
+		RetryBackoff:   2 * time.Millisecond,
+		Partial:        cluster.PartialFail,
+		Seed:           c.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer failRt.Close()
+	var sde *cluster.ShardsDownError
+	_, _, ferr := failRt.Search(context.Background(), ds.Queries.Row(0), k, opEffort)
+	dp.FailPolicyErr = errors.As(ferr, &sde)
+	res.DegradedPhase = dp
+	fmt.Fprintf(w, "degraded phase: %d/%d answered degraded (missing shard %d), recall %.4f over survivors; fail policy errored: %v\n",
+		dp.Degraded, dp.Queries, dp.MissingShard, dp.Recall, dp.FailPolicyErr)
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_cluster.json", append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: write BENCH_cluster.json: %w", err)
+	}
+	fmt.Fprintln(w, "wrote BENCH_cluster.json")
+	return nil
+}

@@ -697,6 +697,7 @@ func Experiments() map[string]func(io.Writer, ExpConfig) error {
 		"sharded":  ShardedServing,
 		"quant":    Quantized,
 		"mqbatch":  MQBatch,
+		"cluster":  ClusterServing,
 		"live":     LiveServing,
 		"all":      RunAll,
 	}

@@ -345,10 +345,8 @@ func measureMQBatchPoint(idx *core.NSG, ds dataset.Dataset, qs [][]float32, vari
 	allocStart := heapAllocs()
 	elapsed := runPass()
 	pt.AllocsPerQ = float64(heapAllocs()-allocStart) / q
-	for rep := 0; rep < 2; rep++ {
-		if el := runPass(); el < elapsed {
-			elapsed = el
-		}
+	if el := bestOf(2, func() { runPass() }); el < elapsed {
+		elapsed = el
 	}
 	pt.QPS = q / elapsed.Seconds()
 	return pt

@@ -213,14 +213,12 @@ func measureQuantPoint(idx *core.NSG, ds dataset.Dataset, v quantVariant, k, eff
 	allocs := heapAllocs() - allocStart
 	// Two more timed passes, keeping the fastest, so one scheduling hiccup
 	// does not misprice a cell of the comparison table.
-	for rep := 0; rep < 2; rep++ {
-		start = time.Now()
+	if el := bestOf(2, func() {
 		for qi := 0; qi < ds.Queries.Rows; qi++ {
 			search(ds.Queries.Row(qi))
 		}
-		if el := time.Since(start); el < elapsed {
-			elapsed = el
-		}
+	}); el < elapsed {
+		elapsed = el
 	}
 
 	q := float64(ds.Queries.Rows)

@@ -165,18 +165,14 @@ func measureShardedPoint(idx *nsg.ShardedIndex, ds dataset.Dataset, k, effort in
 	}
 	elapsed := time.Since(start)
 	allocs := heapAllocs() - allocStart
-	// Two more timed passes, keeping the fastest (the quant experiment's
-	// protocol): fan-out cells with little per-query work are scheduler
-	// sensitive, and one hiccup would misprice the cell — and trip the CI
-	// benchmark-regression gate these records baseline.
-	for rep := 0; rep < 2; rep++ {
-		start = time.Now()
+	// Two more timed passes, keeping the fastest overall: fan-out cells
+	// with little per-query work are scheduler sensitive.
+	if el := bestOf(2, func() {
 		for qi := 0; qi < ds.Queries.Rows; qi++ {
 			idx.SearchWithPool(ds.Queries.Row(qi), k, effort)
 		}
-		if el := time.Since(start); el < elapsed {
-			elapsed = el
-		}
+	}); el < elapsed {
+		elapsed = el
 	}
 
 	q := float64(ds.Queries.Rows)

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// shardState tracks the health of one shard's replicas. Queries and the
+// background prober both feed it: any successful call (search or readiness
+// probe) resets a replica's failure streak and readmits it; EjectAfter
+// consecutive failures eject it. Ejected replicas are deprioritized, not
+// forbidden — when every replica of a shard is ejected the retry loop still
+// tries them, so a recovered replica is readmitted by the first query to
+// reach it even before the prober notices.
+type shardState struct {
+	mu   sync.Mutex
+	reps []replicaState
+	rr   uint32 // rotation cursor so load spreads across healthy replicas
+}
+
+type replicaState struct {
+	addr        string
+	consecFails int
+	ejected     bool
+	fails       uint64 // lifetime failed calls
+	ejections   uint64 // lifetime ejection events
+}
+
+func newShardState(replicas []string) *shardState {
+	st := &shardState{reps: make([]replicaState, len(replicas))}
+	for i, addr := range replicas {
+		st.reps[i].addr = addr
+	}
+	return st
+}
+
+// order appends the replica indexes to try, in preference order: healthy
+// replicas first (starting from a rotating cursor so concurrent queries
+// spread load), then ejected ones as a last resort.
+func (st *shardState) order(dst []int) []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := len(st.reps)
+	start := int(st.rr) % n
+	st.rr++
+	for i := 0; i < n; i++ {
+		ri := (start + i) % n
+		if !st.reps[ri].ejected {
+			dst = append(dst, ri)
+		}
+	}
+	for i := 0; i < n; i++ {
+		ri := (start + i) % n
+		if st.reps[ri].ejected {
+			dst = append(dst, ri)
+		}
+	}
+	return dst
+}
+
+// recordSuccess resets the replica's failure streak, reporting whether this
+// readmitted a previously ejected replica.
+func (st *shardState) recordSuccess(ri int) (readmitted bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r := &st.reps[ri]
+	readmitted = r.ejected
+	r.ejected = false
+	r.consecFails = 0
+	return readmitted
+}
+
+// recordFailure bumps the replica's failure streak, ejecting it once the
+// streak reaches ejectAfter; reports whether this call ejected it.
+func (st *shardState) recordFailure(ri, ejectAfter int) (ejected bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r := &st.reps[ri]
+	r.fails++
+	r.consecFails++
+	if !r.ejected && r.consecFails >= ejectAfter {
+		r.ejected = true
+		r.ejections++
+		return true
+	}
+	return false
+}
+
+// healthyCount returns how many replicas are currently admitted.
+func (st *shardState) healthyCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for i := range st.reps {
+		if !st.reps[i].ejected {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplicaHealth is one replica's externally visible health state, served by
+// the router's /stats endpoint.
+type ReplicaHealth struct {
+	Addr        string `json:"addr"`
+	Healthy     bool   `json:"healthy"`
+	ConsecFails int    `json:"consec_fails"`
+	Fails       uint64 `json:"fails"`
+	Ejections   uint64 `json:"ejections"`
+}
+
+func (st *shardState) snapshot() []ReplicaHealth {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]ReplicaHealth, len(st.reps))
+	for i, r := range st.reps {
+		out[i] = ReplicaHealth{
+			Addr: r.addr, Healthy: !r.ejected,
+			ConsecFails: r.consecFails, Fails: r.fails, Ejections: r.ejections,
+		}
+	}
+	return out
+}
+
+// Health returns a per-shard snapshot of replica health.
+func (r *Router) Health() [][]ReplicaHealth {
+	out := make([][]ReplicaHealth, len(r.shards))
+	for si, st := range r.shards {
+		out[si] = st.snapshot()
+	}
+	return out
+}
+
+// Ready reports serving ability: full means every shard has at least one
+// admitted replica; partial means at least one shard does. A router with
+// PartialServe policy is useful (degraded) at partial; with PartialFail it
+// needs full.
+func (r *Router) Ready() (full, partial bool) {
+	full = true
+	for _, st := range r.shards {
+		if st.healthyCount() > 0 {
+			partial = true
+		} else {
+			full = false
+		}
+	}
+	return full, partial
+}
+
+// probeLoop runs the active health checker: every ProbeInterval it probes
+// all replicas' readiness in parallel. Failing probes eject a replica after
+// EjectAfter consecutive failures (the same streak queries feed); a passing
+// probe on an ejected replica probes it back in.
+func (r *Router) probeLoop() {
+	defer close(r.probeDone)
+	t := time.NewTicker(r.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.probeStop:
+			return
+		case <-t.C:
+			r.ProbeNow()
+		}
+	}
+}
+
+// ProbeNow synchronously probes every replica once, applying the usual
+// ejection/readmission accounting. The prober goroutine calls it on its
+// ticker; tests call it directly for deterministic health transitions.
+func (r *Router) ProbeNow() {
+	var wg sync.WaitGroup
+	for si, st := range r.shards {
+		for ri := range st.reps {
+			wg.Add(1)
+			go func(si, ri int, st *shardState) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), r.opts.AttemptTimeout)
+				defer cancel()
+				if err := r.tr.Ready(ctx, r.topo.Shards[si].Replicas[ri]); err == nil {
+					if st.recordSuccess(ri) {
+						r.met.readmits.Add(1)
+					}
+				} else if st.recordFailure(ri, r.opts.EjectAfter) {
+					r.met.ejections.Add(1)
+				}
+			}(si, ri, st)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SearchRequest is one per-shard search call: the same JSON shape nsgserve's
+// POST /search accepts, so the router speaks to unmodified shard servers.
+// One request is shared read-only across a query's shard fan-out; use it by
+// pointer (it caches its marshaled body and must not be copied).
+type SearchRequest struct {
+	Query []float32 `json:"query"`
+	K     int       `json:"k"`
+	L     int       `json:"l,omitempty"`
+
+	bodyOnce sync.Once
+	bodyBlob []byte
+	bodyErr  error
+}
+
+// body marshals the request once; every replica attempt of every shard
+// reuses the same bytes.
+func (r *SearchRequest) body() ([]byte, error) {
+	r.bodyOnce.Do(func() { r.bodyBlob, r.bodyErr = json.Marshal(r) })
+	return r.bodyBlob, r.bodyErr
+}
+
+// SearchResponse is one replica's answer: shard-local ids (the router
+// translates them with the shard's IDOffset) and exact squared L2 distances.
+type SearchResponse struct {
+	IDs   []int32   `json:"ids"`
+	Dists []float32 `json:"dists"`
+}
+
+// Transport performs the router's per-replica calls. Implementations must be
+// safe for concurrent use; every call must honor ctx cancellation (the
+// router cancels hedged losers and enforces per-attempt timeouts through
+// it). FaultTransport wraps any Transport with injected failures so every
+// router failure path is unit-testable without real processes.
+type Transport interface {
+	// Search runs one query against the replica at addr.
+	Search(ctx context.Context, addr string, req *SearchRequest) (*SearchResponse, error)
+	// Ready probes the replica's readiness (nsgserve's GET /readyz); a nil
+	// error means the replica is loaded and willing to serve.
+	Ready(ctx context.Context, addr string) error
+}
+
+// HTTPTransport talks to nsgserve replicas over HTTP. Addresses are
+// host:port (a scheme may be included; http:// is assumed otherwise).
+type HTTPTransport struct {
+	// Client is used for all calls; nil means a private client with sane
+	// connection pooling. Per-attempt deadlines come from the context, so
+	// the client itself carries no timeout.
+	Client *http.Client
+}
+
+// NewHTTPTransport returns a transport with its own pooled client.
+func NewHTTPTransport() *HTTPTransport {
+	return &HTTPTransport{Client: &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 8,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}}
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+func baseURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return addr
+	}
+	return "http://" + addr
+}
+
+// Search implements Transport over nsgserve's POST /search.
+func (t *HTTPTransport) Search(ctx context.Context, addr string, req *SearchRequest) (*SearchResponse, error) {
+	blob, err := req.body()
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL(addr)+"/search", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := t.client().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+		return nil, fmt.Errorf("%s /search: status %d: %s", addr, hresp.StatusCode, bytes.TrimSpace(body))
+	}
+	var resp SearchResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("%s /search: decode: %w", addr, err)
+	}
+	if len(resp.IDs) != len(resp.Dists) {
+		return nil, fmt.Errorf("%s /search: %d ids but %d dists", addr, len(resp.IDs), len(resp.Dists))
+	}
+	return &resp, nil
+}
+
+// Ready implements Transport over nsgserve's GET /readyz.
+func (t *HTTPTransport) Ready(ctx context.Context, addr string) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL(addr)+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	hresp, err := t.client().Do(hreq)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(hresp.Body, 512))
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s /readyz: status %d", addr, hresp.StatusCode)
+	}
+	return nil
+}

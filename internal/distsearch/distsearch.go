@@ -459,14 +459,21 @@ func (s *Sharded) SearchCohort(queries [][]float32, k, l int, emit func(qi int, 
 	s.cohorts.Put(cf)
 }
 
-// mergeAppend combines the per-shard lists into the k nearest overall and
-// appends them to dst. Shards partition the id space, so ids are unique and
-// a sort suffices — no dedupe structure. The (dist, id) order matches
-// vecmath.MergeNeighborLists, keeping parallel and sequential paths
-// byte-identical.
-func (f *fanScratch) mergeAppend(dst []vecmath.Neighbor, k int) []vecmath.Neighbor {
-	m := f.merged[:0]
-	for _, b := range f.bufs {
+// MergeInto combines per-shard candidate lists (already carrying global
+// ids) into the k nearest overall and appends them to dst. Shards partition
+// the id space, so ids are unique and a sort suffices — no dedupe
+// structure. The (dist, id) order matches vecmath.MergeNeighborLists,
+// keeping parallel and sequential paths byte-identical.
+//
+// scratch is a reusable concatenation buffer (nil is fine); the possibly
+// grown buffer is returned alongside the result so callers can pool it.
+// This is the exact merge the in-process fan-out performs, exported so
+// remote serving tiers (internal/cluster's router merging per-shard
+// responses received over the network) produce byte-identical answers to a
+// single process holding the same shards.
+func MergeInto(dst, scratch []vecmath.Neighbor, k int, lists [][]vecmath.Neighbor) (res, grown []vecmath.Neighbor) {
+	m := scratch[:0]
+	for _, b := range lists {
 		m = append(m, b...)
 	}
 	slices.SortFunc(m, vecmath.CompareNeighbors)
@@ -474,7 +481,13 @@ func (f *fanScratch) mergeAppend(dst []vecmath.Neighbor, k int) []vecmath.Neighb
 		m = m[:k]
 	}
 	dst = append(dst, m...)
-	f.merged = m[:0]
+	return dst, m[:0]
+}
+
+// mergeAppend merges this fan state's per-shard buffers through MergeInto,
+// recycling the fan's merge buffer.
+func (f *fanScratch) mergeAppend(dst []vecmath.Neighbor, k int) []vecmath.Neighbor {
+	dst, f.merged = MergeInto(dst, f.merged, k, f.bufs)
 	return dst
 }
 
