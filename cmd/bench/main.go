@@ -20,6 +20,11 @@
 //	                             # replica mid-run, records availability /
 //	                             # failover latency / recall parity to
 //	                             # BENCH_cluster.json in the working dir
+//	bench -exp disk              # disk-resident serving: restart-to-
+//	                             # first-query, warm QPS and recall for
+//	                             # heap decode vs the mmap'd NSGM layout
+//	                             # (±CRC verify, ±block-cache fallback),
+//	                             # recorded to BENCH_disk.json
 //	bench -list                  # show valid experiment ids
 //
 // Every experiment, its parameters and its output schema are documented in

@@ -13,6 +13,14 @@
 //	nsgserve -data base.fvecs -shards 4 -save idx.nsgd
 //	nsgserve -data base.fvecs -shards 4 -quantize  # SQ8 serving path
 //	nsgserve -index idx.nsgd                       # load a saved bundle
+//	nsgserve -index idx.nsms -mmap                 # serve a mapped container
+//
+// With -mmap the index file (written by -save-mapped or SaveMapped) is
+// served in place through a memory mapping: startup is O(file open) — pages
+// fault in as queries touch them — and the server is read-only: /insert
+// returns 403, searches are byte-identical to heap serving, and /stats
+// reports RSS and page-fault counters so the paging behavior is observable.
+// -mmap-noverify skips the open-time checksum pass on trusted storage.
 //
 // Endpoints:
 //
@@ -61,6 +69,7 @@ import (
 
 	"repro"
 	"repro/internal/dataset"
+	"repro/internal/mstore"
 )
 
 func main() {
@@ -76,6 +85,9 @@ func run(args []string, stdout io.Writer) error {
 	indexPath := fs.String("index", "", "saved sharded bundle (.nsgd) to load")
 	dataPath := fs.String("data", "", "base vectors (.fvecs) to build from")
 	savePath := fs.String("save", "", "write the built bundle here before serving")
+	mmapIndex := fs.Bool("mmap", false, "serve -index as a disk-resident mapped container (read-only; requires a SaveMapped file)")
+	mmapNoVerify := fs.Bool("mmap-noverify", false, "with -mmap, skip the open-time checksum pass (trusted storage only)")
+	saveMapped := fs.String("save-mapped", "", "write the built index as a disk-resident mapped container here before serving")
 	shards := fs.Int("shards", 4, "number of shards when building")
 	graphK := fs.Int("graphk", 20, "kNN graph neighbors per shard (paper's k)")
 	buildL := fs.Int("buildl", 50, "build pool size (paper's l)")
@@ -97,11 +109,15 @@ func run(args []string, stdout io.Writer) error {
 		*readyMaxPending = 4 * *maxPending
 	}
 
-	idx, err := openIndex(*indexPath, *dataPath, *savePath, nsg.ShardedOptions{
-		Shards: *shards,
-		Shard: nsg.Options{
-			GraphK: *graphK, BuildL: *buildL, MaxDegree: *maxDegree,
-			SearchL: *searchL, ExactKNN: *exact, Quantize: *quantize, Seed: *seed,
+	idx, err := openIndex(openConfig{
+		indexPath: *indexPath, dataPath: *dataPath, savePath: *savePath,
+		saveMapped: *saveMapped, mmap: *mmapIndex, mmapNoVerify: *mmapNoVerify,
+		opts: nsg.ShardedOptions{
+			Shards: *shards,
+			Shard: nsg.Options{
+				GraphK: *graphK, BuildL: *buildL, MaxDegree: *maxDegree,
+				SearchL: *searchL, ExactKNN: *exact, Quantize: *quantize, Seed: *seed,
+			},
 		},
 	}, stdout)
 	if err != nil {
@@ -109,9 +125,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	// Live-update serving: lock-free searches, non-blocking inserts. The
-	// request path never takes a lock after this.
-	if err := idx.EnableLiveUpdates(nsg.LiveOptions{MaxPending: *maxPending, PublishInterval: *publishEvery}); err != nil {
-		return err
+	// request path never takes a lock after this. A mapped index is
+	// read-only — no delta buffer, no maintainer; snapshot reads only.
+	if !idx.ReadOnly() {
+		if err := idx.EnableLiveUpdates(nsg.LiveOptions{MaxPending: *maxPending, PublishInterval: *publishEvery}); err != nil {
+			return err
+		}
 	}
 	srv := newServer(idx, *defaultK, *searchL, *maxL)
 	srv.readyMaxPending = *readyMaxPending
@@ -184,19 +203,40 @@ func serve(ctx context.Context, hs *http.Server, ln net.Listener, srv *server, d
 	return nil
 }
 
-// openIndex loads a bundle or builds one from an fvecs file, whichever the
-// flags selected.
-func openIndex(indexPath, dataPath, savePath string, opts nsg.ShardedOptions, stdout io.Writer) (*nsg.ShardedIndex, error) {
+// openConfig gathers the startup flags that pick and prepare the index.
+type openConfig struct {
+	indexPath, dataPath  string
+	savePath, saveMapped string
+	mmap, mmapNoVerify   bool
+	opts                 nsg.ShardedOptions
+}
+
+// openIndex loads a bundle (decoded to the heap, or mapped in place with
+// -mmap) or builds one from an fvecs file, whichever the flags selected.
+func openIndex(cfg openConfig, stdout io.Writer) (*nsg.ShardedIndex, error) {
+	indexPath, dataPath, savePath, opts := cfg.indexPath, cfg.dataPath, cfg.savePath, cfg.opts
 	switch {
 	case indexPath != "" && dataPath != "":
 		return nil, fmt.Errorf("pass either -index or -data, not both")
+	case cfg.mmap && indexPath == "":
+		return nil, fmt.Errorf("-mmap requires -index naming a mapped container")
 	case indexPath != "":
 		start := time.Now()
-		idx, err := nsg.LoadSharded(indexPath)
+		var idx *nsg.ShardedIndex
+		var err error
+		if cfg.mmap {
+			idx, err = nsg.OpenMappedSharded(indexPath, nsg.MapOptions{NoVerify: cfg.mmapNoVerify})
+		} else {
+			idx, err = nsg.LoadSharded(indexPath)
+		}
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(stdout, "loaded %s in %v\n", indexPath, time.Since(start).Round(time.Millisecond))
+		how := "loaded"
+		if cfg.mmap {
+			how = "mapped"
+		}
+		fmt.Fprintf(stdout, "%s %s in %v\n", how, indexPath, time.Since(start).Round(time.Millisecond))
 		return idx, nil
 	case dataPath != "":
 		base, err := dataset.LoadFvecsFile(dataPath)
@@ -216,6 +256,12 @@ func openIndex(indexPath, dataPath, savePath string, opts nsg.ShardedOptions, st
 				return nil, err
 			}
 			fmt.Fprintf(stdout, "saved bundle to %s\n", savePath)
+		}
+		if cfg.saveMapped != "" {
+			if err := idx.SaveMapped(cfg.saveMapped); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(stdout, "saved mapped container to %s\n", cfg.saveMapped)
 		}
 		return idx, nil
 	default:
@@ -251,9 +297,11 @@ type server struct {
 }
 
 // newServer wraps idx, enabling live updates if the caller has not
-// already: the handlers rely on the lock-free serving contract.
+// already: the handlers rely on the lock-free serving contract. A mapped
+// read-only index serves without live updates — its snapshots are immutable
+// by construction, so the request path is lock-free either way.
 func newServer(idx *nsg.ShardedIndex, defaultK, defaultL, maxL int) *server {
-	if !idx.Live() {
+	if !idx.Live() && !idx.ReadOnly() {
 		if err := idx.EnableLiveUpdates(nsg.LiveOptions{}); err != nil {
 			panic(err) // only fails on double-enable, excluded above
 		}
@@ -407,6 +455,10 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "vector dim %d != index dim %d", len(req.Vector), s.idx.Dim())
 		return
 	}
+	if s.idx.ReadOnly() {
+		httpError(w, http.StatusForbidden, "index is mapped read-only; restart without -mmap to accept inserts")
+		return
+	}
 	// Non-blocking: Add appends to the routed shard's delta buffer; the
 	// point is searchable when the response is written, and the graph work
 	// happens on the maintainer goroutine, never stalling /search.
@@ -425,11 +477,18 @@ type statsResponse struct {
 	Dim             int     `json:"dim"`
 	Shards          int     `json:"shards"`
 	Quantized       bool    `json:"quantized"`
+	ReadOnly        bool    `json:"read_only"`
 	ShardSizes      []int   `json:"shard_sizes"`
 	IndexBytes      int64   `json:"index_bytes"`
 	Queries         uint64  `json:"queries"`
 	Inserts         uint64  `json:"inserts"`
 	MeanSearchMicro float64 `json:"mean_search_micros"`
+	// Process memory counters (zero off Linux): with -mmap these are the
+	// observable cost of disk-resident serving — RSS grows as queries fault
+	// index pages in, and major faults count reads that actually hit disk.
+	RSSBytes    int64  `json:"rss_bytes"`
+	MinorFaults uint64 `json:"minor_faults"`
+	MajorFaults uint64 `json:"major_faults"`
 	// Live-update maintenance: how many inserted points are still served
 	// by the delta scan, how stale the oldest shard snapshot is, and how
 	// many snapshot publishes/drained points the maintainers have done.
@@ -442,15 +501,20 @@ type statsResponse struct {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.idx.Stats()
 	ms := s.idx.MaintenanceStats()
+	ps := mstore.ReadProcStats()
 	q := s.queries.Load()
 	resp := statsResponse{
 		N: st.N, Dim: s.idx.Dim(), Shards: st.Shards, Quantized: s.idx.Quantized(),
+		ReadOnly:   s.idx.ReadOnly(),
 		ShardSizes: st.ShardSizes,
 		IndexBytes: st.IndexBytes, Queries: q, Inserts: s.inserts.Load(),
-		DeltaDepth:       ms.Pending,
-		LastPublishAgeMs: float64(time.Since(ms.LastPublish).Microseconds()) / 1000,
-		Publishes:        ms.Publishes,
-		Drained:          ms.Drained,
+		RSSBytes: ps.RSSBytes, MinorFaults: ps.MinorFaults, MajorFaults: ps.MajorFaults,
+		DeltaDepth: ms.Pending,
+		Publishes:  ms.Publishes,
+		Drained:    ms.Drained,
+	}
+	if !ms.LastPublish.IsZero() { // zero on a read-only index: no maintainer
+		resp.LastPublishAgeMs = float64(time.Since(ms.LastPublish).Microseconds()) / 1000
 	}
 	if q > 0 {
 		resp.MeanSearchMicro = float64(s.searchMicros.Load()) / float64(q)

@@ -250,7 +250,7 @@ func TestOpenIndexModes(t *testing.T) {
 	opts.Shard.ExactKNN = true
 
 	var out bytes.Buffer
-	built, err := openIndex("", fvecs, bundle, opts, &out)
+	built, err := openIndex(openConfig{dataPath: fvecs, savePath: bundle, opts: opts}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestOpenIndexModes(t *testing.T) {
 		t.Fatalf("built %d vectors, %d shards", built.Len(), built.Shards())
 	}
 
-	loaded, err := openIndex(bundle, "", "", opts, &out)
+	loaded, err := openIndex(openConfig{indexPath: bundle, opts: opts}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,14 +274,17 @@ func TestOpenIndexModes(t *testing.T) {
 		}
 	}
 
-	if _, err := openIndex("", "", "", opts, &out); err == nil {
+	if _, err := openIndex(openConfig{opts: opts}, &out); err == nil {
 		t.Error("expected error with neither -index nor -data")
 	}
-	if _, err := openIndex(bundle, fvecs, "", opts, &out); err == nil {
+	if _, err := openIndex(openConfig{indexPath: bundle, dataPath: fvecs, opts: opts}, &out); err == nil {
 		t.Error("expected error with both -index and -data")
 	}
-	if _, err := openIndex(filepath.Join(dir, "missing"), "", "", opts, &out); err == nil {
+	if _, err := openIndex(openConfig{indexPath: filepath.Join(dir, "missing"), opts: opts}, &out); err == nil {
 		t.Error("expected error for missing bundle")
+	}
+	if _, err := openIndex(openConfig{dataPath: fvecs, mmap: true, opts: opts}, &out); err == nil {
+		t.Error("expected error for -mmap without -index")
 	}
 }
 
@@ -652,5 +655,91 @@ func TestGracefulShutdownSavesInserts(t *testing.T) {
 	defer loaded.Close()
 	if loaded.Len() != n0+1 {
 		t.Fatalf("re-saved bundle has %d vectors, want %d (insert lost)", loaded.Len(), n0+1)
+	}
+}
+
+// TestMappedServing: a server over a -mmap container must answer searches
+// identically to heap serving, reject /insert with 403, report read_only
+// and the process paging counters in /stats, and stay ready (no maintainer,
+// no backlog).
+func TestMappedServing(t *testing.T) {
+	idx := testIndex(t)
+	path := filepath.Join(t.TempDir(), "idx.nsms")
+	if err := idx.SaveMapped(path); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	mapped, err := openIndex(openConfig{indexPath: path, mmap: true}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mapped.Close)
+	if !strings.Contains(out.String(), "mapped "+path) {
+		t.Fatalf("startup log missing mapped notice: %q", out.String())
+	}
+
+	srv := newServer(mapped, 10, 60, 4096)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	// Search parity against the heap index the container was saved from.
+	for _, id := range []int{0, 11, 599} {
+		query := make([]float32, idx.Dim())
+		copy(query, idx.Vector(id))
+		resp, body := postJSON(t, ts.URL+"/search", searchRequest{Query: query, K: 5})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("search status %d: %s", resp.StatusCode, body)
+		}
+		var sr searchResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		wantIDs, wantDists := idx.SearchWithPool(query, 5, 60)
+		for i := range wantIDs {
+			if sr.IDs[i] != wantIDs[i] || sr.Dists[i] != wantDists[i] {
+				t.Fatalf("id %d: mapped result (%d,%v) != heap (%d,%v)",
+					id, sr.IDs[i], sr.Dists[i], wantIDs[i], wantDists[i])
+			}
+		}
+	}
+
+	// Inserts are refused: the index is a read-only mapping.
+	vec := make([]float32, mapped.Dim())
+	resp, body := postJSON(t, ts.URL+"/insert", insertRequest{Vector: vec})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("insert on mapped index: status %d (%s), want 403", resp.StatusCode, body)
+	}
+
+	// Stats surface the read-only flag and the paging counters.
+	hresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.ReadOnly {
+		t.Fatal("/stats read_only = false on a mapped index")
+	}
+	if st.N != idx.Len() || st.Shards != idx.Shards() {
+		t.Fatalf("/stats shape %d/%d, want %d/%d", st.N, st.Shards, idx.Len(), idx.Shards())
+	}
+	if st.RSSBytes == 0 { // Linux CI: /proc is always there
+		t.Fatal("/stats rss_bytes = 0")
+	}
+	if st.LastPublishAgeMs != 0 {
+		t.Fatalf("/stats last_publish_age_ms = %v on a read-only index, want 0", st.LastPublishAgeMs)
+	}
+
+	// No maintainer and no backlog: the replica is ready.
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz on mapped index: %d", rresp.StatusCode)
 	}
 }

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestDiskServingWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t.Chdir(t.TempDir())
+	c := DefaultExpConfig()
+	c.Scale = 0.04 // clamps to the 256-point floor; keep the smoke test fast
+	c.Queries = 20
+	var buf bytes.Buffer
+	if err := DiskServing(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Disk-resident serving", "bare file open", "mmap-noverify", "wrote BENCH_disk.json"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disk table missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile("BENCH_disk.json")
+	if err != nil {
+		t.Fatalf("BENCH_disk.json not written: %v", err)
+	}
+	var res DiskResult
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("BENCH_disk.json not valid JSON: %v", err)
+	}
+	if res.N < 256 || res.K != 10 || res.Dim != 128 {
+		t.Errorf("implausible record: n=%d dim=%d k=%d", res.N, res.Dim, res.K)
+	}
+	if len(res.Points) != len(diskVariants()) {
+		t.Fatalf("got %d points, want %d", len(res.Points), len(diskVariants()))
+	}
+
+	// The acceptance criteria the experiment exists to demonstrate: mapped
+	// recall is byte-parity with heap (delta well under the 0.001 budget),
+	// and the mapped variants reject mutation while heap-load does not.
+	if res.ParityDelta > 0.001 {
+		t.Errorf("mapped recall delta %.4f exceeds 0.001 parity budget", res.ParityDelta)
+	}
+	var heapOpen, noverifyOpen float64
+	for _, pt := range res.Points {
+		if pt.QPS <= 0 || pt.Recall <= 0 {
+			t.Errorf("%s: degenerate point %+v", pt.Variant, pt)
+		}
+		if pt.OpenMs <= 0 || pt.FirstQueryMs < pt.OpenMs {
+			t.Errorf("%s: inconsistent timings open=%.4f first=%.4f", pt.Variant, pt.OpenMs, pt.FirstQueryMs)
+		}
+		wantRO := pt.Variant != "heap-load"
+		if pt.ReadOnly != wantRO {
+			t.Errorf("%s: read_only=%v, want %v", pt.Variant, pt.ReadOnly, wantRO)
+		}
+		switch pt.Variant {
+		case "heap-load":
+			heapOpen = pt.OpenMs
+		case "mmap-noverify":
+			noverifyOpen = pt.OpenMs
+		}
+	}
+	// The structural claim behind the 5x gate: the no-verify mapped open
+	// never decodes the index, so it must not be slower than the stream
+	// decode. (The absolute 5x-of-floor ratio is asserted at full scale by
+	// the committed baseline, not here — at 256 points both paths are
+	// microseconds and the ratio is all noise.)
+	if noverifyOpen > heapOpen*2 {
+		t.Errorf("mmap-noverify open %.4fms slower than 2x heap decode %.4fms", noverifyOpen, heapOpen)
+	}
+	if res.RestartRatio <= 0 {
+		t.Errorf("restart ratio not recorded: %+v", res)
+	}
+}

@@ -699,6 +699,7 @@ func Experiments() map[string]func(io.Writer, ExpConfig) error {
 		"mqbatch":  MQBatch,
 		"cluster":  ClusterServing,
 		"live":     LiveServing,
+		"disk":     DiskServing,
 		"all":      RunAll,
 	}
 }

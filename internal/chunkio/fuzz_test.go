@@ -1,0 +1,59 @@
+package chunkio
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzChunkio treats arbitrary bytes as a chunked scalar stream: reads of
+// any requested length against any input must either fill dst completely
+// or fail with the truncation error — never panic, never partially decode
+// silently — and whatever decodes must re-encode to the exact bytes
+// consumed (the codec is a bijection on 4-byte groups).
+func FuzzChunkio(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteFloat32s(&seed, []float32{0, 1, -1, math.Pi, float32(math.Inf(1))}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes(), uint16(5))
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{1, 2, 3}, uint16(1))
+	f.Add(bytes.Repeat([]byte{0xff}, 64), uint16(16))
+	// Cross a chunk boundary: n > 16384 scalars forces a second buffer fill.
+	f.Add(bytes.Repeat([]byte{7}, (chunk+2)*4), uint16(chunk+2))
+
+	f.Fuzz(func(t *testing.T, data []byte, n uint16) {
+		want := int(n)
+		ints := make([]int32, want)
+		err := ReadInt32s(bytes.NewReader(data), ints)
+		if len(data) < want*4 {
+			if err == nil {
+				t.Fatalf("decoded %d int32s from %d bytes", want, len(data))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("read %d int32s from %d bytes: %v", want, len(data), err)
+		}
+		var out bytes.Buffer
+		if err := WriteInt32s(&out, ints); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:want*4]) {
+			t.Fatal("int32 round trip diverged from input bytes")
+		}
+
+		floats := make([]float32, want)
+		if err := ReadFloat32s(bytes.NewReader(data), floats); err != nil {
+			t.Fatalf("float read failed where int read succeeded: %v", err)
+		}
+		out.Reset()
+		if err := WriteFloat32s(&out, floats); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:want*4]) {
+			t.Fatal("float32 round trip diverged from input bytes")
+		}
+	})
+}

@@ -38,6 +38,9 @@ type InsertParams struct {
 // grown; the caller's slice is copied. Not safe for concurrent use with
 // Search.
 func (x *NSG) Insert(vec []float32, p InsertParams) (int32, error) {
+	if x.ro {
+		return -1, ErrReadOnly
+	}
 	if len(vec) != x.Base.Dim {
 		return -1, fmt.Errorf("core: insert dim %d != index dim %d", len(vec), x.Base.Dim)
 	}
@@ -216,6 +219,9 @@ func (x *NSG) SearchLiveCtx(ctx *SearchContext, query []float32, k, l int, t *To
 // incremental code path's invariants; for large rebuilds prefer a fresh
 // batch NSGBuild.
 func (x *NSG) Compact(t *Tombstones, p InsertParams) (*NSG, []int32, error) {
+	if x.ro {
+		return nil, nil, ErrReadOnly
+	}
 	if p.M <= 0 {
 		p.M = x.M
 	}

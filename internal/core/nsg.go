@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/chunkio"
 	"repro/internal/graphutil"
+	"repro/internal/mstore"
 	"repro/internal/vecmath"
 	"repro/internal/vecmath/quant"
 )
@@ -65,6 +66,14 @@ type NSG struct {
 	flatMu sync.Mutex
 	flat   atomic.Pointer[graphutil.FlatGraph]
 	reach  atomic.Int64 // cached ReachableFrom(Navigating)+1; 0 = unknown
+
+	// Mapped-mode state (see mapped.go). A mapped index has Graph == nil
+	// — the flat cache is the only adjacency, pointing into the file — and
+	// ro set; mutators check ro and return ErrReadOnly. mapped holds the
+	// backing file when this index owns it (nil for records opened inside
+	// a container, whose mapping the container owns).
+	ro     bool
+	mapped *mstore.File
 }
 
 // FlatView returns the fixed-stride adjacency the searcher traverses,
@@ -445,6 +454,29 @@ type IndexStats struct {
 // full graph traversal — is computed once and cached until the graph
 // mutates, so Stats is cheap enough to call from serving loops.
 func (x *NSG) Stats() IndexStats {
+	if x.Graph == nil {
+		// Mapped index: derive everything from the flat serving layout.
+		f := x.FlatView()
+		var sum, max int
+		for i := 0; i < f.Nodes; i++ {
+			d := f.Degree(int32(i))
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+		avg := 0.0
+		if f.Nodes > 0 {
+			avg = float64(sum) / float64(f.Nodes)
+		}
+		return IndexStats{
+			N:          f.Nodes,
+			AvgDegree:  avg,
+			MaxDegree:  max,
+			IndexBytes: int64(f.Nodes) * int64(f.Stride-1) * 4,
+			Reachable:  x.reachableCount(),
+		}
+	}
 	d := x.Graph.Degrees()
 	return IndexStats{
 		N:          x.Graph.N(),
@@ -455,11 +487,27 @@ func (x *NSG) Stats() IndexStats {
 	}
 }
 
+// IndexBytes returns the index footprint under the paper's Table 2
+// accounting (N * maxDegree * 4), valid for both heap and mapped indexes
+// (the latter have no adjacency-list Graph at all; stride-1 is maxDegree).
+func (x *NSG) IndexBytes() int64 {
+	if x.Graph == nil {
+		f := x.FlatView()
+		return int64(f.Nodes) * int64(f.Stride-1) * 4
+	}
+	return x.Graph.IndexBytes()
+}
+
 func (x *NSG) reachableCount() int {
 	if v := x.reach.Load(); v > 0 {
 		return int(v - 1)
 	}
-	r := x.Graph.ReachableFrom(x.Navigating)
+	var r int
+	if x.Graph == nil {
+		r = x.FlatView().ReachableFrom(x.Navigating)
+	} else {
+		r = x.Graph.ReachableFrom(x.Navigating)
+	}
 	x.reach.Store(int64(r) + 1)
 	return r
 }
@@ -484,6 +532,11 @@ const (
 // not serialized — like the paper's index files, vectors live in their own
 // dataset file and are re-attached on load, in public id order.
 func (x *NSG) Write(w io.Writer) error {
+	if x.Graph == nil {
+		// A mapped index has no adjacency-list form to stream; its native
+		// serialization is the aligned record it was opened from.
+		return fmt.Errorf("core: stream-serializing a mapped index (use WriteMapped): %w", ErrReadOnly)
+	}
 	bw := bufio.NewWriter(w)
 	flags := uint32(0)
 	if x.PubIDs != nil {
@@ -610,12 +663,11 @@ func ReadNSG(r io.Reader, base vecmath.Matrix) (*NSG, error) {
 	}
 	nav := int32(binary.LittleEndian.Uint32(hdr[4:]))
 	m := int(binary.LittleEndian.Uint32(hdr[8:]))
-	g, err := graphutil.ReadFrom(br)
+	// The node count must match base (checked inside ReadFromN, before the
+	// adjacency allocation, so a corrupt count cannot demand gigabytes).
+	g, err := graphutil.ReadFromN(br, base.Rows)
 	if err != nil {
 		return nil, err
-	}
-	if g.N() != base.Rows {
-		return nil, fmt.Errorf("core: index has %d nodes but base has %d vectors", g.N(), base.Rows)
 	}
 	if int(nav) >= g.N() || nav < 0 {
 		return nil, fmt.Errorf("core: navigating node %d out of range", nav)
@@ -645,7 +697,9 @@ func ReadNSG(r io.Reader, base vecmath.Matrix) (*NSG, error) {
 		if err != nil {
 			return nil, err
 		}
-		codes, err := quant.ReadCodes(br)
+		// Shape-checked before allocation: a corrupt codes header must not
+		// demand rows*dim bytes the record cannot hold.
+		codes, err := quant.ReadCodesShape(br, base.Rows, base.Dim)
 		if err != nil {
 			return nil, err
 		}
@@ -660,17 +714,11 @@ func ReadNSG(r io.Reader, base vecmath.Matrix) (*NSG, error) {
 	return x, nil
 }
 
-// SaveFile writes the index to path.
+// SaveFile writes the index to path, crash-safely (temp file + fsync +
+// rename), so an interrupted save never leaves a truncated index where a
+// valid one used to be.
 func (x *NSG) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("core: %w", err)
-	}
-	defer f.Close()
-	if err := x.Write(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return mstore.WriteFileAtomic(path, x.Write)
 }
 
 // LoadFile reads an index from path and attaches base.

@@ -34,6 +34,9 @@ type Quantized struct {
 // codes are encoded directly in the serving order. Not safe for concurrent
 // use with Search.
 func (x *NSG) EnableQuantization(q *quant.Quantizer) error {
+	if x.ro {
+		return ErrReadOnly
+	}
 	// Validate here so the error-returning public builders never reach the
 	// panics quant.Train reserves for violated internal contracts.
 	if x.Base.Dim > quant.MaxDim {

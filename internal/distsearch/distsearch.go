@@ -31,6 +31,7 @@ import (
 	"repro/internal/graphutil"
 	"repro/internal/knngraph"
 	"repro/internal/live"
+	"repro/internal/mstore"
 	"repro/internal/vecmath"
 	"repro/internal/vecmath/quant"
 )
@@ -57,6 +58,15 @@ type Sharded struct {
 	live   atomic.Pointer[liveState]
 	liveMu sync.Mutex
 	liveN  atomic.Int64
+
+	// Mapped-mode state (see mapped.go): a read-only index opened from an
+	// aligned container. Base.Data is nil — each shard's vectors live in
+	// its embedded record — and vector lookups go through the lazily built
+	// id-map inverse.
+	ro      bool
+	mapped  *mstore.File
+	locOnce sync.Once
+	loc     *shardLocator
 }
 
 // liveState bundles what a live search or routed insert needs, immutable
@@ -225,6 +235,10 @@ func (s *Sharded) Close() {
 			for _, h := range ls.handles {
 				h.Close()
 			}
+		}
+		if s.mapped != nil {
+			s.mapped.Close()
+			s.mapped = nil
 		}
 	})
 }
@@ -585,6 +599,9 @@ func (s *Sharded) Route(vec []float32) int {
 // layouts untouched. Returns the new global id and the shard it landed in.
 // Not safe for concurrent use with Search.
 func (s *Sharded) Insert(vec []float32, p core.InsertParams) (int32, int, error) {
+	if s.ro {
+		return -1, -1, core.ErrReadOnly
+	}
 	if len(vec) != s.Base.Dim {
 		return -1, -1, fmt.Errorf("distsearch: insert dim %d != index dim %d", len(vec), s.Base.Dim)
 	}
@@ -607,7 +624,7 @@ func (s *Sharded) IndexBytes() int64 {
 		if h := s.liveHandle(i); h != nil {
 			total += h.IndexStats().IndexBytes
 		} else {
-			total += sh.Graph.IndexBytes()
+			total += sh.IndexBytes()
 		}
 	}
 	return total

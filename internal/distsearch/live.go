@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/live"
 	"repro/internal/vecmath"
 )
@@ -21,6 +22,9 @@ import (
 // handed to the per-shard handles; from this call until Close, all
 // mutation must go through InsertLive.
 func (s *Sharded) EnableLive(opts live.Options) error {
+	if s.ro {
+		return core.ErrReadOnly
+	}
 	if s.live.Load() != nil {
 		return fmt.Errorf("distsearch: live updates already enabled")
 	}
@@ -109,6 +113,11 @@ func (s *Sharded) Len() int {
 // matrix header mid-append; the returned row is write-once and stays valid
 // after the lock drops. Panics on an out-of-range id, matching Matrix.Row.
 func (s *Sharded) VectorByID(id int) []float32 {
+	if s.ro {
+		// Mapped container: the global base matrix has no storage; resolve
+		// through the owning shard's record.
+		return s.mappedVector(id)
+	}
 	if s.live.Load() == nil {
 		return s.Base.Row(id)
 	}

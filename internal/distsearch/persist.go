@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/chunkio"
 	"repro/internal/core"
+	"repro/internal/mstore"
 	"repro/internal/vecmath"
 )
 
@@ -61,17 +62,10 @@ func (s *Sharded) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Save writes the sharded index to path.
+// Save writes the sharded index to path, crash-safely (temp file + fsync +
+// rename).
 func (s *Sharded) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("distsearch: %w", err)
-	}
-	defer f.Close()
-	if err := s.Write(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return mstore.WriteFileAtomic(path, s.Write)
 }
 
 // Read deserializes a sharded index written by Write and re-attaches the

@@ -64,6 +64,29 @@ func (f *FlatGraph) ToGraph() *Graph {
 	return g
 }
 
+// ReachableFrom counts nodes reachable from root (root included) by BFS
+// over the flat layout — the adjacency-list-free twin of
+// Graph.ReachableFrom, used by indexes that serve straight from a mapped
+// slab and never materialize per-node lists.
+func (f *FlatGraph) ReachableFrom(root int32) int {
+	if f.Nodes == 0 || root < 0 || int(root) >= f.Nodes {
+		return 0
+	}
+	seen := make([]bool, f.Nodes)
+	queue := make([]int32, 0, f.Nodes)
+	seen[root] = true
+	queue = append(queue, root)
+	for head := 0; head < len(queue); head++ {
+		for _, nb := range f.Neighbors(queue[head]) {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return len(queue)
+}
+
 // Validate checks structural sanity: degrees within stride, ids in range.
 func (f *FlatGraph) Validate() error {
 	if f.Stride <= 0 || len(f.Data) != f.Nodes*f.Stride {

@@ -340,7 +340,14 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 const graphMagic = 0x4e534731 // "NSG1"
 
 // ReadFrom deserializes a graph written by WriteTo.
-func ReadFrom(r io.Reader) (*Graph, error) {
+func ReadFrom(r io.Reader) (*Graph, error) { return ReadFromN(r, -1) }
+
+// ReadFromN deserializes a graph written by WriteTo, rejecting any node
+// count other than wantNodes before allocating — callers that know the
+// expected size from surrounding context (an index header already bounded
+// against the file) must pass it so a corrupt count cannot turn into a
+// multi-gigabyte allocation. wantNodes < 0 accepts any plausible count.
+func ReadFromN(r io.Reader, wantNodes int) (*Graph, error) {
 	br := bufio.NewReader(r)
 	get := func() (uint32, error) {
 		var b [4]byte
@@ -362,6 +369,9 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 	}
 	if n > 1<<30 {
 		return nil, fmt.Errorf("graphutil: implausible node count %d", n)
+	}
+	if wantNodes >= 0 && n != uint32(wantNodes) {
+		return nil, fmt.Errorf("graphutil: graph has %d nodes, want %d", n, wantNodes)
 	}
 	g := New(int(n))
 	for i := 0; i < int(n); i++ {

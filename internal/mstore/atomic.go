@@ -1,0 +1,48 @@
+package mstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file crash-safely: write streams into a
+// temporary file in the destination directory, the temp file is fsynced
+// and renamed over path, and the directory is fsynced so the rename
+// itself is durable. A crash at any point leaves either the old file or
+// the new one — never a truncated hybrid — and any error removes the
+// temp file instead of leaving it behind.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("mstore: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("mstore: fsync %s: %w", tmpName, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("mstore: close %s: %w", tmpName, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("mstore: rename into place: %w", err)
+	}
+	// Persist the rename. Some filesystems cannot fsync a directory; a
+	// failure there downgrades durability, not atomicity, so ignore it.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

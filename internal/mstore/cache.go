@@ -1,0 +1,122 @@
+package mstore
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// blockCache is the pread fallback: fixed-size blocks of the file are
+// loaded on demand and kept in an LRU set. Eviction only drops the
+// cache's reference — a block's bytes are immutable once loaded, so any
+// reader still holding a slice of an evicted block keeps it alive through
+// the garbage collector instead of observing reuse.
+type blockCache struct {
+	f          *os.File
+	blockBytes int
+	maxBlocks  int
+
+	mu      sync.Mutex
+	blocks  map[int64]*list.Element // block index -> entry
+	lru     *list.List              // front = most recently used
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+type cacheEntry struct {
+	idx  int64
+	data []byte
+}
+
+// CacheStats reports fallback-path cache behaviour.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Evicted uint64
+	// Resident is the number of blocks currently cached.
+	Resident int
+}
+
+func newBlockCache(f *os.File, blockBytes, maxBlocks int) *blockCache {
+	return &blockCache{
+		f:          f,
+		blockBytes: blockBytes,
+		maxBlocks:  maxBlocks,
+		blocks:     make(map[int64]*list.Element),
+		lru:        list.New(),
+	}
+}
+
+// readAt fills p from offset off, walking the covered blocks.
+func (c *blockCache) readAt(p []byte, off int64) error {
+	for len(p) > 0 {
+		idx := off / int64(c.blockBytes)
+		blk, err := c.block(idx)
+		if err != nil {
+			return err
+		}
+		rel := int(off - idx*int64(c.blockBytes))
+		if rel >= len(blk) {
+			return fmt.Errorf("mstore: read past end of file at %d", off)
+		}
+		n := copy(p, blk[rel:])
+		p = p[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// block returns block idx, loading and caching it on a miss.
+func (c *blockCache) block(idx int64) ([]byte, error) {
+	c.mu.Lock()
+	if e, ok := c.blocks[idx]; ok {
+		c.lru.MoveToFront(e)
+		c.hits++
+		data := e.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		return data, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Load outside the lock so a slow device stalls only the readers that
+	// need this block. Two racers may both load; the second store wins the
+	// map slot and the loser's copy is garbage collected — identical bytes
+	// either way.
+	buf := alignedBytes(c.blockBytes)
+	n, err := c.f.ReadAt(buf, idx*int64(c.blockBytes))
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("mstore: pread block %d: %w", idx, err)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("mstore: pread block %d past end of file", idx)
+	}
+	buf = buf[:n]
+
+	c.mu.Lock()
+	if e, ok := c.blocks[idx]; ok {
+		// Lost the race; serve the resident copy.
+		c.lru.MoveToFront(e)
+		data := e.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		return data, nil
+	}
+	c.blocks[idx] = c.lru.PushFront(&cacheEntry{idx: idx, data: buf})
+	for c.lru.Len() > c.maxBlocks {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.blocks, oldest.Value.(*cacheEntry).idx)
+		c.evicted++
+	}
+	c.mu.Unlock()
+	return buf, nil
+}
+
+func (c *blockCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evicted: c.evicted, Resident: c.lru.Len()}
+}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package mstore
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("mstore: mmap unavailable on this platform")
+
+// mmapFile always fails here; Open falls back to the block-cache path.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -1,0 +1,223 @@
+// Package mstore owns file-backed index storage: it memory-maps index
+// files so fixed-stride slabs (adjacency rows, vector matrices, SQ8 code
+// matrices, remap tables) are served zero-copy straight from the page
+// cache, and falls back to a pread + LRU block cache on platforms (or
+// deployments) where mmap is unavailable or unwanted — cold storage,
+// wasm, constrained containers.
+//
+// The package deliberately knows nothing about index formats. It hands
+// out byte ranges ([File.Bytes]) and typed little-endian views of them
+// ([Int32s], [Float32s]); internal/core's mapped reader layers the NSGM
+// record format on top.
+//
+// Mapped memory is PROT_READ: an accidental write through a mapped slab
+// faults instead of silently corrupting the file, which backs the
+// read-only contract the mapped index types expose.
+package mstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// Options configures Open.
+type Options struct {
+	// DisableMmap forces the pread + block-cache path even where mmap is
+	// available. The cache path copies requested ranges into heap memory,
+	// so opens cost O(bytes read) instead of O(1) — it is the cold-storage
+	// and portability fallback, not the serving default.
+	DisableMmap bool
+	// BlockBytes is the cache block size for the fallback path.
+	// 0 selects the default (1 MiB).
+	BlockBytes int
+	// CacheBlocks caps how many blocks the fallback path keeps resident.
+	// 0 selects the default (64).
+	CacheBlocks int
+}
+
+const (
+	defaultBlockBytes  = 1 << 20
+	defaultCacheBlocks = 64
+)
+
+// File is a read-only view of an index file: either one contiguous mmap
+// or a pread-backed block cache over the same bytes. Safe for concurrent
+// readers after Open.
+type File struct {
+	path string
+	size int64
+	data []byte      // mmap mode; nil in fallback mode
+	f    *os.File    // fallback mode; nil once mapped
+	bc   *blockCache // fallback mode
+}
+
+// Open opens path read-only. It memory-maps the whole file unless the
+// platform lacks mmap or opts.DisableMmap is set, in which case reads go
+// through a pread + LRU block cache.
+func Open(path string, opts Options) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mstore: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("mstore: %w", err)
+	}
+	size := st.Size()
+	out := &File{path: path, size: size}
+	if !opts.DisableMmap && size > 0 {
+		if data, err := mmapFile(f, size); err == nil {
+			out.data = data
+			f.Close() // the mapping outlives the descriptor
+			return out, nil
+		}
+		// Fall through to the cache path on any mmap failure (including
+		// platforms whose stub always errors).
+	}
+	bb := opts.BlockBytes
+	if bb <= 0 {
+		bb = defaultBlockBytes
+	}
+	nb := opts.CacheBlocks
+	if nb <= 0 {
+		nb = defaultCacheBlocks
+	}
+	out.f = f
+	out.bc = newBlockCache(f, bb, nb)
+	return out, nil
+}
+
+// Size returns the file size in bytes.
+func (m *File) Size() int64 { return m.size }
+
+// Path returns the path the file was opened from.
+func (m *File) Path() string { return m.path }
+
+// Mapped reports whether the file is served by mmap (true) or the block
+// cache fallback (false).
+func (m *File) Mapped() bool { return m.data != nil }
+
+// Bytes returns the n bytes at offset off. In mmap mode this is a
+// zero-copy subslice of the mapping, valid until Close; in fallback mode
+// the range is copied into fresh heap memory through the block cache.
+// The returned bytes must not be modified.
+func (m *File) Bytes(off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > m.size || off+n < off {
+		return nil, fmt.Errorf("mstore: range [%d,%d) outside file of %d bytes", off, off+n, m.size)
+	}
+	if m.data != nil {
+		return m.data[off : off+n : off+n], nil
+	}
+	// Fallback: materialize the range. Allocate with 8-byte alignment so
+	// the typed views below hold on the copy as well.
+	buf := alignedBytes(int(n))
+	if _, err := m.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadAt implements io.ReaderAt over the file. In fallback mode reads are
+// served block-by-block through the LRU cache; in mmap mode they copy out
+// of the mapping.
+func (m *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > m.size {
+		return 0, fmt.Errorf("mstore: read at %d outside file of %d bytes", off, m.size)
+	}
+	n := len(p)
+	if int64(n) > m.size-off {
+		n = int(m.size - off)
+	}
+	if m.data != nil {
+		copy(p[:n], m.data[off:])
+	} else if err := m.bc.readAt(p[:n], off); err != nil {
+		return 0, err
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// CacheStats reports the fallback block cache's hit/miss counters; zeros
+// in mmap mode (the kernel page cache plays that role there).
+func (m *File) CacheStats() CacheStats {
+	if m.bc == nil {
+		return CacheStats{}
+	}
+	return m.bc.stats()
+}
+
+// Close releases the mapping or the descriptor. Byte ranges returned by
+// Bytes in mmap mode become invalid; ranges from the fallback path remain
+// usable (they are heap copies).
+func (m *File) Close() error {
+	var err error
+	if m.data != nil {
+		err = munmapFile(m.data)
+		m.data = nil
+	}
+	if m.f != nil {
+		if cerr := m.f.Close(); err == nil {
+			err = cerr
+		}
+		m.f = nil
+	}
+	return err
+}
+
+// alignedBytes allocates n bytes whose base pointer is at least 8-byte
+// aligned, so typed views of fallback copies satisfy the same alignment
+// contract as mapped ranges.
+func alignedBytes(n int) []byte {
+	if n == 0 {
+		return []byte{}
+	}
+	words := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), n)[:n:n]
+}
+
+// HostLittleEndian reports whether the host stores integers little-endian.
+// The typed views below reinterpret on-disk little-endian slabs in place,
+// so mapped serving is only available on little-endian hosts; callers on
+// big-endian machines must use the decoding load paths instead.
+func HostLittleEndian() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// Int32s reinterprets b as a little-endian []int32 without copying.
+// b must be 4-byte aligned and a multiple of 4 long, and the host must be
+// little-endian; violations are programmer errors and panic.
+func Int32s(b []byte) []int32 {
+	checkView(b, 4)
+	if len(b) == 0 {
+		return []int32{}
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// Float32s reinterprets b as a little-endian []float32 without copying,
+// under the same contract as Int32s.
+func Float32s(b []byte) []float32 {
+	checkView(b, 4)
+	if len(b) == 0 {
+		return []float32{}
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func checkView(b []byte, width int) {
+	if !HostLittleEndian() {
+		panic("mstore: typed views require a little-endian host")
+	}
+	if len(b)%width != 0 {
+		panic(fmt.Sprintf("mstore: view of %d bytes is not a multiple of %d", len(b), width))
+	}
+	if len(b) > 0 && uintptr(unsafe.Pointer(&b[0]))%uintptr(width) != 0 {
+		panic("mstore: misaligned typed view")
+	}
+}

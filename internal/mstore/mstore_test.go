@@ -1,0 +1,250 @@
+package mstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func randomBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// Both modes must serve identical bytes for identical ranges.
+func TestBytesParityAcrossModes(t *testing.T) {
+	data := randomBytes(3<<20+123, 1)
+	path := writeTemp(t, data)
+	for _, disable := range []bool{false, true} {
+		name := "mmap"
+		if disable {
+			name = "cache"
+		}
+		t.Run(name, func(t *testing.T) {
+			f, err := Open(path, Options{DisableMmap: disable, BlockBytes: 64 << 10, CacheBlocks: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if f.Size() != int64(len(data)) {
+				t.Fatalf("size %d, want %d", f.Size(), len(data))
+			}
+			if f.Mapped() == disable {
+				t.Fatalf("Mapped()=%v with DisableMmap=%v", f.Mapped(), disable)
+			}
+			for _, r := range [][2]int64{{0, 100}, {1 << 20, 2 << 20}, {int64(len(data)) - 7, 7}, {0, int64(len(data))}, {500, 0}} {
+				got, err := f.Bytes(r[0], r[1])
+				if err != nil {
+					t.Fatalf("Bytes(%d,%d): %v", r[0], r[1], err)
+				}
+				if !bytes.Equal(got, data[r[0]:r[0]+r[1]]) {
+					t.Fatalf("Bytes(%d,%d) mismatch", r[0], r[1])
+				}
+			}
+			// Out-of-range requests must error, not panic or truncate.
+			for _, r := range [][2]int64{{-1, 4}, {0, int64(len(data)) + 1}, {int64(len(data)), 1}, {4, -2}} {
+				if _, err := f.Bytes(r[0], r[1]); err == nil {
+					t.Fatalf("Bytes(%d,%d): expected error", r[0], r[1])
+				}
+			}
+		})
+	}
+}
+
+func TestReadAtAcrossBlocks(t *testing.T) {
+	data := randomBytes(1<<18, 2)
+	path := writeTemp(t, data)
+	f, err := Open(path, Options{DisableMmap: true, BlockBytes: 4096, CacheBlocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 10_000)
+	for _, off := range []int64{0, 1, 4095, 4096, 100_000, int64(len(data)) - 10_000} {
+		if _, err := f.ReadAt(buf, off); err != nil {
+			t.Fatalf("ReadAt(%d): %v", off, err)
+		}
+		if !bytes.Equal(buf, data[off:off+10_000]) {
+			t.Fatalf("ReadAt(%d) mismatch", off)
+		}
+	}
+	// Short read at EOF returns io.EOF with the available prefix.
+	n, err := f.ReadAt(buf, int64(len(data))-100)
+	if n != 100 || err != io.EOF {
+		t.Fatalf("ReadAt near EOF: n=%d err=%v, want 100, io.EOF", n, err)
+	}
+	st := f.CacheStats()
+	if st.Misses == 0 || st.Resident == 0 || st.Resident > 4 {
+		t.Fatalf("implausible cache stats %+v", st)
+	}
+}
+
+// Eviction must never invalidate bytes a reader already holds (GC keeps
+// dropped blocks alive), and the resident count must respect the cap.
+func TestCacheEvictionKeepsOldSlicesValid(t *testing.T) {
+	data := randomBytes(64*1024, 3)
+	path := writeTemp(t, data)
+	f, err := Open(path, Options{DisableMmap: true, BlockBytes: 1024, CacheBlocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	first, err := f.Bytes(0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := int64(0); off < int64(len(data)); off += 1024 {
+		if _, err := f.Bytes(off, 1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.CacheStats()
+	if st.Resident > 2 {
+		t.Fatalf("resident %d exceeds cap 2", st.Resident)
+	}
+	if st.Evicted == 0 {
+		t.Fatal("expected evictions")
+	}
+	if !bytes.Equal(first, data[:1024]) {
+		t.Fatal("early range corrupted by eviction")
+	}
+}
+
+func TestConcurrentCacheReads(t *testing.T) {
+	data := randomBytes(1<<20, 4)
+	path := writeTemp(t, data)
+	f, err := Open(path, Options{DisableMmap: true, BlockBytes: 8192, CacheBlocks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 1000)
+			for i := 0; i < 200; i++ {
+				off := rng.Int63n(int64(len(data)) - 1000)
+				if _, err := f.ReadAt(buf, off); err != nil {
+					t.Errorf("ReadAt(%d): %v", off, err)
+					return
+				}
+				if !bytes.Equal(buf, data[off:off+1000]) {
+					t.Errorf("ReadAt(%d) mismatch", off)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+func TestTypedViews(t *testing.T) {
+	if !HostLittleEndian() {
+		t.Skip("typed views require a little-endian host")
+	}
+	// Plain make([]byte) carries no alignment guarantee (it may even be
+	// stack-allocated at an odd address); views are only ever taken of
+	// mapped or alignedBytes-backed memory.
+	raw := alignedBytes(16)
+	for i, v := range []int32{1, -2, 1 << 30, -(1 << 30)} {
+		binary.LittleEndian.PutUint32(raw[i*4:], uint32(v))
+	}
+	ints := Int32s(raw)
+	want := []int32{1, -2, 1 << 30, -(1 << 30)}
+	for i := range want {
+		if ints[i] != want[i] {
+			t.Fatalf("Int32s[%d] = %d, want %d", i, ints[i], want[i])
+		}
+	}
+	floats := Float32s(raw)
+	if len(floats) != 4 {
+		t.Fatalf("Float32s length %d", len(floats))
+	}
+	if len(Int32s(nil)) != 0 || len(Float32s([]byte{})) != 0 {
+		t.Fatal("empty views must be empty")
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("odd length", func() { Int32s(raw[:3]) })
+	mustPanic("misaligned", func() { Int32s(raw[1:13]) })
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("first version"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "first version" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+
+	// A failing writer must leave the previous contents untouched and
+	// clean up its temp file.
+	boom := errors.New("boom")
+	err = WriteFileAtomic(path, func(w io.Writer) error {
+		if _, werr := w.Write([]byte("partial garbage")); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil || string(got) != "first version" {
+		t.Fatalf("after failed write: %q, %v", got, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		names := ""
+		for _, e := range ents {
+			names += " " + e.Name()
+		}
+		t.Fatalf("leftover files after failed write:%s", names)
+	}
+}
+
+func TestProcStats(t *testing.T) {
+	ps := ReadProcStats()
+	// Counters are best-effort zero off Linux; on Linux a running test
+	// process certainly has resident memory.
+	if ps.RSSBytes < 0 {
+		t.Fatalf("negative RSS %d", ps.RSSBytes)
+	}
+	_ = fmt.Sprintf("%+v", ps)
+}

@@ -1,0 +1,15 @@
+package mstore
+
+// ProcStats is a snapshot of the process's memory behaviour — the numbers
+// an operator watches when an index is served from disk instead of heap:
+// resident set size and the fault counters that show pages being demand-
+// loaded (minor = already in page cache, major = read from the device).
+type ProcStats struct {
+	RSSBytes    int64  `json:"rss_bytes"`
+	MinorFaults uint64 `json:"minor_faults"`
+	MajorFaults uint64 `json:"major_faults"`
+}
+
+// ReadProcStats returns the current process memory counters. On platforms
+// without a /proc interface every field is zero.
+func ReadProcStats() ProcStats { return readProcStats() }

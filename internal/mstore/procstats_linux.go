@@ -1,0 +1,40 @@
+//go:build linux
+
+package mstore
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// readProcStats parses /proc/self/stat: field 10 is minflt, field 12 is
+// majflt, field 24 is rss in pages (1-based field numbers, after the
+// parenthesized comm field which may itself contain spaces).
+func readProcStats() ProcStats {
+	var ps ProcStats
+	raw, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return ps
+	}
+	s := string(raw)
+	// Skip past the comm field's closing paren; everything after is
+	// space-separated and starts at field 3 (state).
+	close := strings.LastIndexByte(s, ')')
+	if close < 0 {
+		return ps
+	}
+	fields := strings.Fields(s[close+1:])
+	// fields[0] is stat field 3, so stat field k lives at fields[k-3].
+	get := func(k int) uint64 {
+		if k-3 >= len(fields) {
+			return 0
+		}
+		v, _ := strconv.ParseUint(fields[k-3], 10, 64)
+		return v
+	}
+	ps.MinorFaults = get(10)
+	ps.MajorFaults = get(12)
+	ps.RSSBytes = int64(get(24)) * int64(os.Getpagesize())
+	return ps
+}

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package mstore
+
+// readProcStats has no portable source off Linux; counters read as zero.
+func readProcStats() ProcStats { return ProcStats{} }

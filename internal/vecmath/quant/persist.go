@@ -79,7 +79,13 @@ func WriteCodes(w io.Writer, c CodeMatrix) error {
 }
 
 // ReadCodes deserializes a code matrix written by WriteCodes.
-func ReadCodes(r io.Reader) (CodeMatrix, error) {
+func ReadCodes(r io.Reader) (CodeMatrix, error) { return ReadCodesShape(r, -1, -1) }
+
+// ReadCodesShape deserializes a code matrix, rejecting any shape other
+// than wantRows×wantDim before allocating — callers that know the expected
+// shape from surrounding context must pass it so a corrupt header cannot
+// turn into a giant allocation. Negative bounds accept any plausible value.
+func ReadCodesShape(r io.Reader, wantRows, wantDim int) (CodeMatrix, error) {
 	var hdr [12]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return CodeMatrix{}, fmt.Errorf("quant: read codes header: %w", err)
@@ -91,6 +97,9 @@ func ReadCodes(r io.Reader) (CodeMatrix, error) {
 	dim := int(binary.LittleEndian.Uint32(hdr[8:]))
 	if rows <= 0 || dim <= 0 || rows > 1<<30 || dim > MaxDim {
 		return CodeMatrix{}, fmt.Errorf("quant: implausible code matrix shape %dx%d", rows, dim)
+	}
+	if (wantRows >= 0 && rows != wantRows) || (wantDim >= 0 && dim != wantDim) {
+		return CodeMatrix{}, fmt.Errorf("quant: code matrix shape %dx%d, want %dx%d", rows, dim, wantRows, wantDim)
 	}
 	c := NewCodeMatrix(rows, dim)
 	if _, err := io.ReadFull(r, c.Codes); err != nil {

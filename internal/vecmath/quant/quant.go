@@ -82,6 +82,19 @@ func Train(m vecmath.Matrix) Quantizer {
 	return q
 }
 
+// FromBounds reconstructs a quantizer from persisted per-dimension bounds.
+// Because the scale is re-derived by the same deriveScale that training
+// uses, the result is bit-identical to the originally trained quantizer —
+// the property the mapped serving path relies on for heap/mapped parity.
+func FromBounds(min, max []float32) Quantizer {
+	if len(min) != len(max) || len(min) == 0 {
+		panic(fmt.Sprintf("quant: bounds lengths %d/%d invalid", len(min), len(max)))
+	}
+	q := Quantizer{Min: min, Max: max}
+	q.deriveScale()
+	return q
+}
+
 // deriveScale recomputes the shared step from the stored bounds; it is the
 // one place the scale is defined, so a quantizer reconstructed from
 // persisted bounds is bit-identical to the trained original.

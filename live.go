@@ -81,6 +81,9 @@ func maintenanceStats(s live.Stats) MaintenanceStats {
 // under concurrent readers) and Close must be called when discarding the
 // index so the maintainer goroutine is released.
 func (x *Index) EnableLiveUpdates(opts LiveOptions) error {
+	if x.inner.ReadOnly() {
+		return ErrReadOnly
+	}
 	h := live.Start(x.inner, nil, x.dead, opts.internal(core.InsertParams{M: x.opts.MaxDegree, L: x.opts.BuildL}))
 	if !x.live.CompareAndSwap(nil, h) {
 		h.Close()
@@ -115,17 +118,18 @@ func (x *Index) Flush() {
 // Close ends live serving: it flushes the delta (so no point is lost),
 // stops the maintainer goroutine, and returns the index to the classic
 // mutation contract (Add/Delete/Compact single-writer, not concurrent with
-// Search). A no-op on an index without live updates. Do not call while
-// other goroutines are still using the index.
+// Search). On a mapped index (OpenMapped) it instead releases the file
+// mapping; the index must not be searched afterwards. A no-op otherwise.
+// Do not call while other goroutines are still using the index.
 func (x *Index) Close() {
 	h := x.live.Load()
-	if h == nil {
-		return
+	if h != nil {
+		h.Flush()
+		h.Close()
+		if d := h.Dead(); d != nil && d.Len() > 0 {
+			x.dead = d
+		}
+		x.live.Store(nil)
 	}
-	h.Flush()
-	h.Close()
-	if d := h.Dead(); d != nil && d.Len() > 0 {
-		x.dead = d
-	}
-	x.live.Store(nil)
+	x.inner.Close()
 }

@@ -68,6 +68,7 @@ import (
 	"repro/internal/graphutil"
 	"repro/internal/knngraph"
 	"repro/internal/live"
+	"repro/internal/mstore"
 	"repro/internal/vecmath"
 )
 
@@ -361,45 +362,41 @@ func (x *Index) Stats() Stats {
 
 const fileMagic = 0x4e534742 // "NSGB" — bundled index+vectors format
 
-// Save writes the index, including its vectors, to path. On a live index,
-// stop issuing Adds and Deletes and call Flush first so the maintainer is
-// quiescent and the file captures every point; concurrent searches are
-// fine.
+// Save writes the index, including its vectors, to path — crash-safely:
+// the bundle streams into a temp file that is fsynced and renamed into
+// place, so an interrupted save leaves the previous file intact rather
+// than a truncated bundle. On a live index, stop issuing Adds and Deletes
+// and call Flush first so the maintainer is quiescent and the file
+// captures every point; concurrent searches are fine.
 func (x *Index) Save(path string) error {
 	x.Flush()
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("nsg: %w", err)
-	}
-	defer f.Close()
-	bw := bufio.NewWriter(f)
-	hdr := make([]byte, 12)
-	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(x.inner.Base.Rows))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(x.inner.Base.Dim))
-	if _, err := bw.Write(hdr); err != nil {
-		return fmt.Errorf("nsg: write header: %w", err)
-	}
-	// Vectors are stored in public id order: the fast 64 KiB-chunked path
-	// when ids are untouched, or row-streamed through the remap (without
-	// copying the matrix) on a relayouted index — the core section carries
-	// the remap table and restores the internal order on load.
-	if !x.inner.Relaid() {
-		if err := writeMatrix(bw, x.inner.Base); err != nil {
+	return mstore.WriteFileAtomic(path, func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		hdr := make([]byte, 12)
+		binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(x.inner.Base.Rows))
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(x.inner.Base.Dim))
+		if _, err := bw.Write(hdr); err != nil {
+			return fmt.Errorf("nsg: write header: %w", err)
+		}
+		// Vectors are stored in public id order: the fast 64 KiB-chunked path
+		// when ids are untouched, or row-streamed through the remap (without
+		// copying the matrix) on a relayouted index — the core section carries
+		// the remap table and restores the internal order on load.
+		if !x.inner.Relaid() {
+			if err := writeMatrix(bw, x.inner.Base); err != nil {
+				return err
+			}
+		} else if err := writeMatrixRows(bw, x.inner.Base, func(r int) int32 {
+			return x.inner.InternalID(int32(r))
+		}); err != nil {
 			return err
 		}
-	} else if err := writeMatrixRows(bw, x.inner.Base, func(r int) int32 {
-		return x.inner.InternalID(int32(r))
-	}); err != nil {
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("nsg: %w", err)
-	}
-	if err := x.inner.Write(f); err != nil {
-		return err
-	}
-	return f.Close()
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("nsg: %w", err)
+		}
+		return x.inner.Write(w)
+	})
 }
 
 // Load reopens an index written by Save.
@@ -421,6 +418,11 @@ func Load(path string) (*Index, error) {
 	dim := int(binary.LittleEndian.Uint32(hdr[8:]))
 	if rows <= 0 || dim <= 0 || rows > 1<<30 || dim > 1<<20 {
 		return nil, fmt.Errorf("nsg: implausible shape %dx%d", rows, dim)
+	}
+	// Bound the header's claim against the file before allocating rows*dim
+	// floats: a corrupt header must not turn into a giant allocation.
+	if fi, err := f.Stat(); err == nil && fi.Size() < int64(rows)*int64(dim)*4 {
+		return nil, fmt.Errorf("nsg: file holds %d bytes, too small for claimed %dx%d vectors", fi.Size(), rows, dim)
 	}
 	base, err := readMatrix(br, rows, dim)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distsearch"
 	"repro/internal/graphutil"
+	"repro/internal/mstore"
 	"repro/internal/vecmath"
 )
 
@@ -324,39 +325,33 @@ const (
 // point (concurrent searches are fine).
 func (x *ShardedIndex) Save(path string) error {
 	x.Flush()
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("nsg: %w", err)
-	}
-	defer f.Close()
-	bw := bufio.NewWriter(f)
-	hdr := make([]byte, 36)
-	binary.LittleEndian.PutUint32(hdr[0:], shardedFileMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], shardedFileVersion)
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(x.s.Base.Rows))
-	binary.LittleEndian.PutUint32(hdr[12:], uint32(x.s.Base.Dim))
-	binary.LittleEndian.PutUint32(hdr[16:], uint32(x.opts.Shard.GraphK))
-	binary.LittleEndian.PutUint32(hdr[20:], uint32(x.opts.Shard.BuildL))
-	binary.LittleEndian.PutUint32(hdr[24:], uint32(x.opts.Shard.MaxDegree))
-	binary.LittleEndian.PutUint32(hdr[28:], uint32(x.opts.Shard.SearchL))
-	var optFlags uint32
-	if x.opts.Shard.Quantize {
-		optFlags |= shardedOptQuantize
-	}
-	binary.LittleEndian.PutUint32(hdr[32:], optFlags)
-	if _, err := bw.Write(hdr); err != nil {
-		return fmt.Errorf("nsg: write header: %w", err)
-	}
-	if err := writeMatrix(bw, x.s.Base); err != nil {
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("nsg: %w", err)
-	}
-	if err := x.s.Write(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return mstore.WriteFileAtomic(path, func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		hdr := make([]byte, 36)
+		binary.LittleEndian.PutUint32(hdr[0:], shardedFileMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], shardedFileVersion)
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(x.s.Base.Rows))
+		binary.LittleEndian.PutUint32(hdr[12:], uint32(x.s.Base.Dim))
+		binary.LittleEndian.PutUint32(hdr[16:], uint32(x.opts.Shard.GraphK))
+		binary.LittleEndian.PutUint32(hdr[20:], uint32(x.opts.Shard.BuildL))
+		binary.LittleEndian.PutUint32(hdr[24:], uint32(x.opts.Shard.MaxDegree))
+		binary.LittleEndian.PutUint32(hdr[28:], uint32(x.opts.Shard.SearchL))
+		var optFlags uint32
+		if x.opts.Shard.Quantize {
+			optFlags |= shardedOptQuantize
+		}
+		binary.LittleEndian.PutUint32(hdr[32:], optFlags)
+		if _, err := bw.Write(hdr); err != nil {
+			return fmt.Errorf("nsg: write header: %w", err)
+		}
+		if err := writeMatrix(bw, x.s.Base); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("nsg: %w", err)
+		}
+		return x.s.Write(w)
+	})
 }
 
 // LoadSharded reopens a sharded index written by Save, restoring the
@@ -394,6 +389,11 @@ func LoadSharded(path string) (*ShardedIndex, error) {
 	dim := int(binary.LittleEndian.Uint32(hdr[12:]))
 	if rows <= 0 || dim <= 0 || rows > 1<<30 || dim > 1<<20 {
 		return nil, fmt.Errorf("nsg: implausible shape %dx%d", rows, dim)
+	}
+	// Bound the header's claim against the file before allocating rows*dim
+	// floats: a corrupt header must not turn into a giant allocation.
+	if fi, err := f.Stat(); err == nil && fi.Size() < int64(rows)*int64(dim)*4 {
+		return nil, fmt.Errorf("nsg: file holds %d bytes, too small for claimed %dx%d vectors", fi.Size(), rows, dim)
 	}
 	base, err := readMatrix(br, rows, dim)
 	if err != nil {
