@@ -18,7 +18,7 @@ import (
 // adds only the returned result slices.
 func TestBatchSearchZeroAlloc(t *testing.T) {
 	ds := shardedTestData(t, 1500, 32)
-	for _, quantize := range []bool{false, true} {
+	for _, quantize := range []QuantMode{QuantNone, QuantSQ8, QuantInt4} {
 		opts := DefaultOptions()
 		opts.ExactKNN = true
 		opts.Seed = 7

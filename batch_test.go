@@ -80,7 +80,7 @@ func TestMetricSearchBatchMatchesSerial(t *testing.T) {
 // exactly what the legacy per-query path returns — float and quantized,
 // across cohort sizes (including ragged tails) and worker counts.
 func TestSearchBatchFusedMatchesLegacy(t *testing.T) {
-	for _, quantize := range []bool{false, true} {
+	for _, quantize := range []QuantMode{QuantNone, QuantSQ8, QuantInt4} {
 		vecs := randomVectors(900, 12, 18)
 		opts := DefaultOptions()
 		opts.ExactKNN = true

@@ -395,7 +395,7 @@ func BenchmarkAblationEntry(b *testing.B) {
 		i := 0
 		benchSearch(b, func(q []float32) []vecmath.Neighbor {
 			i++
-			start := int32(i*2654435761) % int32(ds.Base.Rows)
+			start := int32(uint32(i)*2654435761) % int32(ds.Base.Rows)
 			if start < 0 {
 				start = -start
 			}
@@ -561,19 +561,25 @@ func BenchmarkSearchBatch(b *testing.B) {
 	}
 }
 
-// --- SQ8 quantized serving path ---
+// --- quantized serving paths (SQ8 and packed int4) ---
 
-// quantBenchData caches the 8k-point acceptance suite plus one float and
-// one quantized index over it.
+// quantBenchData caches the 8k-point acceptance suite plus one float, one
+// SQ8 and one int4 index over it.
 var quantBenchData struct {
 	once  sync.Once
 	ds    dataset.Dataset
 	float *Index
 	quant *Index
+	int4  *Index
 	err   error
 }
 
 func loadQuantBenchData(b *testing.B) (dataset.Dataset, *Index, *Index) {
+	ds, fl, qt, _ := loadQuantBenchData4(b)
+	return ds, fl, qt
+}
+
+func loadQuantBenchData4(b *testing.B) (dataset.Dataset, *Index, *Index, *Index) {
 	b.Helper()
 	quantBenchData.once.Do(func() {
 		ds, err := dataset.SIFTLike(dataset.Config{N: 8000, Queries: 200, GTK: 100, Dim: 128, Seed: 1})
@@ -581,36 +587,42 @@ func loadQuantBenchData(b *testing.B) (dataset.Dataset, *Index, *Index) {
 			quantBenchData.err = err
 			return
 		}
-		build := func(quantize bool) (*Index, error) {
+		build := func(mode QuantMode) (*Index, error) {
 			opts := DefaultOptions()
-			opts.Quantize = quantize
+			opts.Quantize = mode
 			return BuildFromFlat(append([]float32(nil), ds.Base.Data...), ds.Base.Dim, opts)
 		}
-		fl, err := build(false)
+		fl, err := build(QuantNone)
 		if err != nil {
 			quantBenchData.err = err
 			return
 		}
-		qt, err := build(true)
+		qt, err := build(QuantSQ8)
 		if err != nil {
 			quantBenchData.err = err
 			return
 		}
-		quantBenchData.ds, quantBenchData.float, quantBenchData.quant = ds, fl, qt
+		q4, err := build(QuantInt4)
+		if err != nil {
+			quantBenchData.err = err
+			return
+		}
+		quantBenchData.ds, quantBenchData.float, quantBenchData.quant, quantBenchData.int4 = ds, fl, qt, q4
 	})
 	if quantBenchData.err != nil {
 		b.Fatal(quantBenchData.err)
 	}
-	return quantBenchData.ds, quantBenchData.float, quantBenchData.quant
+	return quantBenchData.ds, quantBenchData.float, quantBenchData.quant, quantBenchData.int4
 }
 
-// BenchmarkQuantizedSearch is the acceptance benchmark: the SQ8 path
-// (code-space expansion + exact rerank) against the float32 path on the
-// 8k-point suite at matched recall@10 >= 0.99 (both run L=30, where both
-// measure ~0.998 — see the reported recall metric). The SQ8 rows must show
-// >= 1.5x the float QPS; measured ~2x with the AVX2 kernel.
+// BenchmarkQuantizedSearch is the acceptance benchmark: the SQ8 and
+// packed-int4 paths (code-space expansion + exact rerank) against the
+// float32 path on the 8k-point suite at matched recall@10 >= 0.99 (all run
+// L=30, where all measure ~0.998 — see the reported recall metric). The
+// SQ8 rows must show >= 1.5x the float QPS, and the int4 rows must beat
+// SQ8 (half the bytes gathered per hop).
 func BenchmarkQuantizedSearch(b *testing.B) {
-	ds, fl, qt := loadQuantBenchData(b)
+	ds, fl, qt, q4 := loadQuantBenchData4(b)
 	recallOf := func(idx *Index, l int) float64 {
 		got := make([][]int32, ds.Queries.Rows)
 		for qi := 0; qi < ds.Queries.Rows; qi++ {
@@ -625,6 +637,7 @@ func BenchmarkQuantizedSearch(b *testing.B) {
 	}{
 		{"Float32", fl},
 		{"SQ8", qt},
+		{"Int4", q4},
 	} {
 		for _, l := range []int{30, 60} {
 			b.Run(fmt.Sprintf("%s/L%d", cfg.name, l), func(b *testing.B) {

@@ -79,6 +79,21 @@ func main() {
 	}
 }
 
+// parseQuantMode maps the -quantize flag to the library's mode constant,
+// accepting the /stats wire names plus the obvious aliases.
+func parseQuantMode(s string) (nsg.QuantMode, error) {
+	switch s {
+	case "", "none", "float32", "false":
+		return nsg.QuantNone, nil
+	case "sq8", "true":
+		return nsg.QuantSQ8, nil
+	case "int4":
+		return nsg.QuantInt4, nil
+	default:
+		return nsg.QuantNone, fmt.Errorf("unknown -quantize mode %q (want none, sq8 or int4)", s)
+	}
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("nsgserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -96,7 +111,7 @@ func run(args []string, stdout io.Writer) error {
 	defaultK := fs.Int("k", 10, "default number of neighbors")
 	maxL := fs.Int("maxl", 4096, "largest per-request pool size (and k) accepted")
 	exact := fs.Bool("exact", false, "use the exact kNN graph builder")
-	quantize := fs.Bool("quantize", false, "serve through the SQ8 quantized path (4x fewer bytes per hop; exact rerank)")
+	quantize := fs.String("quantize", "none", "compressed serving path: none, sq8 (4x fewer bytes per hop) or int4 (8x; both with exact rerank)")
 	maxPending := fs.Int("maxpending", 512, "delta depth that forces an immediate maintenance drain")
 	publishEvery := fs.Duration("publish-interval", 100*time.Millisecond, "max delay before pending inserts are folded into a published snapshot")
 	seed := fs.Int64("seed", 1, "RNG seed")
@@ -108,6 +123,10 @@ func run(args []string, stdout io.Writer) error {
 	if *readyMaxPending <= 0 {
 		*readyMaxPending = 4 * *maxPending
 	}
+	quantMode, err := parseQuantMode(*quantize)
+	if err != nil {
+		return err
+	}
 
 	idx, err := openIndex(openConfig{
 		indexPath: *indexPath, dataPath: *dataPath, savePath: *savePath,
@@ -116,7 +135,7 @@ func run(args []string, stdout io.Writer) error {
 			Shards: *shards,
 			Shard: nsg.Options{
 				GraphK: *graphK, BuildL: *buildL, MaxDegree: *maxDegree,
-				SearchL: *searchL, ExactKNN: *exact, Quantize: *quantize, Seed: *seed,
+				SearchL: *searchL, ExactKNN: *exact, Quantize: quantMode, Seed: *seed,
 			},
 		},
 	}, stdout)
@@ -473,10 +492,12 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	N               int     `json:"n"`
-	Dim             int     `json:"dim"`
-	Shards          int     `json:"shards"`
-	Quantized       bool    `json:"quantized"`
+	N      int `json:"n"`
+	Dim    int `json:"dim"`
+	Shards int `json:"shards"`
+	// Quantization names the serving representation: "float32", "sq8" or
+	// "int4" (the compressed modes rerank with exact float32 distances).
+	Quantization    string  `json:"quantization"`
 	ReadOnly        bool    `json:"read_only"`
 	ShardSizes      []int   `json:"shard_sizes"`
 	IndexBytes      int64   `json:"index_bytes"`
@@ -504,7 +525,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ps := mstore.ReadProcStats()
 	q := s.queries.Load()
 	resp := statsResponse{
-		N: st.N, Dim: s.idx.Dim(), Shards: st.Shards, Quantized: s.idx.Quantized(),
+		N: st.N, Dim: s.idx.Dim(), Shards: st.Shards, Quantization: s.idx.QuantMode().String(),
 		ReadOnly:   s.idx.ReadOnly(),
 		ShardSizes: st.ShardSizes,
 		IndexBytes: st.IndexBytes, Queries: q, Inserts: s.inserts.Load(),

@@ -94,7 +94,7 @@ func ExampleBuild_quantized() {
 	vectors := exampleVectors(400, 16)
 	opts := nsg.DefaultOptions()
 	opts.ExactKNN = true // deterministic builds for small data
-	opts.Quantize = true
+	opts.Quantize = nsg.QuantSQ8
 	index, err := nsg.Build(vectors, opts)
 	if err != nil {
 		log.Fatal(err)

@@ -91,11 +91,16 @@ func (x *Index) Compact() ([]int32, error) {
 	if err != nil {
 		return nil, err
 	}
-	if x.opts.Quantize {
+	if x.opts.Quantize != QuantNone {
 		// The compacted graph is fresh: re-relayout and retrain the grid on
 		// the surviving vectors so the quantized serving state matches.
 		inner.Relayout()
-		if err := inner.EnableQuantization(nil); err != nil {
+		if x.opts.Quantize == QuantInt4 {
+			err = inner.EnableQuantization4(nil)
+		} else {
+			err = inner.EnableQuantization(nil)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}

@@ -82,7 +82,7 @@ func DiskServing(w io.Writer, c ExpConfig) error {
 
 	opts := nsg.DefaultOptions()
 	opts.Seed = c.Seed
-	opts.Quantize = true // exercise the full layout: codes + remap + bounds sections
+	opts.Quantize = nsg.QuantSQ8 // exercise the full layout: codes + remap + bounds sections
 	idx, err := nsg.BuildFromFlat(ds.Base.Clone().Data, ds.Base.Dim, opts)
 	if err != nil {
 		return err

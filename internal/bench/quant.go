@@ -11,20 +11,21 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/knngraph"
 	"repro/internal/vecmath"
+	"repro/internal/vecmath/quant"
 )
 
-// This file measures the SQ8 quantized serving path against the float32
-// path on one graph: recall, QPS and bytes touched per hop for every
-// combination of {float32, SQ8} x {with, without rerank} x {with, without
-// the BFS cache relayout}. The comparison prices the two independent
-// levers — the 4x code shrink and the locality permutation — and the
-// rerank's recall repair, the measured counterpart of the paper's
+// This file measures the quantized serving paths against the float32 path
+// on one graph: recall, QPS and bytes touched per hop for every combination
+// of {float32, SQ8, int4} x {with, without rerank} x {with, without the BFS
+// cache relayout}. The comparison prices the independent levers — the 4x
+// (SQ8) and 8x (packed int4) code shrinks and the locality permutation —
+// and the rerank's recall repair, the measured counterpart of the paper's
 // memory-bandwidth serving argument (Section 6). cmd/bench -exp quant
 // prints the sweep and records it to BENCH_quant.json.
 
 // QuantPoint is one (variant, effort) measurement.
 type QuantPoint struct {
-	Variant     string  `json:"variant"`       // float32 | sq8 | sq8+rerank, each ±relayout
+	Variant     string  `json:"variant"`       // float32 | sq8 | sq8+rerank | int4 | int4+rerank, each ±relayout
 	Effort      int     `json:"effort"`        // search pool L
 	Recall      float64 `json:"recall"`        // mean recall@k vs exact ground truth
 	QPS         float64 `json:"qps"`           // single-client queries/second
@@ -62,19 +63,23 @@ var quantEfforts = []int{10, 20, 30, 40, 60, 100, 160}
 // quantVariant names one search configuration over a prepared index.
 type quantVariant struct {
 	name   string
-	relaid bool // serve the relayouted twin
-	sq8    bool // expand over codes
-	rerank bool // exact rerank of the final pool
+	relaid bool       // serve the relayouted twin
+	mode   quant.Mode // code representation the expansion gathers
+	rerank bool       // exact rerank of the final pool
 }
 
 func quantVariants() []quantVariant {
 	return []quantVariant{
 		{name: "float32", relaid: false},
 		{name: "float32+relayout", relaid: true},
-		{name: "sq8", sq8: true},
-		{name: "sq8+relayout", sq8: true, relaid: true},
-		{name: "sq8+rerank", sq8: true, rerank: true},
-		{name: "sq8+rerank+relayout", sq8: true, rerank: true, relaid: true},
+		{name: "sq8", mode: quant.ModeSQ8},
+		{name: "sq8+relayout", mode: quant.ModeSQ8, relaid: true},
+		{name: "sq8+rerank", mode: quant.ModeSQ8, rerank: true},
+		{name: "sq8+rerank+relayout", mode: quant.ModeSQ8, rerank: true, relaid: true},
+		{name: "int4", mode: quant.ModeInt4},
+		{name: "int4+relayout", mode: quant.ModeInt4, relaid: true},
+		{name: "int4+rerank", mode: quant.ModeInt4, rerank: true},
+		{name: "int4+rerank+relayout", mode: quant.ModeInt4, rerank: true, relaid: true},
 	}
 }
 
@@ -89,10 +94,11 @@ func Quantized(w io.Writer, c ExpConfig) error {
 	k := 10
 	res := QuantResult{Dataset: "SIFT-like", N: ds.Base.Rows, Dim: ds.Base.Dim, Queries: ds.Queries.Rows, K: k}
 
-	// Two deterministic builds of the same graph (identical seeds), one
-	// kept in build order, one relayouted; both carry codes so each variant
-	// picks its distance source at search time.
-	buildOne := func(relayout bool) (*core.NSG, error) {
+	// Deterministic builds of the same graph (identical seeds): one per
+	// {build order, relayout} x {SQ8, int4} cell, since an index carries
+	// exactly one code representation. The float32 variants search the SQ8
+	// twins' float rows, which are identical across all four.
+	buildOne := func(relayout bool, mode quant.Mode) (*core.NSG, error) {
 		base := ds.Base.Clone()
 		kp := knngraph.DefaultParams(20)
 		kp.Seed = c.Seed
@@ -107,29 +113,41 @@ func Quantized(w io.Writer, c ExpConfig) error {
 		if relayout {
 			idx.Relayout()
 		}
-		if err := idx.EnableQuantization(nil); err != nil {
+		if mode == quant.ModeInt4 {
+			err = idx.EnableQuantization4(nil)
+		} else {
+			err = idx.EnableQuantization(nil)
+		}
+		if err != nil {
 			return nil, err
 		}
 		return idx, nil
 	}
-	plain, err := buildOne(false)
-	if err != nil {
-		return err
+	type cell struct {
+		relaid bool
+		mode   quant.Mode
 	}
-	relaid, err := buildOne(true)
-	if err != nil {
-		return err
+	indexes := map[cell]*core.NSG{}
+	for _, relaid := range []bool{false, true} {
+		for _, mode := range []quant.Mode{quant.ModeSQ8, quant.ModeInt4} {
+			idx, err := buildOne(relaid, mode)
+			if err != nil {
+				return err
+			}
+			indexes[cell{relaid, mode}] = idx
+		}
 	}
 
-	fmt.Fprintf(w, "SQ8 quantized search vs float32 on SIFT-like subset (n=%d, dim=%d, k=%d)\n", ds.Base.Rows, ds.Base.Dim, k)
+	fmt.Fprintf(w, "quantized search (SQ8, packed int4) vs float32 on SIFT-like subset (n=%d, dim=%d, k=%d)\n", ds.Base.Rows, ds.Base.Dim, k)
 	fmt.Fprintf(w, "%-20s %8s %9s %9s %12s %8s %12s %11s %10s\n",
 		"variant", "effort", "recall", "QPS", "ms/query", "hops", "dist/query", "bytes/hop", "allocs/q")
 
 	for _, v := range quantVariants() {
-		idx := plain
-		if v.relaid {
-			idx = relaid
+		mode := v.mode
+		if mode == quant.ModeNone {
+			mode = quant.ModeSQ8 // float32 search ignores the codes
 		}
+		idx := indexes[cell{v.relaid, mode}]
 		target := QuantTarget{Variant: v.name, Target: 0.99}
 		for _, effort := range quantEfforts {
 			pt := measureQuantPoint(idx, ds, v, k, effort)
@@ -180,7 +198,7 @@ func measureQuantPoint(idx *core.NSG, ds dataset.Dataset, v quantVariant, k, eff
 	ctx := core.NewSearchContext()
 	var counter vecmath.Counter
 	search := func(q []float32) core.SearchResult {
-		if !v.sq8 {
+		if v.mode == quant.ModeNone {
 			return idx.SearchFloatWithHopsCtx(ctx, q, k, effort, &counter)
 		}
 		return idx.SearchQuantizedCtx(ctx, q, k, effort, &counter, v.rerank)
@@ -231,20 +249,25 @@ func measureQuantPoint(idx *core.NSG, ds dataset.Dataset, v quantVariant, k, eff
 	pt.AllocsPerQ = float64(allocs) / q
 
 	// Bytes gathered per expansion: every counted evaluation touches one
-	// vector row (1 byte/dim for codes, 4 for floats; a rerank re-touches
-	// its pool in float), plus the expanded node's fixed-stride adjacency
-	// row. This is the quantity the 4x shrink and the relayout both attack.
+	// vector row (1 byte/dim for SQ8 codes, half that for packed int4
+	// nibbles, 4 bytes/dim for floats; a rerank re-touches its pool in
+	// float), plus the expanded node's fixed-stride adjacency row. This is
+	// the quantity the code shrinks and the relayout both attack.
 	dim := float64(ds.Base.Dim)
+	codeBytes := dim // SQ8: one byte per dimension
+	if v.mode == quant.ModeInt4 {
+		codeBytes = float64(quant.Stride4(ds.Base.Dim)) // two dims per byte
+	}
 	adjBytes := float64(idx.FlatView().Stride) * 4
 	perQuery := adjBytes * (hops / q)
 	switch {
-	case !v.sq8:
+	case v.mode == quant.ModeNone:
 		perQuery += dists * dim * 4
 	case v.rerank:
 		exact := float64(min(effort, ds.Base.Rows)) // the reranked pool
-		perQuery += (dists-exact)*dim + exact*dim*4
+		perQuery += (dists-exact)*codeBytes + exact*dim*4
 	default:
-		perQuery += dists * dim
+		perQuery += dists * codeBytes
 	}
 	if h := hops / q; h > 0 {
 		pt.BytesPerHop = perQuery / h

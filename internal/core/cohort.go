@@ -66,10 +66,11 @@ type CohortContext struct {
 	block    []float32
 	finished []int
 
-	// fd/cd are the per-search distance sources. They live here so taking
+	// fd/cd/cd4 are the per-search distance sources. They live here so taking
 	// their address for the cohortDist interface never escapes to the heap.
-	fd floatCohort
-	cd codeCohort
+	fd  floatCohort
+	cd  codeCohort
+	cd4 codeCohort4
 
 	// RowLoads counts rows gathered from memory, PairDists the (query, row)
 	// distance pairs computed from them. Their ratio is the shared-gather hit
@@ -186,6 +187,17 @@ func (cc *CohortContext) prepLevels(q *quant.Quantizer, queries [][]float32) {
 	cc.levels = append(cc.levels[:0], cc.slotLevels...)
 }
 
+// prepLevels4 is the int4 twin of prepLevels: levels are per dimension
+// (unpacked) in both schemes, so the tables have identical shape — only
+// the preparing quantizer differs.
+func (cc *CohortContext) prepLevels4(q *quant.Quantizer4, queries [][]float32) {
+	cc.slotLevels = cc.slotLevels[:0]
+	for _, qv := range queries {
+		cc.slotLevels = q.PrepareInto(cc.slotLevels, qv)
+	}
+	cc.levels = append(cc.levels[:0], cc.slotLevels...)
+}
+
 // slotLevel returns slot s's prepared query from the stable table.
 func (cc *CohortContext) slotLevel(s, dim int) []int16 {
 	return cc.slotLevels[s*dim : (s+1)*dim : (s+1)*dim]
@@ -245,6 +257,28 @@ func (d *codeCohort) toSlot(counter *vecmath.Counter, r int, ids []int32, out []
 }
 
 func (d *codeCohort) swapRemove(r, last int) {
+	copy(d.levels[r*d.dim:(r+1)*d.dim], d.levels[last*d.dim:(last+1)*d.dim])
+}
+
+// codeCohort4 scores the cohort against packed int4 rows — half a byte per
+// dimension gathered, shared across the cohort. The level table is
+// per-dimension (unpacked), identical in shape to codeCohort's.
+type codeCohort4 struct {
+	qz     *quant.Quantizer4
+	codes  quant.Code4Matrix
+	levels []int16 // compact prepared queries, rows x dim
+	dim    int
+}
+
+func (d *codeCohort4) block(counter *vecmath.Counter, rows int, ids []int32, out []float32) {
+	d.qz.L2RowsToQueriesCount(counter, d.codes, d.levels[:rows*d.dim], rows, ids, out)
+}
+
+func (d *codeCohort4) toSlot(counter *vecmath.Counter, r int, ids []int32, out []float32) {
+	d.qz.L2ToRowsCount(counter, d.codes, d.levels[r*d.dim:(r+1)*d.dim], ids, out)
+}
+
+func (d *codeCohort4) swapRemove(r, last int) {
 	copy(d.levels[r*d.dim:(r+1)*d.dim], d.levels[last*d.dim:(last+1)*d.dim])
 }
 
@@ -400,9 +434,17 @@ func (x *NSG) SearchCohortCtx(cc *CohortContext, queries [][]float32, k, l int, 
 	f := x.FlatView()
 	n := x.Base.Rows
 	if qz := x.Quant; qz != nil {
-		cc.prepLevels(&qz.Q, queries)
-		cc.cd = codeCohort{qz: &qz.Q, codes: qz.Codes, levels: cc.levels, dim: x.Base.Dim}
-		cc.expand(f, n, &cc.cd, x.Navigating, l, counter)
+		var cd cohortDist
+		if qz.Mode == quant.ModeInt4 {
+			cc.prepLevels4(&qz.Q4, queries)
+			cc.cd4 = codeCohort4{qz: &qz.Q4, codes: qz.Codes4, levels: cc.levels, dim: x.Base.Dim}
+			cd = &cc.cd4
+		} else {
+			cc.prepLevels(&qz.Q, queries)
+			cc.cd = codeCohort{qz: &qz.Q, codes: qz.Codes, levels: cc.levels, dim: x.Base.Dim}
+			cd = &cc.cd
+		}
+		cc.expand(f, n, cd, x.Navigating, l, counter)
 		for s := range queries {
 			ctx := cc.slots[s]
 			ns := emit(ctx, l)
@@ -456,13 +498,26 @@ func (s *Snapshot) SearchLiveCohortCtx(cc *CohortContext, queries [][]float32, k
 	}
 	n := s.base.Rows
 	if qz := s.quant; qz != nil {
-		cc.prepLevels(&qz.Q, queries)
-		cc.cd = codeCohort{qz: &qz.Q, codes: qz.Codes, levels: cc.levels, dim: s.base.Dim}
-		cc.expand(s.flat, n, &cc.cd, s.nav, l, counter)
+		int4 := qz.Mode == quant.ModeInt4
+		var cd cohortDist
+		if int4 {
+			cc.prepLevels4(&qz.Q4, queries)
+			cc.cd4 = codeCohort4{qz: &qz.Q4, codes: qz.Codes4, levels: cc.levels, dim: s.base.Dim}
+			cd = &cc.cd4
+		} else {
+			cc.prepLevels(&qz.Q, queries)
+			cc.cd = codeCohort{qz: &qz.Q, codes: qz.Codes, levels: cc.levels, dim: s.base.Dim}
+			cd = &cc.cd
+		}
+		cc.expand(s.flat, n, cd, s.nav, l, counter)
 		for si := range queries {
 			ctx := cc.slots[si]
 			if d != nil {
-				mergeDelta(ctx, n, codeDist{q: &qz.Q, codes: qz.Codes, levels: cc.slotLevel(si, s.base.Dim)}, d, counter)
+				if int4 {
+					mergeDelta(ctx, n, code4Dist{q: &qz.Q4, codes: qz.Codes4, levels: cc.slotLevel(si, s.base.Dim)}, d, counter)
+				} else {
+					mergeDelta(ctx, n, codeDist{q: &qz.Q, codes: qz.Codes, levels: cc.slotLevel(si, s.base.Dim)}, d, counter)
+				}
 			}
 			ns := emit(ctx, l)
 			ns = rerankPool(ctx, s.base, queries[si], fetch, counter, d, ns)

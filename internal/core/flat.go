@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/graphutil"
 	"repro/internal/vecmath"
+	"repro/internal/vecmath/quant"
 )
 
 // FlatNSG is an immutable, search-optimized view of a built NSG using the
@@ -110,7 +111,13 @@ func (x *NSG) Relayout() {
 	// the vectors.
 	permuteRows(x.Base.Data, x.Base.Dim, order)
 	if x.Quant != nil {
-		permuteRows(x.Quant.Codes.Codes, x.Quant.Codes.Dim, order)
+		if x.Quant.Mode == quant.ModeInt4 {
+			// Packed rows permute as Stride-byte units; nibble layout within
+			// a row is position-independent.
+			permuteRows(x.Quant.Codes4.Codes, x.Quant.Codes4.Stride, order)
+		} else {
+			permuteRows(x.Quant.Codes.Codes, x.Quant.Codes.Dim, order)
+		}
 	}
 
 	// Relabel and reorder the adjacency lists, reusing the per-node slices.

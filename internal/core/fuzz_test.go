@@ -28,6 +28,25 @@ func FuzzReadNSG(f *testing.F) {
 	f.Add(valid.Bytes())
 	f.Add([]byte{})
 	f.Add(valid.Bytes()[:8])
+	// Quantized records (SQ8 and packed int4) seed the flagged stream
+	// layouts, so mutations of the code sections are explored too.
+	if err := g.EnableQuantization(nil); err != nil {
+		f.Fatal(err)
+	}
+	var validSQ8 bytes.Buffer
+	if err := g.Write(&validSQ8); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(validSQ8.Bytes())
+	g4 := &NSG{Graph: gr, Navigating: 0, Base: base, M: 2}
+	if err := g4.EnableQuantization4(nil); err != nil {
+		f.Fatal(err)
+	}
+	var validInt4 bytes.Buffer
+	if err := g4.Write(&validInt4); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(validInt4.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		idx, err := ReadNSG(bytes.NewReader(data), base)
 		if err != nil {

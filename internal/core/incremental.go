@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graphutil"
 	"repro/internal/vecmath"
+	"repro/internal/vecmath/quant"
 )
 
 // This file implements incremental insertion — the future work the paper's
@@ -64,7 +65,11 @@ func (x *NSG) Insert(vec []float32, p InsertParams) (int32, error) {
 		x.toInternal = append(x.toInternal, id)
 	}
 	if x.Quant != nil {
-		x.Quant.Q.AppendEncoded(&x.Quant.Codes, vec)
+		if x.Quant.Mode == quant.ModeInt4 {
+			x.Quant.Q4.AppendEncoded(&x.Quant.Codes4, vec)
+		} else {
+			x.Quant.Q.AppendEncoded(&x.Quant.Codes, vec)
+		}
 	}
 
 	// Step 1: search-collect from the navigating node, on the list layout

@@ -131,17 +131,34 @@ func (x *NSG) mappedLayout() ([mappedSections]mappedSection, int64) {
 		secs[2].encode = func(w io.Writer) error { return chunkio.WriteInt32s(w, x.PubIDs) }
 	}
 	if x.Quant != nil {
+		// The bounds section is two dim-sized float vectors in either scheme;
+		// the code slab is rows*dim bytes for SQ8 and rows*ceil(dim/2) for
+		// packed int4 — which scheme applies is carried by the header flag.
 		secs[3].size = 2 * dim * 4
-		secs[3].encode = func(w io.Writer) error {
-			if err := chunkio.WriteFloat32s(w, x.Quant.Q.Min); err != nil {
+		if x.Quant.Mode == quant.ModeInt4 {
+			secs[3].encode = func(w io.Writer) error {
+				if err := chunkio.WriteFloat32s(w, x.Quant.Q4.Min); err != nil {
+					return err
+				}
+				return chunkio.WriteFloat32s(w, x.Quant.Q4.Max)
+			}
+			secs[4].size = rows * int64(x.Quant.Codes4.Stride)
+			secs[4].encode = func(w io.Writer) error {
+				_, err := w.Write(x.Quant.Codes4.Codes)
 				return err
 			}
-			return chunkio.WriteFloat32s(w, x.Quant.Q.Max)
-		}
-		secs[4].size = rows * dim
-		secs[4].encode = func(w io.Writer) error {
-			_, err := w.Write(x.Quant.Codes.Codes)
-			return err
+		} else {
+			secs[3].encode = func(w io.Writer) error {
+				if err := chunkio.WriteFloat32s(w, x.Quant.Q.Min); err != nil {
+					return err
+				}
+				return chunkio.WriteFloat32s(w, x.Quant.Q.Max)
+			}
+			secs[4].size = rows * dim
+			secs[4].encode = func(w io.Writer) error {
+				_, err := w.Write(x.Quant.Codes.Codes)
+				return err
+			}
 		}
 	}
 	off := int64(mappedHeaderSize)
@@ -191,7 +208,11 @@ func (x *NSG) WriteMapped(w io.Writer) error {
 		flags |= nsgFlagRemap
 	}
 	if x.Quant != nil {
-		flags |= nsgFlagQuant
+		if x.Quant.Mode == quant.ModeInt4 {
+			flags |= nsgFlagQuant4
+		} else {
+			flags |= nsgFlagQuant
+		}
 	}
 	hdr := make([]byte, mappedHeaderSize)
 	le := func(off int, v uint32) { putU32(hdr, off, v) }
@@ -312,8 +333,11 @@ func OpenMappedAt(f *mstore.File, off, avail int64, opts MapOptions, exact bool)
 		return nil, 0, corruptf(SectionHeader, "header checksum %#08x != %#08x", got, want)
 	}
 	flags := getU32(hdr, 8)
-	if flags&^uint32(nsgFlagRemap|nsgFlagQuant) != 0 {
+	if flags&^uint32(nsgFlagRemap|nsgFlagQuant|nsgFlagQuant4) != 0 {
 		return nil, 0, corruptf(SectionHeader, "unsupported flags %#x", flags)
+	}
+	if flags&nsgFlagQuant != 0 && flags&nsgFlagQuant4 != 0 {
+		return nil, 0, corruptf(SectionHeader, "record claims both SQ8 and int4 quantization")
 	}
 	rows := int64(getU32(hdr, 12))
 	dim := int64(getU32(hdr, 16))
@@ -352,6 +376,10 @@ func OpenMappedAt(f *mstore.File, off, avail int64, opts MapOptions, exact bool)
 	if flags&nsgFlagQuant != 0 {
 		want[3] = 2 * dim * 4
 		want[4] = rows * dim
+	}
+	if flags&nsgFlagQuant4 != 0 {
+		want[3] = 2 * dim * 4
+		want[4] = rows * int64(quant.Stride4(int(dim)))
 	}
 	var offs, lens [mappedSections]int64
 	var crcs [mappedSections]uint32
@@ -449,9 +477,13 @@ func OpenMappedAt(f *mstore.File, off, avail int64, opts MapOptions, exact bool)
 		x.PubIDs = pub
 		x.toInternal = inv
 	}
-	if flags&nsgFlagQuant != 0 {
-		if dim > quant.MaxDim {
-			return nil, 0, corruptf(SectionQuantBounds, "dimension %d exceeds the SQ8 limit %d", dim, quant.MaxDim)
+	if flags&(nsgFlagQuant|nsgFlagQuant4) != 0 {
+		maxDim := int64(quant.MaxDim)
+		if flags&nsgFlagQuant4 != 0 {
+			maxDim = int64(quant.MaxDim4)
+		}
+		if dim > maxDim {
+			return nil, 0, corruptf(SectionQuantBounds, "dimension %d exceeds the quantizer limit %d", dim, maxDim)
 		}
 		boundsBytes, err := view(3)
 		if err != nil {
@@ -463,12 +495,27 @@ func OpenMappedAt(f *mstore.File, off, avail int64, opts MapOptions, exact bool)
 		}
 		// The bounds are two dim-sized vectors; copy them to the heap (they
 		// are tiny) so the derived scale fields live beside them as usual.
+		// The code slab itself is served zero-copy out of the mapping.
 		bounds := mstore.Float32s(boundsBytes)
 		min := append([]float32(nil), bounds[:dim]...)
 		max := append([]float32(nil), bounds[dim:]...)
-		x.Quant = &Quantized{
-			Q:     quant.FromBounds(min, max),
-			Codes: quant.CodeMatrix{Codes: codeBytes, Rows: int(rows), Dim: int(dim)},
+		if flags&nsgFlagQuant4 != 0 {
+			x.Quant = &Quantized{
+				Mode: quant.ModeInt4,
+				Q4:   quant.FromBounds4(min, max),
+				Codes4: quant.Code4Matrix{
+					Codes:  codeBytes,
+					Rows:   int(rows),
+					Dim:    int(dim),
+					Stride: quant.Stride4(int(dim)),
+				},
+			}
+		} else {
+			x.Quant = &Quantized{
+				Mode:  quant.ModeSQ8,
+				Q:     quant.FromBounds(min, max),
+				Codes: quant.CodeMatrix{Codes: codeBytes, Rows: int(rows), Dim: int(dim)},
+			}
 		}
 	}
 	return x, recordSize, nil
@@ -514,13 +561,27 @@ func (x *NSG) PromoteToHeap() error {
 		x.PubIDs = append([]int32(nil), x.PubIDs...)
 	}
 	if x.Quant != nil {
-		x.Quant = &Quantized{
-			Q: x.Quant.Q,
-			Codes: quant.CodeMatrix{
-				Codes: append([]uint8(nil), x.Quant.Codes.Codes...),
-				Rows:  x.Quant.Codes.Rows,
-				Dim:   x.Quant.Codes.Dim,
-			},
+		if x.Quant.Mode == quant.ModeInt4 {
+			x.Quant = &Quantized{
+				Mode: quant.ModeInt4,
+				Q4:   x.Quant.Q4,
+				Codes4: quant.Code4Matrix{
+					Codes:  append([]uint8(nil), x.Quant.Codes4.Codes...),
+					Rows:   x.Quant.Codes4.Rows,
+					Dim:    x.Quant.Codes4.Dim,
+					Stride: x.Quant.Codes4.Stride,
+				},
+			}
+		} else {
+			x.Quant = &Quantized{
+				Mode: quant.ModeSQ8,
+				Q:    x.Quant.Q,
+				Codes: quant.CodeMatrix{
+					Codes: append([]uint8(nil), x.Quant.Codes.Codes...),
+					Rows:  x.Quant.Codes.Rows,
+					Dim:   x.Quant.Codes.Dim,
+				},
+			}
 		}
 	}
 	x.flat.Store(heapFlat)

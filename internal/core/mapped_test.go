@@ -12,20 +12,26 @@ import (
 
 	"repro/internal/mstore"
 	"repro/internal/vecmath"
+	"repro/internal/vecmath/quant"
 )
 
-// buildMappedTestNSG builds one of the four persistence-relevant index
-// shapes: plain float32, relaid, quantized, and relaid+quantized.
-func buildMappedTestNSG(t testing.TB, base vecmath.Matrix, relayout, quantize bool) *NSG {
+// buildMappedTestNSG builds one of the persistence-relevant index shapes:
+// plain float32, relaid, and SQ8 or int4 quantized (usually relaid too).
+func buildMappedTestNSG(t testing.TB, base vecmath.Matrix, relayout bool, quantize quant.Mode) *NSG {
 	t.Helper()
 	idx := buildQuantTestNSG(t, base)
 	if relayout {
 		idx.Relayout()
 	}
-	if quantize {
-		if err := idx.EnableQuantization(nil); err != nil {
-			t.Fatal(err)
-		}
+	var err error
+	switch quantize {
+	case quant.ModeSQ8:
+		err = idx.EnableQuantization(nil)
+	case quant.ModeInt4:
+		err = idx.EnableQuantization4(nil)
+	}
+	if err != nil {
+		t.Fatal(err)
 	}
 	return idx
 }
@@ -47,13 +53,16 @@ func TestMappedHeapParity(t *testing.T) {
 	base := testBase(t, 600, 24, 7)
 	queries := testBase(t, 40, 24, 8)
 	for _, shape := range []struct {
-		name               string
-		relayout, quantize bool
+		name     string
+		relayout bool
+		quantize quant.Mode
 	}{
-		{"plain", false, false},
-		{"relaid", true, false},
-		{"quant", false, true},
-		{"relaid-quant", true, true},
+		{"plain", false, quant.ModeNone},
+		{"relaid", true, quant.ModeNone},
+		{"quant", false, quant.ModeSQ8},
+		{"relaid-quant", true, quant.ModeSQ8},
+		{"quant4", false, quant.ModeInt4},
+		{"relaid-quant4", true, quant.ModeInt4},
 	} {
 		t.Run(shape.name, func(t *testing.T) {
 			heap := buildMappedTestNSG(t, base.Clone(), shape.relayout, shape.quantize)
@@ -109,7 +118,7 @@ func TestMappedHeapParity(t *testing.T) {
 // ErrReadOnly, and none may corrupt it for subsequent searches.
 func TestMappedReadOnlyGuards(t *testing.T) {
 	base := testBase(t, 300, 16, 9)
-	heap := buildMappedTestNSG(t, base, true, false)
+	heap := buildMappedTestNSG(t, base, true, quant.ModeNone)
 	mapped, err := OpenMapped(saveMappedTemp(t, heap), MapOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -139,7 +148,7 @@ func TestMappedReadOnlyGuards(t *testing.T) {
 // longer alias the mapping, with results identical to before.
 func TestPromoteToHeap(t *testing.T) {
 	base := testBase(t, 300, 16, 10)
-	heap := buildMappedTestNSG(t, base.Clone(), true, true)
+	heap := buildMappedTestNSG(t, base.Clone(), true, quant.ModeSQ8)
 	mapped, err := OpenMapped(saveMappedTemp(t, heap), MapOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -177,12 +186,21 @@ func rewriteHeaderCRC(b []byte) {
 }
 
 // TestMappedCorruptionTable flips every header field, truncates at every
-// section boundary, misaligns slab offsets and rots section bytes; every
-// mutation must yield a FormatError naming the right section, and
-// OpenMapped must never serve a partially valid index.
+// section boundary, misaligns slab offsets and rots section bytes — for
+// both the SQ8 and the packed int4 record shapes; every mutation must yield
+// a FormatError naming the right section, and OpenMapped must never serve a
+// partially valid index.
 func TestMappedCorruptionTable(t *testing.T) {
+	for _, mode := range []quant.Mode{quant.ModeSQ8, quant.ModeInt4} {
+		t.Run(mode.String(), func(t *testing.T) {
+			testMappedCorruptionTable(t, mode)
+		})
+	}
+}
+
+func testMappedCorruptionTable(t *testing.T, mode quant.Mode) {
 	base := testBase(t, 200, 12, 11)
-	heap := buildMappedTestNSG(t, base, true, true)
+	heap := buildMappedTestNSG(t, base, true, mode)
 	var buf bytes.Buffer
 	if err := heap.WriteMapped(&buf); err != nil {
 		t.Fatal(err)
@@ -215,6 +233,11 @@ func TestMappedCorruptionTable(t *testing.T) {
 		{"bad-magic", func(b []byte) []byte { putU32(b, 0, 0xdeadbeef); rewriteHeaderCRC(b); return b }, SectionHeader},
 		{"bad-version", func(b []byte) []byte { putU32(b, 4, 99); rewriteHeaderCRC(b); return b }, SectionHeader},
 		{"unknown-flags", func(b []byte) []byte { putU32(b, 8, getU32(b, 8)|1<<7); rewriteHeaderCRC(b); return b }, SectionHeader},
+		{"both-quant-flags", func(b []byte) []byte {
+			putU32(b, 8, getU32(b, 8)|nsgFlagQuant|nsgFlagQuant4)
+			rewriteHeaderCRC(b)
+			return b
+		}, SectionHeader},
 		{"zero-rows", func(b []byte) []byte { putU32(b, 12, 0); rewriteHeaderCRC(b); return b }, SectionHeader},
 		{"huge-rows", func(b []byte) []byte { putU32(b, 12, 1<<31-1); rewriteHeaderCRC(b); return b }, SectionHeader},
 		{"zero-dim", func(b []byte) []byte { putU32(b, 16, 0); rewriteHeaderCRC(b); return b }, SectionHeader},
@@ -301,7 +324,7 @@ func TestMappedCorruptionTable(t *testing.T) {
 // access on the first translated result.
 func TestMappedRemapValidatedUnderNoVerify(t *testing.T) {
 	base := testBase(t, 200, 12, 12)
-	heap := buildMappedTestNSG(t, base, true, false)
+	heap := buildMappedTestNSG(t, base, true, quant.ModeNone)
 	var buf bytes.Buffer
 	if err := heap.WriteMapped(&buf); err != nil {
 		t.Fatal(err)
@@ -328,8 +351,8 @@ func TestMappedRemapValidatedUnderNoVerify(t *testing.T) {
 // and the record must be alignment-padded throughout.
 func TestWriteMappedRecordSize(t *testing.T) {
 	base := testBase(t, 150, 10, 13)
-	for _, quantize := range []bool{false, true} {
-		heap := buildMappedTestNSG(t, base.Clone(), quantize, quantize)
+	for _, quantize := range []quant.Mode{quant.ModeNone, quant.ModeSQ8, quant.ModeInt4} {
+		heap := buildMappedTestNSG(t, base.Clone(), quantize != quant.ModeNone, quantize)
 		var buf bytes.Buffer
 		if err := heap.WriteMapped(&buf); err != nil {
 			t.Fatal(err)
@@ -348,8 +371,15 @@ func TestWriteMappedRecordSize(t *testing.T) {
 // panics, no partially initialized state.
 func FuzzOpenMapped(f *testing.F) {
 	base := testBase(f, 64, 8, 14)
-	for _, shape := range [][2]bool{{false, false}, {true, true}} {
-		idx := buildMappedTestNSG(f, base.Clone(), shape[0], shape[1])
+	for _, shape := range []struct {
+		relayout bool
+		quantize quant.Mode
+	}{
+		{false, quant.ModeNone},
+		{true, quant.ModeSQ8},
+		{true, quant.ModeInt4},
+	} {
+		idx := buildMappedTestNSG(f, base.Clone(), shape.relayout, shape.quantize)
 		var buf bytes.Buffer
 		if err := idx.WriteMapped(&buf); err != nil {
 			f.Fatal(err)

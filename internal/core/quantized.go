@@ -7,23 +7,31 @@ import (
 	"repro/internal/vecmath/quant"
 )
 
-// This file is the two-phase SQ8 serving path. Phase one runs Algorithm 1
-// over the code matrix: the greedy expansion gathers 1-byte-per-dimension
-// code rows instead of 4-byte float rows, cutting the bytes each hop
-// touches 4x — the factor that matters once the loop itself is
-// allocation-free, because graph traversal at scale is memory-bandwidth
-// bound (Section 6's commodity-hardware serving argument). Phase two
-// reranks: the final candidate pool (up to l nodes) gets exact float32
-// distances in one batched gather and is re-sorted before the k results are
-// emitted, so quantization error never reaches the caller's distances and
-// only costs recall when a true neighbor fell out of the pool entirely —
-// which the pool slack (l >= k) absorbs.
+// This file is the two-phase quantized serving path. Phase one runs
+// Algorithm 1 over a code matrix: the greedy expansion gathers
+// 1-byte-per-dimension SQ8 rows (4x fewer bytes than float) or packed
+// half-byte int4 rows (8x fewer) — the factor that matters once the loop
+// itself is allocation-free, because graph traversal at scale is
+// memory-bandwidth bound (Section 6's commodity-hardware serving
+// argument). Phase two reranks: the final candidate pool (up to l nodes)
+// gets exact float32 distances in one batched gather and is re-sorted
+// before the k results are emitted, so quantization error never reaches
+// the caller's distances and only costs recall when a true neighbor fell
+// out of the pool entirely — which the pool slack (l >= k) absorbs. The
+// coarser int4 grid loses pool members a little earlier than SQ8, so it
+// typically wants a slightly deeper L for the same recall; the halved
+// bytes/hop is what pays for that depth and more.
 
-// Quantized bundles a trained SQ8 grid with the codes of the index's base
-// vectors. Rows are in internal (post-relayout) id order, matching Base.
+// Quantized bundles a trained grid with the codes of the index's base
+// vectors, tagged by the scheme in use: Mode selects which (Q, Codes) or
+// (Q4, Codes4) pair is live — the other pair stays zero. Rows are in
+// internal (post-relayout) id order, matching Base.
 type Quantized struct {
-	Q     quant.Quantizer
-	Codes quant.CodeMatrix
+	Mode   quant.Mode
+	Q      quant.Quantizer
+	Codes  quant.CodeMatrix
+	Q4     quant.Quantizer4
+	Codes4 quant.Code4Matrix
 }
 
 // EnableQuantization attaches an SQ8 code matrix to the index and switches
@@ -54,12 +62,48 @@ func (x *NSG) EnableQuantization(q *quant.Quantizer) error {
 		}
 		qz = *q
 	}
-	x.Quant = &Quantized{Q: qz, Codes: qz.Encode(x.Base)}
+	x.Quant = &Quantized{Mode: quant.ModeSQ8, Q: qz, Codes: qz.Encode(x.Base)}
 	return nil
 }
 
-// IsQuantized reports whether the index serves through the SQ8 path.
+// EnableQuantization4 is the int4 twin of EnableQuantization: it attaches a
+// packed nibble matrix (two dimensions per byte) and switches every search
+// path to the two-phase quantized search over it. Same sharing and
+// ordering contract as the SQ8 variant.
+func (x *NSG) EnableQuantization4(q *quant.Quantizer4) error {
+	if x.ro {
+		return ErrReadOnly
+	}
+	if x.Base.Dim > quant.MaxDim4 {
+		return fmt.Errorf("core: dimension %d exceeds the int4 accumulation limit %d", x.Base.Dim, quant.MaxDim4)
+	}
+	if x.Base.Rows == 0 {
+		return fmt.Errorf("core: cannot quantize an empty index")
+	}
+	var qz quant.Quantizer4
+	if q == nil {
+		qz = quant.Train4(x.Base)
+	} else {
+		if q.Dim() != x.Base.Dim {
+			return fmt.Errorf("core: quantizer dim %d != index dim %d", q.Dim(), x.Base.Dim)
+		}
+		qz = *q
+	}
+	x.Quant = &Quantized{Mode: quant.ModeInt4, Q4: qz, Codes4: qz.Encode(x.Base)}
+	return nil
+}
+
+// IsQuantized reports whether the index serves through a quantized path.
 func (x *NSG) IsQuantized() bool { return x.Quant != nil }
+
+// QuantMode returns the quantization scheme the index serves through
+// (quant.ModeNone when unquantized).
+func (x *NSG) QuantMode() quant.Mode {
+	if x.Quant == nil {
+		return quant.ModeNone
+	}
+	return x.Quant.Mode
+}
 
 // SearchQuantizedCtx is the quantized Algorithm 1 with explicit control of
 // the rerank phase: rerank=true is what every public path uses (exact
@@ -80,8 +124,6 @@ func (x *NSG) searchQuantCtx(ctx *SearchContext, query []float32, k, l int, coun
 	}
 	qz := x.Quant
 	f := x.FlatView()
-	ctx.qlevels = qz.Q.PrepareInto(ctx.qlevels[:0], query)
-	dist := codeDist{q: &qz.Q, codes: qz.Codes, levels: ctx.qlevels}
 	ctx.startBuf[0] = x.Navigating
 	fetch := k
 	if rerank {
@@ -89,7 +131,16 @@ func (x *NSG) searchQuantCtx(ctx *SearchContext, query []float32, k, l int, coun
 		// neighbor misranked by quantization still reaches the top k.
 		fetch = l
 	}
-	res := searchCtx(ctx, flatAdj{g: f}, f.Nodes, dist, ctx.startBuf[:], fetch, l, counter, nil, nil)
+	var res SearchResult
+	if qz.Mode == quant.ModeInt4 {
+		ctx.qlevels = qz.Q4.PrepareInto(ctx.qlevels[:0], query)
+		dist := code4Dist{q: &qz.Q4, codes: qz.Codes4, levels: ctx.qlevels}
+		res = searchCtx(ctx, flatAdj{g: f}, f.Nodes, dist, ctx.startBuf[:], fetch, l, counter, nil, nil)
+	} else {
+		ctx.qlevels = qz.Q.PrepareInto(ctx.qlevels[:0], query)
+		dist := codeDist{q: &qz.Q, codes: qz.Codes, levels: ctx.qlevels}
+		res = searchCtx(ctx, flatAdj{g: f}, f.Nodes, dist, ctx.startBuf[:], fetch, l, counter, nil, nil)
+	}
 	if !rerank {
 		return res
 	}

@@ -99,16 +99,18 @@ func (s *Snapshot) Stats() IndexStats {
 }
 
 // DeltaChunk is one contiguous run of not-yet-drained inserts: float rows
-// (always), SQ8 code rows (when the index is quantized), the final id of
-// every row, and the identity sequence 0..Rows() the batched gather kernels
-// scan with. Off is the chunk's starting offset in the query's delta id
-// space: row j is offered to the pool as candidate n + Off + j.
+// (always), code rows in the index's quantization scheme (Codes for SQ8,
+// Codes4 for int4; the other stays zero), the final id of every row, and
+// the identity sequence 0..Rows() the batched gather kernels scan with.
+// Off is the chunk's starting offset in the query's delta id space: row j
+// is offered to the pool as candidate n + Off + j.
 type DeltaChunk struct {
-	Vecs  vecmath.Matrix
-	Codes quant.CodeMatrix
-	IDs   []int32
-	Seq   []int32
-	Off   int
+	Vecs   vecmath.Matrix
+	Codes  quant.CodeMatrix
+	Codes4 quant.Code4Matrix
+	IDs    []int32
+	Seq    []int32
+	Off    int
 }
 
 // Rows returns the number of pending rows in the chunk.
@@ -239,19 +241,27 @@ func (s *Snapshot) finishLive(src []vecmath.Neighbor, k int, lq LiveQuery, d *De
 	return out
 }
 
-// searchQuantDelta is the two-phase SQ8 search over a snapshot: code-space
-// expansion with the delta merged into the pool, then one exact rerank of
-// every survivor — base ids through a batched float gather, delta ids from
-// their chunk's float rows — so emitted distances are exact either way.
-// Results are in internal snapshot/delta id space.
+// searchQuantDelta is the two-phase quantized search over a snapshot:
+// code-space expansion (SQ8 or packed int4, per the snapshot's mode) with
+// the delta merged into the pool, then one exact rerank of every survivor
+// — base ids through a batched float gather, delta ids from their chunk's
+// float rows — so emitted distances are exact either way. Results are in
+// internal snapshot/delta id space.
 func (s *Snapshot) searchQuantDelta(ctx *SearchContext, query []float32, fetch, l int, counter *vecmath.Counter, d *Delta) SearchResult {
 	qz := s.quant
-	ctx.qlevels = qz.Q.PrepareInto(ctx.qlevels[:0], query)
-	dist := codeDist{q: &qz.Q, codes: qz.Codes, levels: ctx.qlevels}
 	ctx.startBuf[0] = s.nav
 	// Keep the whole pool (k = l): the rerank reorders all l survivors so a
 	// true neighbor misranked by quantization still reaches the top.
-	res := searchCtx(ctx, flatAdj{g: s.flat}, s.base.Rows, dist, ctx.startBuf[:], l, l, counter, nil, d)
+	var res SearchResult
+	if qz.Mode == quant.ModeInt4 {
+		ctx.qlevels = qz.Q4.PrepareInto(ctx.qlevels[:0], query)
+		dist := code4Dist{q: &qz.Q4, codes: qz.Codes4, levels: ctx.qlevels}
+		res = searchCtx(ctx, flatAdj{g: s.flat}, s.base.Rows, dist, ctx.startBuf[:], l, l, counter, nil, d)
+	} else {
+		ctx.qlevels = qz.Q.PrepareInto(ctx.qlevels[:0], query)
+		dist := codeDist{q: &qz.Q, codes: qz.Codes, levels: ctx.qlevels}
+		res = searchCtx(ctx, flatAdj{g: s.flat}, s.base.Rows, dist, ctx.startBuf[:], l, l, counter, nil, d)
+	}
 	res.Neighbors = rerankPool(ctx, s.base, query, fetch, counter, d, res.Neighbors)
 	return res
 }

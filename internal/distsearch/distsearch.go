@@ -84,11 +84,12 @@ type Params struct {
 	// UseNNDescent selects the approximate kNN builder (the at-scale path);
 	// false uses the exact builder.
 	UseNNDescent bool
-	// Quantize enables the SQ8 serving path on every shard: one quantizer
-	// is trained on the full base matrix (not per shard, so all shards
-	// share identical scales and their merged distances are comparable),
-	// then each shard is relayouted into BFS cache order and encoded.
-	Quantize bool
+	// Quantize selects the compressed serving path on every shard (SQ8 or
+	// packed int4): one quantizer is trained on the full base matrix (not
+	// per shard, so all shards share identical scales and their merged
+	// distances are comparable), then each shard is relayouted into BFS
+	// cache order and encoded.
+	Quantize quant.Mode
 	Seed     int64
 }
 
@@ -107,11 +108,12 @@ type SearchStats struct {
 }
 
 // buildShard partitions out one shard's rows and builds its NSG. perm is
-// the global random permutation; the shard owns rows perm[lo:hi]. qz, when
-// non-nil, is the quantizer trained once on the full base matrix: the shard
-// is relayouted into BFS cache order and encoded with those shared scales
-// instead of retraining per shard.
-func buildShard(base vecmath.Matrix, perm []int, lo, hi int, p Params, sh int, qz *quant.Quantizer) (*core.NSG, []int32, error) {
+// the global random permutation; the shard owns rows perm[lo:hi]. qz or
+// qz4 (at most one non-nil, matching p.Quantize) is the quantizer trained
+// once on the full base matrix: the shard is relayouted into BFS cache
+// order and encoded with those shared scales instead of retraining per
+// shard.
+func buildShard(base vecmath.Matrix, perm []int, lo, hi int, p Params, sh int, qz *quant.Quantizer, qz4 *quant.Quantizer4) (*core.NSG, []int32, error) {
 	ids := make([]int32, hi-lo)
 	sub := vecmath.NewMatrix(hi-lo, base.Dim)
 	for j, pi := range perm[lo:hi] {
@@ -140,7 +142,13 @@ func buildShard(base vecmath.Matrix, perm []int, lo, hi int, p Params, sh int, q
 	if err != nil {
 		return nil, nil, fmt.Errorf("distsearch: shard %d NSG: %w", sh, err)
 	}
-	if qz != nil {
+	switch {
+	case qz4 != nil:
+		idx.Relayout()
+		if err := idx.EnableQuantization4(qz4); err != nil {
+			return nil, nil, fmt.Errorf("distsearch: shard %d quantize: %w", sh, err)
+		}
+	case qz != nil:
 		idx.Relayout()
 		if err := idx.EnableQuantization(qz); err != nil {
 			return nil, nil, fmt.Errorf("distsearch: shard %d quantize: %w", sh, err)
@@ -183,16 +191,21 @@ func BuildSharded(base vecmath.Matrix, p Params) (*Sharded, error) {
 	// One quantizer training pass for the whole build: trained on the full
 	// matrix before the fan-out, shared read-only by every shard's encode.
 	var qz *quant.Quantizer
-	if p.Quantize {
+	var qz4 *quant.Quantizer4
+	switch p.Quantize {
+	case quant.ModeSQ8:
 		q := quant.Train(base)
 		qz = &q
+	case quant.ModeInt4:
+		q := quant.Train4(base)
+		qz4 = &q
 	}
 
 	shards := make([]*core.NSG, len(spans))
 	localID := make([][]int32, len(spans))
 	errs := make([]error, len(spans))
 	graphutil.ParallelFor(len(spans), func(sh int) {
-		shards[sh], localID[sh], errs[sh] = buildShard(base, perm, spans[sh].lo, spans[sh].hi, p, sh, qz)
+		shards[sh], localID[sh], errs[sh] = buildShard(base, perm, spans[sh].lo, spans[sh].hi, p, sh, qz, qz4)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -246,10 +259,19 @@ func (s *Sharded) Close() {
 // Shards returns the number of partitions.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
-// Quantized reports whether the shards serve through the SQ8 path (all
+// Quantized reports whether the shards serve through a quantized path (all
 // shards share one quantization state, so the first speaks for all).
 func (s *Sharded) Quantized() bool {
 	return len(s.shards) > 0 && s.shards[0].IsQuantized()
+}
+
+// QuantMode returns the shards' quantization scheme (ModeNone when they
+// serve full float32 vectors).
+func (s *Sharded) QuantMode() quant.Mode {
+	if len(s.shards) == 0 {
+		return quant.ModeNone
+	}
+	return s.shards[0].QuantMode()
 }
 
 // ShardSizes returns the number of vectors in each shard. On a live index

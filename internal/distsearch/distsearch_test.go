@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/vecmath"
+	"repro/internal/vecmath/quant"
 )
 
 func buildSharded(t *testing.T, n, shards int) (*Sharded, dataset.Dataset) {
@@ -275,7 +276,7 @@ func TestQuantizedSharding(t *testing.T) {
 	}
 	p := DefaultParams(4)
 	p.UseNNDescent = false
-	p.Quantize = true
+	p.Quantize = quant.ModeSQ8
 	s, err := BuildSharded(ds.Base, p)
 	if err != nil {
 		t.Fatal(err)

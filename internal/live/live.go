@@ -6,7 +6,7 @@
 // The moving parts:
 //
 //   - Queries serve from an immutable published core.Snapshot — flat
-//     adjacency, base vectors, SQ8 codes — reached through one atomic
+//     adjacency, base vectors, quantization codes — reached through one atomic
 //     pointer load. The read path takes no lock and keeps the repository's
 //     zero-allocation SearchContext discipline.
 //   - Append (the non-blocking insert) copies the vector into a small
@@ -89,25 +89,32 @@ type Stats struct {
 // chunk is one fixed-capacity run of the append-only delta buffer. Rows
 // [0, n) are frozen — written before n was advanced, never touched again —
 // so readers that load n once may scan them without a lock. codes is
-// non-nil iff the index is quantized.
+// non-nil iff the index is SQ8-quantized; codes4 (with its packed row
+// stride) iff it is int4-quantized.
 type chunk struct {
-	vecs  []float32
-	codes []uint8
-	ids   []int32
-	dim   int
-	cap   int
-	n     atomic.Int32
+	vecs   []float32
+	codes  []uint8
+	codes4 []uint8
+	stride int // packed bytes per codes4 row
+	ids    []int32
+	dim    int
+	cap    int
+	n      atomic.Int32
 }
 
-func newChunk(rows, dim int, quantized bool) *chunk {
+func newChunk(rows, dim int, mode quant.Mode) *chunk {
 	ch := &chunk{
 		vecs: make([]float32, rows*dim),
 		ids:  make([]int32, rows),
 		dim:  dim,
 		cap:  rows,
 	}
-	if quantized {
+	switch mode {
+	case quant.ModeSQ8:
 		ch.codes = make([]uint8, rows*dim)
+	case quant.ModeInt4:
+		ch.stride = quant.Stride4(dim)
+		ch.codes4 = make([]uint8, rows*ch.stride)
 	}
 	return ch
 }
@@ -132,7 +139,8 @@ type view struct {
 type Handle struct {
 	opts Options
 	idx  *core.NSG
-	q    *quant.Quantizer // nil when not quantized
+	q    *quant.Quantizer  // non-nil iff SQ8-quantized
+	q4   *quant.Quantizer4 // non-nil iff int4-quantized
 	dim  int
 	seq  []int32 // shared identity sequence for batched chunk scans
 
@@ -188,7 +196,11 @@ func Start(idx *core.NSG, translate []int32, dead *core.Tombstones, opts Options
 		h.seq[i] = int32(i)
 	}
 	if idx.Quant != nil {
-		h.q = &idx.Quant.Q
+		if idx.Quant.Mode == quant.ModeInt4 {
+			h.q4 = &idx.Quant.Q4
+		} else {
+			h.q = &idx.Quant.Q
+		}
 	}
 	if dead != nil && dead.Len() > 0 {
 		h.dead = dead.Clone()
@@ -289,12 +301,22 @@ func (h *Handle) appendLocked(vec []float32, id int32) error {
 	}
 	fresh := ch == nil
 	if fresh {
-		ch = newChunk(h.opts.ChunkRows, h.dim, h.q != nil)
+		mode := quant.ModeNone
+		switch {
+		case h.q4 != nil:
+			mode = quant.ModeInt4
+		case h.q != nil:
+			mode = quant.ModeSQ8
+		}
+		ch = newChunk(h.opts.ChunkRows, h.dim, mode)
 		h.chunks = append(h.chunks, ch)
 	}
 	i := int(ch.n.Load())
 	copy(ch.vecs[i*h.dim:(i+1)*h.dim], vec)
-	if h.q != nil {
+	switch {
+	case h.q4 != nil:
+		h.q4.EncodeInto(ch.codes4[i*ch.stride:(i+1)*ch.stride], vec)
+	case h.q != nil:
 		h.q.EncodeInto(ch.codes[i*h.dim:(i+1)*h.dim], vec)
 	}
 	ch.ids[i] = id
@@ -486,6 +508,9 @@ func (sc *queryScratch) fill(v *view, seq []int32) *core.Delta {
 		}
 		if ch.codes != nil {
 			dc.Codes = quant.CodeMatrix{Codes: ch.codes[lo*ch.dim : cnt*ch.dim], Rows: rows, Dim: ch.dim}
+		}
+		if ch.codes4 != nil {
+			dc.Codes4 = quant.Code4Matrix{Codes: ch.codes4[lo*ch.stride : cnt*ch.stride], Rows: rows, Dim: ch.dim, Stride: ch.stride}
 		}
 		d.Chunks = append(d.Chunks, dc)
 		d.Total += rows

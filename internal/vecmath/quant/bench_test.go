@@ -8,9 +8,9 @@ import (
 	"repro/internal/vecmath"
 )
 
-// BenchmarkQuantKernel compares one SQ8 code distance against one float32
-// distance at serving dimensions, plus the portable scalar fallback — the
-// per-distance view of the 4x byte shrink and the packed int16 kernel.
+// BenchmarkQuantKernel compares one SQ8 and one packed int4 code distance
+// against one float32 distance at serving dimensions, plus the portable
+// scalar fallbacks — the per-distance view of the 4x and 8x byte shrinks.
 func BenchmarkQuantKernel(b *testing.B) {
 	for _, dim := range []int{32, 128, 960} {
 		rng := rand.New(rand.NewSource(1))
@@ -21,6 +21,9 @@ func BenchmarkQuantKernel(b *testing.B) {
 		q := Train(m)
 		c := q.Encode(m)
 		levels := q.PrepareInto(nil, m.Row(0))
+		q4 := Train4(m)
+		c4 := q4.Encode(m)
+		levels4 := q4.PrepareInto(nil, m.Row(0))
 		b.Run(fmt.Sprintf("dim=%d/float32", dim), func(b *testing.B) {
 			var s float32
 			for i := 0; i < b.N; i++ {
@@ -39,6 +42,20 @@ func BenchmarkQuantKernel(b *testing.B) {
 			var s int32
 			for i := 0; i < b.N; i++ {
 				s += l2LevelsGeneric(levels, c.Row(i&1023))
+			}
+			_ = s
+		})
+		b.Run(fmt.Sprintf("dim=%d/int4", dim), func(b *testing.B) {
+			var s int32
+			for i := 0; i < b.N; i++ {
+				s += L2Levels4(levels4, c4.Row(i&1023))
+			}
+			_ = s
+		})
+		b.Run(fmt.Sprintf("dim=%d/int4-generic", dim), func(b *testing.B) {
+			var s int32
+			for i := 0; i < b.N; i++ {
+				s += l2Levels4Generic(levels4, c4.Row(i&1023))
 			}
 			_ = s
 		})
@@ -61,11 +78,20 @@ func BenchmarkQuantGather(b *testing.B) {
 	for i := range ids {
 		ids[i] = int32(rng.Intn(rows))
 	}
+	q4 := Train4(m)
+	c4 := q4.Encode(m)
+	levels4 := q4.PrepareInto(nil, m.Row(0))
 	out := make([]float32, fan)
 	b.Run("sq8", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q.L2ToRows(c, levels, ids, out)
+		}
+	})
+	b.Run("int4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q4.L2ToRows(c4, levels4, ids, out)
 		}
 	})
 	b.Run("float32", func(b *testing.B) {

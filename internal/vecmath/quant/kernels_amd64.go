@@ -21,6 +21,12 @@ var useAVX2 = hasAVX2() && os.Getenv("NSG_NO_AVX2") == ""
 //go:noescape
 func l2Levels16AVX2(levels *int16, code *uint8, n int) int32
 
+// l2Levels4AVX2 sums (levels[i]-nibble(code,i))² over i < n, n a multiple
+// of 32 dimensions (16 packed code bytes). Implemented in kernels_amd64.s.
+//
+//go:noescape
+func l2Levels4AVX2(levels *int16, code *uint8, n int) int32
+
 // cpuid executes CPUID with the given leaf/subleaf.
 func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 

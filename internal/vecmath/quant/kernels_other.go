@@ -11,3 +11,9 @@ const useAVX2 = false
 func l2Levels16AVX2(levels *int16, code *uint8, n int) int32 {
 	panic("quant: AVX2 kernel called on non-amd64 build")
 }
+
+// l2Levels4AVX2 is never called when useAVX2 is false; same role as the
+// l2Levels16AVX2 stub for the packed int4 dispatch in kernels4.go.
+func l2Levels4AVX2(levels *int16, code *uint8, n int) int32 {
+	panic("quant: AVX2 kernel called on non-amd64 build")
+}

@@ -1,0 +1,258 @@
+// Int4 scalar quantization: the SQ8 scheme pushed one rung further down the
+// memory-traffic ladder. Every base vector is compressed to half a byte per
+// dimension — two dimensions packed per code byte — so a graph expansion
+// gathers 8x fewer vector bytes than float32 and 2x fewer than SQ8. PR 4
+// measured that bytes/hop, not arithmetic, is what prices traversal at
+// serving scale; int4 attacks exactly that term while the caller's exact
+// float32 rerank keeps returned distances exact.
+//
+// The scheme mirrors SQ8 point for point: per-dimension Min offsets, one
+// shared step sized so the widest dimension spans all 16 levels, asymmetric
+// search (codes are 4-bit, the prepared query keeps int16 levels that may
+// sit a little outside [0,15]), and pure int32 accumulation so the AVX2
+// kernel is bit-identical to the scalar one. The coarser grid costs recall
+// per candidate, which the two-phase search pays back with a slightly
+// deeper pool — the rerank repairs ordering, the codes only price pool
+// membership.
+package quant
+
+import (
+	"fmt"
+
+	"repro/internal/vecmath"
+)
+
+// Mode names a quantization scheme for the layers above (core, persistence,
+// serving) that must dispatch between them without caring about kernels.
+type Mode uint8
+
+const (
+	ModeNone Mode = iota // uncompressed float32 serving
+	ModeSQ8              // one code byte per dimension (Quantizer)
+	ModeInt4             // two dimensions per code byte (Quantizer4)
+)
+
+// String returns the serving-facing name of the mode, the vocabulary the
+// nsgserve /stats endpoint and the bench variant labels share.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "float32"
+	case ModeSQ8:
+		return "sq8"
+	case ModeInt4:
+		return "int4"
+	}
+	return fmt.Sprintf("quant.Mode(%d)", uint8(m))
+}
+
+// queryPad4 is the int4 twin of queryPad: how far outside the trained
+// [0,15] range a prepared query level may sit before clamping. The pad is
+// scaled to the grid (8 levels ≈ half the range, like 128 for SQ8) so
+// out-of-distribution queries keep their ordering near the trained region
+// while the worst-case per-dimension difference stays bounded.
+const queryPad4 = 8
+
+// MaxDim4 is the largest dimension the int32 accumulation supports for
+// int4: (15+queryPad4)² per dimension summed over MaxDim4 dimensions stays
+// below 2³¹−1. The coarser grid makes this bound ~16x looser than SQ8's.
+const MaxDim4 = (1<<31 - 1) / ((15 + queryPad4) * (15 + queryPad4))
+
+// Quantizer4 holds a trained int4 grid: per-dimension bounds and the shared
+// step derived from the widest dimension, exactly as Quantizer does with a
+// 16-level grid instead of 256. The zero value is not usable; obtain one
+// from Train4 or ReadQuantizer4.
+type Quantizer4 struct {
+	Min []float32 // per-dimension lower bound (grid offset)
+	Max []float32 // per-dimension upper bound (training only; step derives from the widest span)
+
+	scale    float32 // shared grid step: widest span / 15
+	invScale float32
+	distMul  float32 // scale², folded once into every distance
+}
+
+// Train4 fits the 16-level grid to the rows of m: per-dimension min/max in
+// one pass, then a shared step sized so the widest dimension spans all 16
+// levels. Training is order-invariant, so a quantizer trained on the full
+// dataset can be shared by every shard of a partitioned index.
+func Train4(m vecmath.Matrix) Quantizer4 {
+	if m.Rows == 0 || m.Dim == 0 {
+		panic("quant: cannot train on an empty matrix")
+	}
+	if m.Dim > MaxDim4 {
+		panic(fmt.Sprintf("quant: dimension %d exceeds the int4 accumulation limit %d", m.Dim, MaxDim4))
+	}
+	q := Quantizer4{Min: make([]float32, m.Dim), Max: make([]float32, m.Dim)}
+	copy(q.Min, m.Row(0))
+	copy(q.Max, m.Row(0))
+	for i := 1; i < m.Rows; i++ {
+		row := m.Row(i)
+		for d, v := range row {
+			if v < q.Min[d] {
+				q.Min[d] = v
+			}
+			if v > q.Max[d] {
+				q.Max[d] = v
+			}
+		}
+	}
+	q.deriveScale()
+	return q
+}
+
+// FromBounds4 reconstructs a quantizer from persisted per-dimension bounds.
+// The scale is re-derived by the same deriveScale that training uses, so
+// the result is bit-identical to the originally trained quantizer — the
+// heap/mapped parity property.
+func FromBounds4(min, max []float32) Quantizer4 {
+	if len(min) != len(max) || len(min) == 0 {
+		panic(fmt.Sprintf("quant: bounds lengths %d/%d invalid", len(min), len(max)))
+	}
+	q := Quantizer4{Min: min, Max: max}
+	q.deriveScale()
+	return q
+}
+
+// deriveScale recomputes the shared step from the stored bounds; the one
+// place the int4 scale is defined, so persisted bounds round-trip
+// bit-identically.
+func (q *Quantizer4) deriveScale() {
+	var width float32
+	for d := range q.Min {
+		if w := q.Max[d] - q.Min[d]; w > width {
+			width = w
+		}
+	}
+	if width <= 0 {
+		// Degenerate training set (all rows identical): any step works
+		// because every code and level collapses to zero.
+		width = 1
+	}
+	q.scale = width / 15
+	q.invScale = 1 / q.scale
+	q.distMul = q.scale * q.scale
+}
+
+// Dim returns the trained dimensionality.
+func (q *Quantizer4) Dim() int { return len(q.Min) }
+
+// Scale returns the shared grid step.
+func (q *Quantizer4) Scale() float32 { return q.scale }
+
+// DistMul returns the factor (scale²) that converts an int32 accumulated
+// level distance into a squared-L2 approximation.
+func (q *Quantizer4) DistMul() float32 { return q.distMul }
+
+// EncodeInto quantizes v onto the grid, packing two 4-bit codes per byte
+// into dst: dimension 2i in the low nibble of dst[i], dimension 2i+1 in the
+// high nibble. dst must have length Stride4(q.Dim()); for odd dimensions
+// the final high nibble is written as zero so encoded rows are
+// byte-reproducible.
+func (q *Quantizer4) EncodeInto(dst []uint8, v []float32) {
+	dim := len(q.Min)
+	if len(v) != dim || len(dst) != Stride4(dim) {
+		panic(fmt.Sprintf("quant: encode dim mismatch: vec %d, dst %d, quantizer %d", len(v), len(dst), dim))
+	}
+	for i := range dst {
+		b := q.encodeDim(v, 2*i)
+		if d := 2*i + 1; d < dim {
+			b |= q.encodeDim(v, d) << 4
+		}
+		dst[i] = b
+	}
+}
+
+// encodeDim maps one coordinate onto the 16-level grid with the same
+// float-space clamping as the SQ8 encoder: values far outside the trained
+// range (or NaN/-Inf, which take the default branch) cannot overflow the
+// int32 conversion or flip ends.
+func (q *Quantizer4) encodeDim(v []float32, d int) uint8 {
+	f := (v[d] - q.Min[d]) * q.invScale
+	switch {
+	case f >= 15:
+		return 15
+	case f > 0:
+		return uint8(int32(f + 0.5))
+	}
+	return 0
+}
+
+// Encode quantizes every row of m into a fresh packed code matrix.
+func (q *Quantizer4) Encode(m vecmath.Matrix) Code4Matrix {
+	c := NewCode4Matrix(m.Rows, m.Dim)
+	for i := 0; i < m.Rows; i++ {
+		q.EncodeInto(c.Row(i), m.Row(i))
+	}
+	return c
+}
+
+// AppendEncoded grows c by one encoded row — the incremental-insert hook.
+func (q *Quantizer4) AppendEncoded(c *Code4Matrix, v []float32) {
+	c.Codes = append(c.Codes, make([]uint8, c.Stride)...)
+	c.Rows++
+	q.EncodeInto(c.Row(c.Rows-1), v)
+}
+
+// PrepareInto converts a query into grid levels for the asymmetric kernels,
+// appending q.Dim() int16 levels to dst (pass a reused buffer truncated to
+// [:0]) — one level per dimension, unpacked, exactly like the SQ8
+// preparation. Levels are rounded like codes but clamped to [−queryPad4,
+// 15+queryPad4] instead of [0,15], preserving candidate ordering for
+// slightly out-of-distribution queries without risking accumulator
+// overflow.
+func (q *Quantizer4) PrepareInto(dst []int16, query []float32) []int16 {
+	if len(query) != len(q.Min) {
+		panic(fmt.Sprintf("quant: query dim %d != quantizer dim %d", len(query), len(q.Min)))
+	}
+	for d, x := range query {
+		// Clamped in float space, like EncodeInto, so coordinates far
+		// outside the trained range (or NaN, which takes the default
+		// branch) cannot overflow the int32 conversion and flip ends.
+		f := (x - q.Min[d]) * q.invScale
+		var lv int32
+		switch {
+		case f >= 15+queryPad4:
+			lv = 15 + queryPad4
+		case f >= 0:
+			lv = int32(f + 0.5)
+		case f > -queryPad4:
+			lv = -int32(-f + 0.5)
+		default:
+			lv = -queryPad4
+		}
+		dst = append(dst, int16(lv))
+	}
+	return dst
+}
+
+// Stride4 returns the packed row width in bytes for a given dimension: two
+// dimensions per byte, odd dimensions padded by one zero nibble.
+func Stride4(dim int) int { return (dim + 1) / 2 }
+
+// Code4Matrix is the packed int4 twin of CodeMatrix: two 4-bit codes per
+// byte at a fixed row stride of (Dim+1)/2 bytes, all rows sharing one
+// backing slice so gathered rows stay contiguous. Dimension d of row i
+// lives in the low (d even) or high (d odd) nibble of byte i*Stride + d/2.
+type Code4Matrix struct {
+	Codes  []uint8 // len == Rows*Stride
+	Rows   int
+	Dim    int
+	Stride int // packed row width: (Dim+1)/2
+}
+
+// NewCode4Matrix allocates a zeroed rows×dim packed code matrix.
+func NewCode4Matrix(rows, dim int) Code4Matrix {
+	if rows < 0 || dim <= 0 {
+		panic(fmt.Sprintf("quant: invalid code matrix shape %dx%d", rows, dim))
+	}
+	stride := Stride4(dim)
+	return Code4Matrix{Codes: make([]uint8, rows*stride), Rows: rows, Dim: dim, Stride: stride}
+}
+
+// Row returns the i-th packed code row as a subslice of the backing array.
+func (c Code4Matrix) Row(i int) []uint8 {
+	return c.Codes[i*c.Stride : (i+1)*c.Stride : (i+1)*c.Stride]
+}
+
+// Bytes returns the storage footprint of the codes.
+func (c Code4Matrix) Bytes() int64 { return int64(len(c.Codes)) }

@@ -95,7 +95,7 @@ func OpenMapped(path string, opts MapOptions) (*Index, error) {
 		return nil, fmt.Errorf("nsg: open mapped %s: %w", path, err)
 	}
 	o := DefaultOptions()
-	o.Quantize = inner.IsQuantized()
+	o.Quantize = quantModeFromInternal(inner.QuantMode())
 	return &Index{inner: inner, opts: o}, nil
 }
 
@@ -123,24 +123,19 @@ func (x *ShardedIndex) encodeMappedMeta() []byte {
 	binary.LittleEndian.PutUint32(meta[4:], uint32(x.opts.Shard.BuildL))
 	binary.LittleEndian.PutUint32(meta[8:], uint32(x.opts.Shard.MaxDegree))
 	binary.LittleEndian.PutUint32(meta[12:], uint32(x.opts.Shard.SearchL))
-	var optFlags uint32
-	if x.opts.Shard.Quantize {
-		optFlags |= shardedOptQuantize
-	}
-	binary.LittleEndian.PutUint32(meta[16:], optFlags)
+	binary.LittleEndian.PutUint32(meta[16:], encodeQuantFlags(x.opts.Shard.Quantize))
 	return meta
 }
 
 func decodeMappedMeta(meta []byte, shards int) ShardedOptions {
 	opts := ShardedOptions{Shards: shards}
 	if len(meta) >= shardedMetaLen {
-		optFlags := binary.LittleEndian.Uint32(meta[16:])
 		opts.Shard = Options{
 			GraphK:    int(binary.LittleEndian.Uint32(meta[0:])),
 			BuildL:    int(binary.LittleEndian.Uint32(meta[4:])),
 			MaxDegree: int(binary.LittleEndian.Uint32(meta[8:])),
 			SearchL:   int(binary.LittleEndian.Uint32(meta[12:])),
-			Quantize:  optFlags&shardedOptQuantize != 0,
+			Quantize:  decodeQuantFlags(binary.LittleEndian.Uint32(meta[16:])),
 		}
 	}
 	opts.Shard.fillDefaults()

@@ -20,7 +20,7 @@ import (
 // through the public pool.
 func TestMappedSearchZeroAlloc(t *testing.T) {
 	ds := shardedTestData(t, 1500, 20)
-	idx := buildMappedPublicIndex(t, ds, false)
+	idx := buildMappedPublicIndex(t, ds, QuantNone)
 	path := filepath.Join(t.TempDir(), "idx.nsgm")
 	if err := idx.SaveMapped(path); err != nil {
 		t.Fatal(err)

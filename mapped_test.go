@@ -30,7 +30,7 @@ var mapModes = []struct {
 	{"cache", MapOptions{DisableMmap: true, CacheBlockBytes: 1 << 12, CacheBlocks: 8}},
 }
 
-func buildMappedPublicIndex(t *testing.T, ds dataset.Dataset, quantize bool) *Index {
+func buildMappedPublicIndex(t *testing.T, ds dataset.Dataset, quantize QuantMode) *Index {
 	t.Helper()
 	opts := DefaultOptions()
 	opts.ExactKNN = true
@@ -57,16 +57,12 @@ func searchSig(ids []int32, dists []float32) string {
 
 // TestMappedParityPublic: OpenMapped must serve byte-identical results to
 // the heap index it was saved from — ids, distance bits, and traversal hop
-// counts — for both the float32 and the SQ8+rerank shapes, under mmap and
-// under the block-cache fallback.
+// counts — for the float32, SQ8+rerank and int4+rerank shapes, under mmap
+// and under the block-cache fallback.
 func TestMappedParityPublic(t *testing.T) {
 	ds := shardedTestData(t, 2000, 30)
-	for _, quantize := range []bool{false, true} {
-		name := "float32"
-		if quantize {
-			name = "sq8"
-		}
-		t.Run(name, func(t *testing.T) {
+	for _, quantize := range []QuantMode{QuantNone, QuantSQ8, QuantInt4} {
+		t.Run(quantize.String(), func(t *testing.T) {
 			heap := buildMappedPublicIndex(t, ds, quantize)
 			path := filepath.Join(t.TempDir(), "idx.nsgm")
 			if err := heap.SaveMapped(path); err != nil {
@@ -82,9 +78,9 @@ func TestMappedParityPublic(t *testing.T) {
 					if !mapped.ReadOnly() {
 						t.Fatal("mapped index not read-only")
 					}
-					if mapped.Len() != heap.Len() || mapped.Dim() != heap.Dim() || mapped.Quantized() != heap.Quantized() {
+					if mapped.Len() != heap.Len() || mapped.Dim() != heap.Dim() || mapped.QuantMode() != heap.QuantMode() {
 						t.Fatalf("shape mismatch: len %d/%d dim %d/%d quant %v/%v",
-							mapped.Len(), heap.Len(), mapped.Dim(), heap.Dim(), mapped.Quantized(), heap.Quantized())
+							mapped.Len(), heap.Len(), mapped.Dim(), heap.Dim(), mapped.QuantMode(), heap.QuantMode())
 					}
 					for qi := 0; qi < ds.Queries.Rows; qi++ {
 						q := ds.Queries.Row(qi)
@@ -118,7 +114,7 @@ func TestMappedParityPublic(t *testing.T) {
 // index with the same tombstones.
 func TestMappedTombstoneParity(t *testing.T) {
 	ds := shardedTestData(t, 1200, 20)
-	heap := buildMappedPublicIndex(t, ds, false)
+	heap := buildMappedPublicIndex(t, ds, QuantNone)
 	path := filepath.Join(t.TempDir(), "idx.nsgm")
 	if err := heap.SaveMapped(path); err != nil {
 		t.Fatal(err)
@@ -162,7 +158,7 @@ func TestMappedTombstoneParity(t *testing.T) {
 // serving.
 func TestMappedReadOnlyContract(t *testing.T) {
 	ds := shardedTestData(t, 600, 10)
-	heap := buildMappedPublicIndex(t, ds, false)
+	heap := buildMappedPublicIndex(t, ds, QuantNone)
 	path := filepath.Join(t.TempDir(), "idx.nsgm")
 	if err := heap.SaveMapped(path); err != nil {
 		t.Fatal(err)
@@ -205,7 +201,7 @@ func TestMappedReadOnlyContract(t *testing.T) {
 // mutable index with unchanged search results.
 func TestMappedPromoteToHeapPublic(t *testing.T) {
 	ds := shardedTestData(t, 800, 10)
-	heap := buildMappedPublicIndex(t, ds, true)
+	heap := buildMappedPublicIndex(t, ds, QuantSQ8)
 	path := filepath.Join(t.TempDir(), "idx.nsgm")
 	if err := heap.SaveMapped(path); err != nil {
 		t.Fatal(err)
@@ -246,12 +242,8 @@ func TestMappedPromoteToHeapPublic(t *testing.T) {
 // quantized shards, under both backends.
 func TestShardedMappedRoundTrip(t *testing.T) {
 	ds := shardedTestData(t, 2000, 25)
-	for _, quantize := range []bool{false, true} {
-		name := "float32"
-		if quantize {
-			name = "sq8"
-		}
-		t.Run(name, func(t *testing.T) {
+	for _, quantize := range []QuantMode{QuantNone, QuantSQ8, QuantInt4} {
+		t.Run(quantize.String(), func(t *testing.T) {
 			opts := DefaultShardedOptions(3)
 			opts.Shard.ExactKNN = true
 			opts.Shard.Seed = 7
@@ -278,7 +270,7 @@ func TestShardedMappedRoundTrip(t *testing.T) {
 						t.Fatal("mapped sharded index not read-only")
 					}
 					if mapped.Shards() != heap.Shards() || mapped.Len() != heap.Len() ||
-						mapped.Dim() != heap.Dim() || mapped.Quantized() != heap.Quantized() {
+						mapped.Dim() != heap.Dim() || mapped.QuantMode() != heap.QuantMode() {
 						t.Fatal("shape or options did not round-trip")
 					}
 					if mapped.opts.Shard.GraphK != heap.opts.Shard.GraphK ||
@@ -321,7 +313,7 @@ func TestShardedMappedRoundTrip(t *testing.T) {
 // with an error IsCorrupt recognizes, never partially served.
 func TestMappedCorruptionIsCorrupt(t *testing.T) {
 	ds := shardedTestData(t, 400, 5)
-	heap := buildMappedPublicIndex(t, ds, false)
+	heap := buildMappedPublicIndex(t, ds, QuantNone)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "idx.nsgm")
 	if err := heap.SaveMapped(path); err != nil {
@@ -368,7 +360,7 @@ func TestMappedCorruptionIsCorrupt(t *testing.T) {
 // failure) mid-save leaves the previous bundle intact and no temp litter.
 func TestSaveAtomicCrash(t *testing.T) {
 	ds := shardedTestData(t, 400, 5)
-	idx := buildMappedPublicIndex(t, ds, false)
+	idx := buildMappedPublicIndex(t, ds, QuantNone)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "idx.nsg")
 	if err := idx.Save(path); err != nil {

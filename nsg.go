@@ -70,7 +70,64 @@ import (
 	"repro/internal/live"
 	"repro/internal/mstore"
 	"repro/internal/vecmath"
+	"repro/internal/vecmath/quant"
 )
+
+// QuantMode selects the compressed serving path an index traverses with.
+// In every mode, returned distances are exact: the quantized modes expand
+// the search over compact codes and rerank the final candidate pool with
+// exact float32 distances, so the approximation only prices pool
+// membership (a small recall cost at equal SearchL, recoverable by
+// raising SearchL — see the README's "Quantized search" section).
+type QuantMode int
+
+const (
+	// QuantNone serves from full float32 vectors.
+	QuantNone QuantMode = iota
+	// QuantSQ8 compresses to one code byte per dimension (~4x fewer bytes
+	// gathered per search hop).
+	QuantSQ8
+	// QuantInt4 packs two dimensions per code byte (~8x fewer bytes per
+	// hop — half of SQ8), at a slightly higher recall cost at equal
+	// SearchL than SQ8.
+	QuantInt4
+)
+
+// String returns the mode's wire name: "float32", "sq8" or "int4".
+func (m QuantMode) String() string {
+	switch m {
+	case QuantSQ8:
+		return "sq8"
+	case QuantInt4:
+		return "int4"
+	default:
+		return "float32"
+	}
+}
+
+// internal translates the public mode to the kernel package's tag.
+func (m QuantMode) internal() quant.Mode {
+	switch m {
+	case QuantSQ8:
+		return quant.ModeSQ8
+	case QuantInt4:
+		return quant.ModeInt4
+	default:
+		return quant.ModeNone
+	}
+}
+
+// quantModeFromInternal is the inverse of QuantMode.internal.
+func quantModeFromInternal(m quant.Mode) QuantMode {
+	switch m {
+	case quant.ModeSQ8:
+		return QuantSQ8
+	case quant.ModeInt4:
+		return QuantInt4
+	default:
+		return QuantNone
+	}
+}
 
 // Options controls index construction and default search behaviour.
 type Options struct {
@@ -90,14 +147,16 @@ type Options struct {
 	// ExactKNN switches the intermediate kNN graph to the exact O(n²)
 	// builder. Slower but deterministic; useful below ~5k points.
 	ExactKNN bool
-	// Quantize enables the SQ8 serving path: after construction the graph
-	// is relayouted into BFS cache order and the vectors are compressed to
-	// one byte per dimension, so each search hop gathers 4x fewer bytes.
-	// Searches expand over the codes and rerank the final candidate pool
-	// with exact float32 distances, so returned distances are always exact;
-	// the approximation costs a small amount of recall at equal SearchL
-	// (see the README's "Quantized search" section for the measured cost).
-	Quantize bool
+	// Quantize selects the compressed serving path: QuantNone (the zero
+	// value) serves full float32 vectors; QuantSQ8 and QuantInt4 relayout
+	// the graph into BFS cache order after construction and compress the
+	// vectors to one code byte per dimension (SQ8) or per two dimensions
+	// (int4), cutting the bytes gathered per search hop ~4x and ~8x.
+	// Quantized searches expand over the codes and rerank the final
+	// candidate pool with exact float32 distances, so returned distances
+	// are always exact; the approximation costs a small amount of recall
+	// at equal SearchL (see the README's "Quantized search" section).
+	Quantize QuantMode
 	// BatchCohort is the number of queries SearchBatch fuses into one
 	// lockstep traversal per worker (see the README's "Batched search"
 	// section): each graph row gathered during the cohort's expansion is
@@ -247,11 +306,16 @@ func buildFromMatrix(base vecmath.Matrix, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nsg: build: %w", err)
 	}
-	if opts.Quantize {
+	if opts.Quantize != QuantNone {
 		// Relayout first so codes are encoded directly in the serving
 		// order; a nil quantizer trains the grid on the index's own base.
 		g.Relayout()
-		if err := g.EnableQuantization(nil); err != nil {
+		if opts.Quantize == QuantInt4 {
+			err = g.EnableQuantization4(nil)
+		} else {
+			err = g.EnableQuantization(nil)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("nsg: quantize: %w", err)
 		}
 	}
@@ -290,10 +354,13 @@ func (x *Index) Vector(id int) []float32 {
 	return x.inner.VectorByID(int32(id))
 }
 
-// Quantized reports whether the index serves through the SQ8 quantized
-// search path (built with Options.Quantize or loaded from a quantized
-// bundle).
+// Quantized reports whether the index serves through a quantized search
+// path (built with Options.Quantize or loaded from a quantized bundle).
 func (x *Index) Quantized() bool { return x.inner.IsQuantized() }
+
+// QuantMode returns the index's compressed serving mode (QuantNone when it
+// serves full float32 vectors).
+func (x *Index) QuantMode() QuantMode { return quantModeFromInternal(x.inner.QuantMode()) }
 
 // Search returns the ids and squared L2 distances of the k approximate
 // nearest neighbors of query, using the index's default search pool size.
@@ -434,8 +501,8 @@ func Load(path string) (*Index, error) {
 	}
 	opts := DefaultOptions()
 	// A quantized bundle carries its codes and scales, so the loaded index
-	// serves through the SQ8 path immediately — no retraining — and keeps
-	// Quantize set so a later Compact rebuilds the quantized state.
-	opts.Quantize = inner.IsQuantized()
+	// serves through its quantized path immediately — no retraining — and
+	// keeps Quantize set so a later Compact rebuilds the quantized state.
+	opts.Quantize = quantModeFromInternal(inner.QuantMode())
 	return &Index{inner: inner, opts: opts}, nil
 }

@@ -1,6 +1,6 @@
 //go:build !race
 
-// The quantized allocation gate lives behind !race with the other alloc
+// The quantized allocation gates live behind !race with the other alloc
 // budgets: the race detector defeats sync.Pool caching, making the counts
 // meaningless there.
 
@@ -12,17 +12,17 @@ import (
 	"repro/internal/core"
 )
 
-// TestQuantizedSearchZeroAlloc is the acceptance gate for the SQ8 serving
-// path: with a reused SearchContext, a steady-state quantized search — the
+// testQuantSearchZeroAlloc is the shared body of the quantized allocation
+// gates: with a reused SearchContext, a steady-state quantized search — the
 // prepared query levels, the code-space expansion, and the exact rerank —
 // must perform zero heap allocations; the public SearchWithPool adds only
 // the two returned result slices.
-func TestQuantizedSearchZeroAlloc(t *testing.T) {
+func testQuantSearchZeroAlloc(t *testing.T, mode QuantMode) {
 	ds := shardedTestData(t, 1500, 20)
 	opts := DefaultOptions()
 	opts.ExactKNN = true
 	opts.Seed = 7
-	opts.Quantize = true
+	opts.Quantize = mode
 	data := make([]float32, len(ds.Base.Data))
 	copy(data, ds.Base.Data)
 	idx, err := BuildFromFlat(data, ds.Base.Dim, opts)
@@ -43,7 +43,7 @@ func TestQuantizedSearchZeroAlloc(t *testing.T) {
 		qi++
 	})
 	if allocs != 0 {
-		t.Fatalf("quantized ctx-reuse search allocated %.2f times per query, want 0", allocs)
+		t.Fatalf("%v ctx-reuse search allocated %.2f times per query, want 0", mode, allocs)
 	}
 
 	for i := 0; i < 8; i++ { // warm the public context pool
@@ -57,6 +57,19 @@ func TestQuantizedSearchZeroAlloc(t *testing.T) {
 		qi++
 	})
 	if allocs > 2.5 {
-		t.Fatalf("public quantized SearchWithPool allocated %.2f times per query, want 2 (result slices only)", allocs)
+		t.Fatalf("public %v SearchWithPool allocated %.2f times per query, want 2 (result slices only)", mode, allocs)
 	}
+}
+
+// TestQuantizedSearchZeroAlloc is the acceptance gate for the SQ8 serving
+// path.
+func TestQuantizedSearchZeroAlloc(t *testing.T) {
+	testQuantSearchZeroAlloc(t, QuantSQ8)
+}
+
+// TestInt4SearchZeroAlloc is the acceptance gate for the packed int4
+// serving path: the nibble unpack and widened query levels live in the
+// reused SearchContext, so steady state allocates nothing.
+func TestInt4SearchZeroAlloc(t *testing.T) {
+	testQuantSearchZeroAlloc(t, QuantInt4)
 }

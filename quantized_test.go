@@ -1,9 +1,9 @@
 package nsg
 
-// Public-API tests for the SQ8 quantized serving path: the recall gate the
-// acceptance criteria name, sharded/single parity, persistence round trips
-// (including the pre-quantization bundle versions), and incremental
-// maintenance on a quantized index.
+// Public-API tests for the quantized serving paths (SQ8 and packed int4):
+// the recall gates the acceptance criteria name, sharded/single parity,
+// persistence round trips (including the pre-quantization bundle versions),
+// and incremental maintenance on a quantized index.
 
 import (
 	"encoding/binary"
@@ -26,7 +26,7 @@ func quantTestData(t *testing.T) dataset.Dataset {
 	return ds
 }
 
-func buildQuantIndex(t *testing.T, ds dataset.Dataset, quantize bool) *Index {
+func buildQuantIndex(t *testing.T, ds dataset.Dataset, quantize QuantMode) *Index {
 	t.Helper()
 	opts := DefaultOptions()
 	opts.Quantize = quantize
@@ -40,187 +40,232 @@ func buildQuantIndex(t *testing.T, ds dataset.Dataset, quantize bool) *Index {
 }
 
 // TestQuantizedRecallGate is the acceptance gate: recall@10 at the default
-// SearchL must stay at or above 0.98 on the 8k-point suite. (Measured:
-// matches the float path to four digits, ~0.999.)
+// SearchL must stay at or above the per-mode floor on the 8k-point suite.
+// (Measured: SQ8 matches the float path to four digits, ~0.999; int4's
+// coarser guide loses a little more before the exact rerank recovers it.)
 func TestQuantizedRecallGate(t *testing.T) {
 	ds := quantTestData(t)
-	idx := buildQuantIndex(t, ds, true)
-	if !idx.Quantized() {
-		t.Fatal("index not quantized")
-	}
-	rec := recallAt10(t, ds, func(q []float32) []int32 {
-		ids, _ := idx.Search(q, 10)
-		return ids
-	})
-	if rec < 0.98 {
-		t.Fatalf("quantized recall@10 = %.4f at default L, gate is 0.98", rec)
+	for _, tc := range []struct {
+		mode QuantMode
+		gate float64
+	}{
+		{QuantSQ8, 0.98},
+		{QuantInt4, 0.95},
+	} {
+		t.Run(tc.mode.String(), func(t *testing.T) {
+			idx := buildQuantIndex(t, ds, tc.mode)
+			if !idx.Quantized() {
+				t.Fatal("index not quantized")
+			}
+			if idx.QuantMode() != tc.mode {
+				t.Fatalf("QuantMode() = %v, want %v", idx.QuantMode(), tc.mode)
+			}
+			rec := recallAt10(t, ds, func(q []float32) []int32 {
+				ids, _ := idx.Search(q, 10)
+				return ids
+			})
+			if rec < tc.gate {
+				t.Fatalf("%v recall@10 = %.4f at default L, gate is %.2f", tc.mode, rec, tc.gate)
+			}
+		})
 	}
 }
 
 // TestQuantizedFloatParity: quantized and float recall must agree within the
-// repository's 0.01 parity gate at equal L, and returned distances must be
-// identical for identical ids (the rerank emits exact float32 distances).
+// per-mode parity gate at equal L, and returned distances must be identical
+// for identical ids (the rerank emits exact float32 distances in every mode).
 func TestQuantizedFloatParity(t *testing.T) {
 	ds := quantTestData(t)
-	fl := buildQuantIndex(t, ds, false)
-	qt := buildQuantIndex(t, ds, true)
-	for _, l := range []int{20, 60} {
-		recF := recallAt10(t, ds, func(q []float32) []int32 {
-			ids, _ := fl.SearchWithPool(q, 10, l)
-			return ids
+	fl := buildQuantIndex(t, ds, QuantNone)
+	for _, tc := range []struct {
+		mode QuantMode
+		gate float64
+	}{
+		{QuantSQ8, 0.01},
+		{QuantInt4, 0.04}, // 16-level guide wanders a little more pre-rerank
+	} {
+		t.Run(tc.mode.String(), func(t *testing.T) {
+			qt := buildQuantIndex(t, ds, tc.mode)
+			for _, l := range []int{20, 60} {
+				recF := recallAt10(t, ds, func(q []float32) []int32 {
+					ids, _ := fl.SearchWithPool(q, 10, l)
+					return ids
+				})
+				recQ := recallAt10(t, ds, func(q []float32) []int32 {
+					ids, _ := qt.SearchWithPool(q, 10, l)
+					return ids
+				})
+				if recF-recQ > tc.gate {
+					t.Fatalf("L=%d: %v recall %.4f more than %.2f below float %.4f", l, tc.mode, recQ, tc.gate, recF)
+				}
+			}
+			q := ds.Queries.Row(0)
+			qi, qd := qt.SearchWithPool(q, 10, 60)
+			for i := range qi {
+				if want := vecmath.L2(q, qt.Vector(int(qi[i]))); qd[i] != want {
+					t.Fatalf("rank %d: %v dist %g is not the exact distance %g", i, tc.mode, qd[i], want)
+				}
+			}
 		})
-		recQ := recallAt10(t, ds, func(q []float32) []int32 {
-			ids, _ := qt.SearchWithPool(q, 10, l)
-			return ids
-		})
-		if recF-recQ > 0.01 {
-			t.Fatalf("L=%d: quantized recall %.4f more than 0.01 below float %.4f", l, recQ, recF)
-		}
-	}
-	q := ds.Queries.Row(0)
-	qi, qd := qt.SearchWithPool(q, 10, 60)
-	for i := range qi {
-		if want := vecmath.L2(q, qt.Vector(int(qi[i]))); qd[i] != want {
-			t.Fatalf("rank %d: quantized dist %g is not the exact distance %g", i, qd[i], want)
-		}
 	}
 }
 
 // TestQuantizedShardedParity is the acceptance parity gate: sharded and
-// single-index quantized results agree within 0.01 recall at equal L.
+// single-index quantized results agree within 0.01 recall at equal L, for
+// both quantization modes.
 func TestQuantizedShardedParity(t *testing.T) {
 	ds := shardedTestData(t, 2000, 50)
-	single := func() *Index {
-		opts := DefaultOptions()
-		opts.ExactKNN = true
-		opts.Seed = 7
-		opts.Quantize = true
-		data := make([]float32, len(ds.Base.Data))
-		copy(data, ds.Base.Data)
-		idx, err := BuildFromFlat(data, ds.Base.Dim, opts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return idx
-	}()
-	shOpts := DefaultShardedOptions(4)
-	shOpts.Shard.ExactKNN = true
-	shOpts.Shard.Seed = 7
-	shOpts.Shard.Quantize = true
-	data := make([]float32, len(ds.Base.Data))
-	copy(data, ds.Base.Data)
-	sharded, err := BuildShardedFromFlat(data, ds.Base.Dim, shOpts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer sharded.Close()
-	if !sharded.Quantized() {
-		t.Fatal("sharded index not quantized")
-	}
+	for _, mode := range []QuantMode{QuantSQ8, QuantInt4} {
+		t.Run(mode.String(), func(t *testing.T) {
+			single := func() *Index {
+				opts := DefaultOptions()
+				opts.ExactKNN = true
+				opts.Seed = 7
+				opts.Quantize = mode
+				data := make([]float32, len(ds.Base.Data))
+				copy(data, ds.Base.Data)
+				idx, err := BuildFromFlat(data, ds.Base.Dim, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return idx
+			}()
+			shOpts := DefaultShardedOptions(4)
+			shOpts.Shard.ExactKNN = true
+			shOpts.Shard.Seed = 7
+			shOpts.Shard.Quantize = mode
+			data := make([]float32, len(ds.Base.Data))
+			copy(data, ds.Base.Data)
+			sharded, err := BuildShardedFromFlat(data, ds.Base.Dim, shOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sharded.Close()
+			if !sharded.Quantized() {
+				t.Fatal("sharded index not quantized")
+			}
+			if sharded.QuantMode() != mode {
+				t.Fatalf("sharded QuantMode() = %v, want %v", sharded.QuantMode(), mode)
+			}
 
-	const l = 40
-	recSingle := recallAt10(t, ds, func(q []float32) []int32 {
-		ids, _ := single.SearchWithPool(q, 10, l)
-		return ids
-	})
-	recSharded := recallAt10(t, ds, func(q []float32) []int32 {
-		ids, _ := sharded.SearchWithPool(q, 10, l)
-		return ids
-	})
-	if recSingle-recSharded > 0.01 {
-		t.Fatalf("sharded quantized recall %.4f more than 0.01 below single %.4f", recSharded, recSingle)
+			const l = 40
+			recSingle := recallAt10(t, ds, func(q []float32) []int32 {
+				ids, _ := single.SearchWithPool(q, 10, l)
+				return ids
+			})
+			recSharded := recallAt10(t, ds, func(q []float32) []int32 {
+				ids, _ := sharded.SearchWithPool(q, 10, l)
+				return ids
+			})
+			if recSingle-recSharded > 0.01 {
+				t.Fatalf("sharded %v recall %.4f more than 0.01 below single %.4f", mode, recSharded, recSingle)
+			}
+		})
 	}
 }
 
 // TestQuantizedSaveLoadParity: a quantized bundle must reload (codes,
 // scales, permutation and remap intact) and return byte-identical results,
-// with the Quantize option restored.
+// with the Quantize option restored — for both SQ8 and int4 records.
 func TestQuantizedSaveLoadParity(t *testing.T) {
 	ds := shardedTestData(t, 1200, 30)
-	opts := DefaultOptions()
-	opts.ExactKNN = true
-	opts.Seed = 7
-	opts.Quantize = true
-	data := make([]float32, len(ds.Base.Data))
-	copy(data, ds.Base.Data)
-	idx, err := BuildFromFlat(data, ds.Base.Dim, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	path := filepath.Join(t.TempDir(), "quant.nsg")
-	if err := idx.Save(path); err != nil {
-		t.Fatal(err)
-	}
-	loaded, err := Load(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !loaded.Quantized() {
-		t.Fatal("loaded index lost quantization")
-	}
-	for qi := 0; qi < ds.Queries.Rows; qi++ {
-		q := ds.Queries.Row(qi)
-		ai, ad := idx.SearchWithPool(q, 10, 60)
-		bi, bd := loaded.SearchWithPool(q, 10, 60)
-		if len(ai) != len(bi) {
-			t.Fatalf("query %d: result length changed across save/load", qi)
-		}
-		for i := range ai {
-			if ai[i] != bi[i] || ad[i] != bd[i] {
-				t.Fatalf("query %d rank %d: (%d,%g) vs (%d,%g)", qi, i, ai[i], ad[i], bi[i], bd[i])
+	for _, mode := range []QuantMode{QuantSQ8, QuantInt4} {
+		t.Run(mode.String(), func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.ExactKNN = true
+			opts.Seed = 7
+			opts.Quantize = mode
+			data := make([]float32, len(ds.Base.Data))
+			copy(data, ds.Base.Data)
+			idx, err := BuildFromFlat(data, ds.Base.Dim, opts)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-	}
-	// Public ids must address the original vectors on both sides.
-	for _, id := range []int{0, 7, 1199} {
-		a, b := idx.Vector(id), loaded.Vector(id)
-		for d := range a {
-			if a[d] != b[d] {
-				t.Fatalf("Vector(%d) differs at dim %d across save/load", id, d)
+			path := filepath.Join(t.TempDir(), "quant.nsg")
+			if err := idx.Save(path); err != nil {
+				t.Fatal(err)
 			}
-		}
+			loaded, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !loaded.Quantized() {
+				t.Fatal("loaded index lost quantization")
+			}
+			if loaded.QuantMode() != mode {
+				t.Fatalf("loaded QuantMode() = %v, want %v", loaded.QuantMode(), mode)
+			}
+			for qi := 0; qi < ds.Queries.Rows; qi++ {
+				q := ds.Queries.Row(qi)
+				ai, ad := idx.SearchWithPool(q, 10, 60)
+				bi, bd := loaded.SearchWithPool(q, 10, 60)
+				if len(ai) != len(bi) {
+					t.Fatalf("query %d: result length changed across save/load", qi)
+				}
+				for i := range ai {
+					if ai[i] != bi[i] || ad[i] != bd[i] {
+						t.Fatalf("query %d rank %d: (%d,%g) vs (%d,%g)", qi, i, ai[i], ad[i], bi[i], bd[i])
+					}
+				}
+			}
+			// Public ids must address the original vectors on both sides.
+			for _, id := range []int{0, 7, 1199} {
+				a, b := idx.Vector(id), loaded.Vector(id)
+				for d := range a {
+					if a[d] != b[d] {
+						t.Fatalf("Vector(%d) differs at dim %d across save/load", id, d)
+					}
+				}
+			}
+		})
 	}
 }
 
 // TestQuantizedShardedSaveLoad: the sharded bundle round-trips the
-// quantized state and the Quantize option (v2 header flag).
+// quantized state and the Quantize option (v2 header flags word), for both
+// quantization modes.
 func TestQuantizedShardedSaveLoad(t *testing.T) {
 	ds := shardedTestData(t, 1000, 20)
-	opts := DefaultShardedOptions(3)
-	opts.Shard.ExactKNN = true
-	opts.Shard.Seed = 7
-	opts.Shard.Quantize = true
-	data := make([]float32, len(ds.Base.Data))
-	copy(data, ds.Base.Data)
-	idx, err := BuildShardedFromFlat(data, ds.Base.Dim, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer idx.Close()
-	path := filepath.Join(t.TempDir(), "quant.nsgd")
-	if err := idx.Save(path); err != nil {
-		t.Fatal(err)
-	}
-	loaded, err := LoadSharded(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer loaded.Close()
-	if !loaded.Quantized() {
-		t.Fatal("loaded sharded index lost quantization")
-	}
-	if !loaded.opts.Shard.Quantize {
-		t.Fatal("Quantize option not restored from the bundle header")
-	}
-	for qi := 0; qi < ds.Queries.Rows; qi++ {
-		q := ds.Queries.Row(qi)
-		ai, ad := idx.SearchWithPool(q, 10, 50)
-		bi, bd := loaded.SearchWithPool(q, 10, 50)
-		for i := range ai {
-			if ai[i] != bi[i] || ad[i] != bd[i] {
-				t.Fatalf("query %d rank %d differs across save/load", qi, i)
+	for _, mode := range []QuantMode{QuantSQ8, QuantInt4} {
+		t.Run(mode.String(), func(t *testing.T) {
+			opts := DefaultShardedOptions(3)
+			opts.Shard.ExactKNN = true
+			opts.Shard.Seed = 7
+			opts.Shard.Quantize = mode
+			data := make([]float32, len(ds.Base.Data))
+			copy(data, ds.Base.Data)
+			idx, err := BuildShardedFromFlat(data, ds.Base.Dim, opts)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
+			defer idx.Close()
+			path := filepath.Join(t.TempDir(), "quant.nsgd")
+			if err := idx.Save(path); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadSharded(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer loaded.Close()
+			if !loaded.Quantized() {
+				t.Fatal("loaded sharded index lost quantization")
+			}
+			if loaded.opts.Shard.Quantize != mode {
+				t.Fatalf("Quantize option %v restored from the bundle header, want %v",
+					loaded.opts.Shard.Quantize, mode)
+			}
+			for qi := 0; qi < ds.Queries.Rows; qi++ {
+				q := ds.Queries.Row(qi)
+				ai, ad := idx.SearchWithPool(q, 10, 50)
+				bi, bd := loaded.SearchWithPool(q, 10, 50)
+				for i := range ai {
+					if ai[i] != bi[i] || ad[i] != bd[i] {
+						t.Fatalf("query %d rank %d differs across save/load", qi, i)
+					}
+				}
+			}
+		})
 	}
 }
 
@@ -256,7 +301,7 @@ func TestShardedBundleV1StillLoads(t *testing.T) {
 		t.Fatalf("v1 bundle failed to load: %v", err)
 	}
 	defer loaded.Close()
-	if loaded.Quantized() || loaded.opts.Shard.Quantize {
+	if loaded.Quantized() || loaded.opts.Shard.Quantize != QuantNone {
 		t.Fatal("v1 bundle loaded with quantization on")
 	}
 	q := ds.Queries.Row(0)
@@ -271,54 +316,58 @@ func TestShardedBundleV1StillLoads(t *testing.T) {
 
 // TestQuantizedAddDeleteCompact exercises incremental maintenance on a
 // quantized index: Add encodes into the code matrix, Delete filters public
-// ids, Compact rebuilds with quantization re-enabled.
+// ids, Compact rebuilds with quantization re-enabled — in both modes.
 func TestQuantizedAddDeleteCompact(t *testing.T) {
 	ds := shardedTestData(t, 600, 10)
-	opts := DefaultOptions()
-	opts.ExactKNN = true
-	opts.Seed = 7
-	opts.Quantize = true
-	data := make([]float32, len(ds.Base.Data))
-	copy(data, ds.Base.Data)
-	idx, err := BuildFromFlat(data, ds.Base.Dim, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
+	for _, mode := range []QuantMode{QuantSQ8, QuantInt4} {
+		t.Run(mode.String(), func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.ExactKNN = true
+			opts.Seed = 7
+			opts.Quantize = mode
+			data := make([]float32, len(ds.Base.Data))
+			copy(data, ds.Base.Data)
+			idx, err := BuildFromFlat(data, ds.Base.Dim, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
 
-	vec := make([]float32, ds.Base.Dim)
-	copy(vec, ds.Base.Row(3))
-	for d := range vec {
-		vec[d] += 0.25
-	}
-	id, err := idx.Add(vec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ids, dists := idx.Search(vec, 1)
-	if ids[0] != id || dists[0] != 0 {
-		t.Fatalf("added vector not found: id %d dist %g", ids[0], dists[0])
-	}
+			vec := make([]float32, ds.Base.Dim)
+			copy(vec, ds.Base.Row(3))
+			for d := range vec {
+				vec[d] += 0.25
+			}
+			id, err := idx.Add(vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids, dists := idx.Search(vec, 1)
+			if ids[0] != id || dists[0] != 0 {
+				t.Fatalf("added vector not found: id %d dist %g", ids[0], dists[0])
+			}
 
-	if err := idx.Delete(id); err != nil {
-		t.Fatal(err)
-	}
-	ids, _ = idx.Search(vec, 1)
-	if ids[0] == id {
-		t.Fatal("deleted id still returned")
-	}
+			if err := idx.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+			ids, _ = idx.Search(vec, 1)
+			if ids[0] == id {
+				t.Fatal("deleted id still returned")
+			}
 
-	remap, err := idx.Compact()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if remap[id] != -1 {
-		t.Fatalf("deleted id remapped to %d, want -1", remap[id])
-	}
-	if !idx.Quantized() {
-		t.Fatal("Compact dropped quantization")
-	}
-	ids, dists = idx.Search(idx.Vector(0), 1)
-	if ids[0] != 0 || dists[0] != 0 {
-		t.Fatalf("compacted quantized index broken: id %d dist %g", ids[0], dists[0])
+			remap, err := idx.Compact()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if remap[id] != -1 {
+				t.Fatalf("deleted id remapped to %d, want -1", remap[id])
+			}
+			if !idx.Quantized() || idx.QuantMode() != mode {
+				t.Fatalf("Compact dropped quantization: mode %v, want %v", idx.QuantMode(), mode)
+			}
+			ids, dists = idx.Search(idx.Vector(0), 1)
+			if ids[0] != 0 || dists[0] != 0 {
+				t.Fatalf("compacted quantized index broken: id %d dist %g", ids[0], dists[0])
+			}
+		})
 	}
 }

@@ -95,7 +95,7 @@ func buildShardedFromMatrix(base vecmath.Matrix, opts ShardedOptions) (*ShardedI
 		KNNK:         opts.Shard.GraphK,
 		Build:        core.BuildParams{L: opts.Shard.BuildL, M: opts.Shard.MaxDegree, Seed: opts.Shard.Seed},
 		UseNNDescent: !opts.Shard.ExactKNN,
-		Quantize:     opts.Shard.Quantize,
+		Quantize:     opts.Shard.Quantize.internal(),
 		Seed:         opts.Shard.Seed,
 	})
 	if err != nil {
@@ -143,9 +143,14 @@ func (x *ShardedIndex) Dim() int { return x.s.Base.Dim }
 // Shards returns the number of partitions.
 func (x *ShardedIndex) Shards() int { return x.s.Shards() }
 
-// Quantized reports whether the shards serve through the SQ8 quantized
-// search path (built with Options.Quantize or loaded from such a bundle).
+// Quantized reports whether the shards serve through a quantized search
+// path (built with Options.Quantize or loaded from such a bundle).
 func (x *ShardedIndex) Quantized() bool { return x.s.Quantized() }
+
+// QuantMode returns the shards' compressed serving mode (QuantNone when
+// they serve full float32 vectors; all shards share one quantization
+// state).
+func (x *ShardedIndex) QuantMode() QuantMode { return quantModeFromInternal(x.s.QuantMode()) }
 
 // Vector returns the stored vector with the given global id. The returned
 // slice aliases the index's storage; do not modify it. Safe to call
@@ -307,14 +312,44 @@ const shardedFileMagic = 0x4e534744 // "NSGD" — sharded bundle (vectors + shar
 
 // shardedFileVersion tracks the public bundle layout; readers reject other
 // versions instead of misparsing. Version 2 appends an options-flags word
-// to the header (currently just the Quantize bit); version 1 files — which
-// predate quantization — still load, with the flags defaulting to zero.
+// to the header (the Quantize mode bits); version 1 files — which predate
+// quantization — still load, with the flags defaulting to zero.
 const (
 	shardedFileVersion   = 2
 	shardedFileVersionV1 = 1
 
 	shardedOptQuantize = 1 << 0
+	// shardedOptInt4 qualifies shardedOptQuantize: set together they mean
+	// the int4 packed path. Never set alone, so pre-int4 readers that only
+	// know the quantize bit see a plausible (if imprecise) option word,
+	// while the per-shard records themselves still carry the authoritative
+	// quantization sections.
+	shardedOptInt4 = 1 << 1
 )
+
+// encodeQuantFlags maps the Quantize mode to the bundle's option bits.
+func encodeQuantFlags(m QuantMode) uint32 {
+	switch m {
+	case QuantSQ8:
+		return shardedOptQuantize
+	case QuantInt4:
+		return shardedOptQuantize | shardedOptInt4
+	default:
+		return 0
+	}
+}
+
+// decodeQuantFlags is the inverse of encodeQuantFlags.
+func decodeQuantFlags(optFlags uint32) QuantMode {
+	switch {
+	case optFlags&shardedOptQuantize == 0:
+		return QuantNone
+	case optFlags&shardedOptInt4 != 0:
+		return QuantInt4
+	default:
+		return QuantSQ8
+	}
+}
 
 // Save writes the sharded index, including its vectors and build options,
 // to path. The format shares the chunked vector codec with Index.Save: a
@@ -336,11 +371,7 @@ func (x *ShardedIndex) Save(path string) error {
 		binary.LittleEndian.PutUint32(hdr[20:], uint32(x.opts.Shard.BuildL))
 		binary.LittleEndian.PutUint32(hdr[24:], uint32(x.opts.Shard.MaxDegree))
 		binary.LittleEndian.PutUint32(hdr[28:], uint32(x.opts.Shard.SearchL))
-		var optFlags uint32
-		if x.opts.Shard.Quantize {
-			optFlags |= shardedOptQuantize
-		}
-		binary.LittleEndian.PutUint32(hdr[32:], optFlags)
+		binary.LittleEndian.PutUint32(hdr[32:], encodeQuantFlags(x.opts.Shard.Quantize))
 		if _, err := bw.Write(hdr); err != nil {
 			return fmt.Errorf("nsg: write header: %w", err)
 		}
@@ -408,7 +439,7 @@ func LoadSharded(path string) (*ShardedIndex, error) {
 		BuildL:    int(binary.LittleEndian.Uint32(hdr[20:])),
 		MaxDegree: int(binary.LittleEndian.Uint32(hdr[24:])),
 		SearchL:   int(binary.LittleEndian.Uint32(hdr[28:])),
-		Quantize:  optFlags&shardedOptQuantize != 0,
+		Quantize:  decodeQuantFlags(optFlags),
 	}}
 	opts.Shard.fillDefaults() // guard against zeroed fields in hand-built files
 	return &ShardedIndex{s: s, opts: opts}, nil
