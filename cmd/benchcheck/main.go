@@ -165,7 +165,7 @@ func run(args []string, stdout io.Writer) error {
 // name the search-effort axis, which is dropped when grouping points into
 // QPS sweeps.
 var (
-	identityKeys = []string{"variant", "shards", "cohort", "effort", "l", "k", "write_frac", "dataset"}
+	identityKeys = []string{"variant", "shards", "cohort", "effort", "l", "k", "write_frac", "selectivity", "tenants", "dataset"}
 	effortKeys   = map[string]bool{"effort": true, "l": true}
 )
 

@@ -19,10 +19,13 @@
 //
 // Endpoints:
 //
-//	POST /search  {"query": [...], "k": 10, "l": 60}
+//	POST /search  {"query": [...], "k": 10, "l": 60,
+//	               "filter": {"col":"category","eq":"shoes"}}
 //	              → {"ids": [...], "dists": [...]}; a degraded answer (only
 //	              under -partial=serve) adds "degraded": true and
-//	              "missing_shards": [...]
+//	              "missing_shards": [...]. The optional "filter" clause is
+//	              forwarded verbatim to every shard server, which compiles
+//	              it against its own metadata store.
 //	GET  /stats   → topology, partial policy, router counters, replica health
 //	GET  /healthz → liveness (always 200 while the process runs)
 //	GET  /readyz  → readiness under the configured policy: -partial=fail
@@ -189,6 +192,9 @@ type searchRequest struct {
 	Query []float32 `json:"query"`
 	K     int       `json:"k"`
 	L     int       `json:"l"`
+	// Filter is forwarded verbatim to every shard server; each backend
+	// compiles it against its own metadata store (nsgserve's "filter" field).
+	Filter json.RawMessage `json:"filter,omitempty"`
 }
 
 // searchResponse is nsgserve's response shape plus the completeness
@@ -229,7 +235,7 @@ func (s *routerServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 		buf = new([]vecmath.Neighbor)
 	}
 	start := time.Now()
-	ns, res, err := s.rt.SearchAppend(r.Context(), (*buf)[:0], req.Query, req.K, req.L)
+	ns, res, err := s.rt.SearchFilteredAppend(r.Context(), (*buf)[:0], req.Query, req.K, req.L, req.Filter)
 	*buf = ns
 	if err != nil {
 		s.bufs.Put(buf)

@@ -315,3 +315,72 @@ func TestRunFlagValidation(t *testing.T) {
 		t.Fatal("run with bogus -partial succeeded")
 	}
 }
+
+// TestRouterForwardsFilter: the "filter" clause reaches every shard backend
+// verbatim, and a backend's 400 (bad clause) surfaces as a router error
+// instead of a silent unfiltered answer.
+func TestRouterForwardsFilter(t *testing.T) {
+	var topo cluster.Topology
+	seen := make([]chan string, nShards)
+	for si := 0; si < nShards; si++ {
+		ch := make(chan string, 8)
+		seen[si] = ch
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /search", func(w http.ResponseWriter, r *http.Request) {
+			var req struct {
+				K      int             `json:"k"`
+				Filter json.RawMessage `json:"filter"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if bytes.Contains(req.Filter, []byte("bad-column")) {
+				http.Error(w, `{"error":"filter: unknown column"}`, http.StatusBadRequest)
+				return
+			}
+			ch <- string(req.Filter)
+			json.NewEncoder(w).Encode(map[string]any{"ids": []int32{0}, "dists": []float32{1}})
+		})
+		mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+			json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
+		})
+		ts := httptest.NewServer(mux)
+		t.Cleanup(ts.Close)
+		topo.Shards = append(topo.Shards, cluster.Shard{Replicas: []string{ts.URL}, IDOffset: int32(si * 100)})
+	}
+	_, ts := newTestRouterServer(t, topo, cluster.PartialFail)
+
+	clause := `{"col":"category","eq":"shoes"}`
+	resp, sr, raw := postSearch(t, ts.URL, map[string]any{
+		"query": []float32{1, 2}, "k": 3, "filter": json.RawMessage(clause),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if len(sr.IDs) != 3 {
+		t.Fatalf("ids = %v", sr.IDs)
+	}
+	for si := 0; si < nShards; si++ {
+		select {
+		case got := <-seen[si]:
+			if got != clause {
+				t.Fatalf("shard %d saw filter %q, want %q", si, got, clause)
+			}
+		default:
+			t.Fatalf("shard %d never saw the filter clause", si)
+		}
+	}
+
+	// A clause every backend rejects: the shards are "down" for this query,
+	// so under PartialFail the router answers 503 with the shard's error.
+	resp, _, raw = postSearch(t, ts.URL, map[string]any{
+		"query": []float32{1, 2}, "k": 3, "filter": json.RawMessage(`{"col":"bad-column","eq":1}`),
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("bad clause: status %d (%s), want 503", resp.StatusCode, raw)
+	}
+	if !bytes.Contains(raw, []byte("missing_shards")) {
+		t.Fatalf("bad clause error lacks shard detail: %s", raw)
+	}
+}

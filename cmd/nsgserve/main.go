@@ -24,10 +24,19 @@
 //
 // Endpoints:
 //
-//	POST /search  {"query": [...], "k": 10, "l": 60, "stats": true}
+//	POST /search  {"query": [...], "k": 10, "l": 60, "stats": true,
+//	               "filter": {"col":"category","eq":"shoes"}}
 //	              → {"ids": [...], "dists": [...], "hops": h, "dist_comps": c}
-//	POST /search/batch  {"queries": [[...], ...], "k": 10, "l": 60}
+//	POST /search/batch  {"queries": [[...], ...], "k": 10, "l": 60,
+//	               "filter": {...}}
 //	              → {"results": [{"ids": [...], "dists": [...]}, ...]}
+//
+// The optional "filter" clause restricts results to points whose metadata
+// passes a predicate (equality, range, set membership, tag containment,
+// and/or nesting — the grammar is documented on nsg.UnmarshalPredicate).
+// It requires the served bundle to carry a metadata store; /stats lists the
+// available columns as meta_cols.
+//
 //	POST /insert  {"vector": [...]} → {"id": n, "n": total}
 //	GET  /stats   → index shape, per-shard sizes, serving + delta counters
 //	GET  /healthz → liveness: {"status":"ok"} while the process can answer
@@ -344,6 +353,30 @@ type searchRequest struct {
 	K     int       `json:"k"`
 	L     int       `json:"l"`
 	Stats bool      `json:"stats"`
+	// Filter is an optional predicate clause tree (see nsg.UnmarshalPredicate
+	// for the grammar): {"col":"category","eq":"shoes"},
+	// {"col":"price","range":[1000,4999]}, {"and":[...]}, {"or":[...]}.
+	// Requires the served bundle to carry a metadata store.
+	Filter json.RawMessage `json:"filter,omitempty"`
+}
+
+// compileFilter turns a request's raw filter clause into a compiled filter,
+// or (nil, nil) when the request has none. Compilation is O(rows) per
+// request; clients issuing many searches under one predicate should prefer
+// /search/batch, which compiles once for the whole batch.
+func (s *server) compileFilter(raw json.RawMessage) (*nsg.ShardedFilter, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	p, err := nsg.UnmarshalPredicate(raw)
+	if err != nil {
+		return nil, err
+	}
+	f, err := s.idx.CompileFilter(p)
+	if err != nil {
+		return nil, fmt.Errorf("filter: %w", err)
+	}
+	return f, nil
 }
 
 type searchResponse struct {
@@ -378,13 +411,18 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k %d / l %d exceed the server limit %d", req.K, req.L, s.maxL)
 		return
 	}
+	flt, err := s.compileFilter(req.Filter)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	start := time.Now()
 	var resp searchResponse
 	if req.Stats {
-		ids, dists, st := s.idx.SearchWithStats(req.Query, req.K, req.L)
+		ids, dists, st := s.idx.SearchFilteredWithStats(req.Query, req.K, req.L, flt)
 		resp = searchResponse{IDs: ids, Dists: dists, Hops: st.Hops, DistComps: st.DistanceComputations}
 	} else {
-		ids, dists := s.idx.SearchWithPool(req.Query, req.K, req.L)
+		ids, dists := s.idx.SearchFilteredWithPool(req.Query, req.K, req.L, flt)
 		resp = searchResponse{IDs: ids, Dists: dists}
 	}
 	s.queries.Add(1)
@@ -396,6 +434,9 @@ type batchSearchRequest struct {
 	Queries [][]float32 `json:"queries"`
 	K       int         `json:"k"`
 	L       int         `json:"l"`
+	// Filter applies one shared predicate to every query in the batch; it is
+	// compiled once for the whole request.
+	Filter json.RawMessage `json:"filter,omitempty"`
 }
 
 type batchSearchResponse struct {
@@ -442,8 +483,13 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k %d / l %d exceed the server limit %d", req.K, req.L, s.maxL)
 		return
 	}
+	flt, err := s.compileFilter(req.Filter)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	start := time.Now()
-	res := s.idx.SearchBatch(req.Queries, req.K, req.L, 0)
+	res := s.idx.SearchBatchFiltered(req.Queries, req.K, req.L, 0, flt)
 	resp := batchSearchResponse{Results: make([]searchResponse, len(res))}
 	for i, r := range res {
 		resp.Results[i] = searchResponse{IDs: r.IDs, Dists: r.Dists}
@@ -497,13 +543,16 @@ type statsResponse struct {
 	Shards int `json:"shards"`
 	// Quantization names the serving representation: "float32", "sq8" or
 	// "int4" (the compressed modes rerank with exact float32 distances).
-	Quantization    string  `json:"quantization"`
-	ReadOnly        bool    `json:"read_only"`
-	ShardSizes      []int   `json:"shard_sizes"`
-	IndexBytes      int64   `json:"index_bytes"`
-	Queries         uint64  `json:"queries"`
-	Inserts         uint64  `json:"inserts"`
-	MeanSearchMicro float64 `json:"mean_search_micros"`
+	Quantization string `json:"quantization"`
+	ReadOnly     bool   `json:"read_only"`
+	// MetaCols lists the metadata columns available to "filter" clauses
+	// (absent when the bundle carries no metadata store).
+	MetaCols        []string `json:"meta_cols,omitempty"`
+	ShardSizes      []int    `json:"shard_sizes"`
+	IndexBytes      int64    `json:"index_bytes"`
+	Queries         uint64   `json:"queries"`
+	Inserts         uint64   `json:"inserts"`
+	MeanSearchMicro float64  `json:"mean_search_micros"`
 	// Process memory counters (zero off Linux): with -mmap these are the
 	// observable cost of disk-resident serving — RSS grows as queries fault
 	// index pages in, and major faults count reads that actually hit disk.
@@ -519,6 +568,20 @@ type statsResponse struct {
 	Drained          uint64  `json:"drained"`
 }
 
+// metaCols summarizes a metadata store's columns as "name:type" strings.
+func metaCols(m *nsg.Metadata) []string {
+	if m == nil {
+		return nil
+	}
+	cols := m.Cols()
+	out := make([]string, len(cols))
+	for i, name := range cols {
+		typ, _ := m.ColType(name)
+		out[i] = name + ":" + typ.String()
+	}
+	return out
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.idx.Stats()
 	ms := s.idx.MaintenanceStats()
@@ -528,6 +591,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		N: st.N, Dim: s.idx.Dim(), Shards: st.Shards, Quantization: s.idx.QuantMode().String(),
 		ReadOnly:   s.idx.ReadOnly(),
 		ShardSizes: st.ShardSizes,
+		MetaCols:   metaCols(s.idx.Metadata()),
 		IndexBytes: st.IndexBytes, Queries: q, Inserts: s.inserts.Load(),
 		RSSBytes: ps.RSSBytes, MinorFaults: ps.MinorFaults, MajorFaults: ps.MajorFaults,
 		DeltaDepth: ms.Pending,

@@ -748,3 +748,105 @@ func TestMappedServing(t *testing.T) {
 		t.Fatalf("readyz on mapped index: %d", rresp.StatusCode)
 	}
 }
+
+// TestFilteredServing: the "filter" clause restricts /search and
+// /search/batch to passing points, /stats advertises the metadata columns,
+// and malformed or unsupported clauses come back as 400s.
+func TestFilteredServing(t *testing.T) {
+	idx := testIndex(t)
+	n := idx.Len()
+	cats := make([]string, n)
+	prices := make([]int64, n)
+	for i := 0; i < n; i++ {
+		cats[i] = []string{"a", "b"}[i%2]
+		prices[i] = int64(i)
+	}
+	m := nsg.NewMetadata(n)
+	if err := m.AddEnum("category", cats); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddInt64("price", prices); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.SetMetadata(m); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(idx, 10, 60, 4096)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	query := make([]float32, idx.Dim())
+	copy(query, idx.Vector(42)) // even id: category "a"
+
+	// Filtered search returns only passing ids; the self-match passes.
+	resp, body := postJSON(t, ts.URL+"/search", searchRequest{
+		Query: query, K: 5, Stats: true,
+		Filter: json.RawMessage(`{"col":"category","eq":"a"}`),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("filtered search status %d: %s", resp.StatusCode, body)
+	}
+	var sr searchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.IDs) != 5 || sr.IDs[0] != 42 || sr.Dists[0] != 0 {
+		t.Fatalf("filtered self-query: %v / %v", sr.IDs, sr.Dists)
+	}
+	for _, id := range sr.IDs {
+		if id%2 != 0 {
+			t.Fatalf("id %d fails the category filter", id)
+		}
+	}
+
+	// Batch shares one compiled filter across the queries.
+	resp, body = postJSON(t, ts.URL+"/search/batch", batchSearchRequest{
+		Queries: [][]float32{query, query}, K: 3,
+		Filter: json.RawMessage(`{"and":[{"col":"category","eq":"a"},{"col":"price","range":[0,99]}]}`),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("filtered batch status %d: %s", resp.StatusCode, body)
+	}
+	var br batchSearchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 2 {
+		t.Fatalf("%d batch results", len(br.Results))
+	}
+	for _, r := range br.Results {
+		for _, id := range r.IDs {
+			if id%2 != 0 || id > 99 {
+				t.Fatalf("batch id %d fails the conjunction", id)
+			}
+		}
+	}
+
+	// Error surface: malformed clause, unknown column.
+	for _, bad := range []string{
+		`{"col":"category"}`,
+		`{"col":"nope","eq":"a"}`,
+		`{"unknown":1}`,
+	} {
+		resp, body := postJSON(t, ts.URL+"/search", searchRequest{
+			Query: query, K: 3, Filter: json.RawMessage(bad),
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("clause %s: status %d (%s), want 400", bad, resp.StatusCode, body)
+		}
+	}
+
+	// Stats advertise the filterable columns.
+	hresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.MetaCols) != 2 || st.MetaCols[0] != "category:enum" || st.MetaCols[1] != "price:int64" {
+		t.Fatalf("/stats meta_cols = %v", st.MetaCols)
+	}
+}

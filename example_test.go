@@ -219,3 +219,67 @@ func ExampleOpenMapped() {
 	// add while mapped: true
 	// after promote: 401 vectors, read-only: false
 }
+
+// ExampleIndex_filteredSearch attaches typed metadata to an index and
+// searches under a predicate. Non-passing points are skipped during the
+// traversal itself — they never occupy candidate-pool slots — so recall
+// holds even at low selectivity where post-filtering would starve the
+// result set.
+func ExampleIndex_filteredSearch() {
+	vectors := exampleVectors(400, 16)
+	opts := nsg.DefaultOptions()
+	opts.ExactKNN = true
+	index, err := nsg.Build(vectors, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One metadata row per vector, keyed by id: an int64 price column
+	// and a dictionary-encoded category column.
+	m := nsg.NewMetadata(len(vectors))
+	prices := make([]int64, len(vectors))
+	categories := make([]string, len(vectors))
+	for i := range vectors {
+		prices[i] = int64(i)
+		if i%2 == 0 {
+			categories[i] = "shoes"
+		} else {
+			categories[i] = "hats"
+		}
+	}
+	if err := m.AddInt64("price", prices); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.AddEnum("category", categories); err != nil {
+		log.Fatal(err)
+	}
+	if err := index.SetMetadata(m); err != nil {
+		log.Fatal(err)
+	}
+
+	// Compile once, search many times: cheap shoes only.
+	filter, err := index.CompileFilter(nsg.And(
+		nsg.Eq("category", "shoes"),
+		nsg.Range("price", 0, 99),
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("passing rows:", filter.Count(), "of", len(vectors))
+
+	// Vector 42 is an even-id, sub-100-price point, so it passes its
+	// own filter and comes back first at distance 0.
+	ids, dists := index.SearchFiltered(vectors[42], 3, filter)
+	fmt.Println("nearest passing:", ids[0], "dist:", dists[0])
+	allPass := true
+	for _, id := range ids {
+		if id%2 != 0 || id > 99 {
+			allPass = false
+		}
+	}
+	fmt.Println("returned:", len(ids), "all pass:", allPass)
+	// Output:
+	// passing rows: 50 of 400
+	// nearest passing: 42 dist: 0
+	// returned: 3 all pass: true
+}

@@ -4,14 +4,22 @@
 // high precision (Section 4.3 / Table 5).
 //
 // This uses the internal distsearch package directly because sharding is a
-// deployment concern layered on top of the public single-index API.
+// deployment concern layered on top of the public single-index API. The
+// filtered-search section at the end switches to the public API: a catalog
+// with category/price metadata served over HTTP with per-request predicate
+// filters, the same "filter" clause cmd/nsgserve accepts.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"time"
 
+	nsg "repro"
 	"repro/internal/dataset"
 	"repro/internal/distsearch"
 )
@@ -78,4 +86,108 @@ func main() {
 	perShard := time.Since(start)
 	fmt.Printf("one shard rebuilds in %.1fs -> a rolling daily refresh updates 1/%d of the corpus at a time\n",
 		perShard.Seconds(), shards)
+
+	filteredOverHTTP(ds)
+}
+
+// filteredOverHTTP demos the other production requirement: a storefront
+// query is never "nearest of everything" — it is "nearest in-category,
+// in-budget, in-stock". Build a public index over a catalog slice with
+// category/price metadata and serve it over HTTP; each request may carry
+// a JSON "filter" clause (the same grammar cmd/nsgserve accepts), which
+// the handler compiles against the metadata store before searching.
+func filteredOverHTTP(ds dataset.Dataset) {
+	const catalogN = 6000
+	categories := []string{"shoes", "hats", "bags", "belts", "coats"}
+	rows := make([][]float32, catalogN)
+	price := make([]int64, catalogN)
+	category := make([]string, catalogN)
+	for i := range rows {
+		rows[i] = ds.Base.Row(i)
+		price[i] = int64(1 + (i*37)%500)
+		category[i] = categories[i%len(categories)]
+	}
+	catalog, err := nsg.Build(rows, nsg.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := nsg.NewMetadata(catalogN)
+	if err := m.AddInt64("price", price); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.AddEnum("category", category); err != nil {
+		log.Fatal(err)
+	}
+	if err := catalog.SetMetadata(m); err != nil {
+		log.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Query  []float32       `json:"query"`
+			K      int             `json:"k"`
+			Filter json.RawMessage `json:"filter,omitempty"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var flt *nsg.Filter
+		if len(req.Filter) > 0 {
+			p, err := nsg.UnmarshalPredicate(req.Filter)
+			if err == nil {
+				flt, err = catalog.CompileFilter(p)
+			}
+			if err != nil {
+				http.Error(w, "filter: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		ids, dists := catalog.SearchFiltered(req.Query, req.K, flt)
+		_ = json.NewEncoder(w).Encode(map[string]any{"ids": ids, "dists": dists})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	fmt.Println("\nfiltered search over HTTP (the cmd/nsgserve \"filter\" clause):")
+	query := ds.Queries.Row(0)
+	for _, c := range []struct{ label, clause string }{
+		{"unfiltered", ""},
+		{"category=shoes", `{"col":"category","eq":"shoes"}`},
+		{"shoes under 100", `{"and":[{"col":"category","eq":"shoes"},{"col":"price","range":[1,99]}]}`},
+	} {
+		body := map[string]any{"query": query, "k": 10}
+		if c.clause != "" {
+			body["filter"] = json.RawMessage(c.clause)
+		}
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(srv.URL+"/search", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var got struct {
+			IDs []int32 `json:"ids"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		pass := 0
+		for _, id := range got.IDs {
+			switch c.label {
+			case "category=shoes":
+				if category[id] == "shoes" {
+					pass++
+				}
+			case "shoes under 100":
+				if category[id] == "shoes" && price[id] < 100 {
+					pass++
+				}
+			default:
+				pass++
+			}
+		}
+		fmt.Printf("  %-16s -> %d results, %d/%d pass the predicate\n", c.label, len(got.IDs), pass, len(got.IDs))
+	}
 }

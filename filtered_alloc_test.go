@@ -1,0 +1,60 @@
+//go:build !race
+
+// The filtered-search allocation gate lives behind !race with the other
+// alloc budgets: the race detector defeats sync.Pool caching, making the
+// counts meaningless there.
+
+package nsg
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFilteredSearchZeroAlloc: a warm filtered search with a reused context
+// must allocate nothing — the filter bitmap is compiled once up front, the
+// nav pool lives in the context scratch, and through the public pool only
+// the two result slices remain.
+func TestFilteredSearchZeroAlloc(t *testing.T) {
+	ds := shardedTestData(t, 1500, 20)
+	idx := buildMappedPublicIndex(t, ds, QuantNone)
+	attachTestMetadata(t, idx.SetMetadata, idx.Len())
+
+	// ~50% selectivity: 750 passing > max(256, 4l), so this gates the
+	// two-pool traversal, not the exact fallback.
+	f, err := idx.CompileFilter(HasTag("tags", "even"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := core.NewSearchContext()
+	for i := 0; i < 8; i++ { // warm every context buffer
+		idx.inner.SearchFilteredWithHopsCtx(ctx, ds.Queries.Row(i%ds.Queries.Rows), 10, 60, nil, &f.inner, nil)
+	}
+	qi := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		res := idx.inner.SearchFilteredWithHopsCtx(ctx, ds.Queries.Row(qi%ds.Queries.Rows), 10, 60, nil, &f.inner, nil)
+		if len(res.Neighbors) != 10 {
+			t.Fatal("short result")
+		}
+		qi++
+	})
+	if allocs != 0 {
+		t.Fatalf("warm filtered ctx-reuse search allocated %.2f times per query, want 0", allocs)
+	}
+
+	for i := 0; i < 8; i++ { // warm the public context pool
+		idx.SearchFilteredWithPool(ds.Queries.Row(i%ds.Queries.Rows), 10, 60, f)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		ids, dists := idx.SearchFilteredWithPool(ds.Queries.Row(qi%ds.Queries.Rows), 10, 60, f)
+		if len(ids) != 10 || len(dists) != 10 {
+			t.Fatal("short result")
+		}
+		qi++
+	})
+	if allocs > 2.5 {
+		t.Fatalf("public filtered SearchFilteredWithPool allocated %.2f times per query, want 2 (result slices only)", allocs)
+	}
+}

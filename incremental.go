@@ -91,6 +91,15 @@ func (x *Index) Compact() ([]int32, error) {
 	if err != nil {
 		return nil, err
 	}
+	if m := x.inner.Meta; m != nil {
+		// Carry surviving metadata rows into the new id space. Rows the
+		// store never got (plain Adds) keep failing filters, as before.
+		clipped := remap
+		if len(clipped) > m.Rows() {
+			clipped = clipped[:m.Rows()]
+		}
+		inner.Meta = m.Select(clipped, inner.Base.Rows)
+	}
 	if x.opts.Quantize != QuantNone {
 		// The compacted graph is fresh: re-relayout and retrain the grid on
 		// the surviving vectors so the quantized serving state matches.

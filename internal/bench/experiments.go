@@ -696,6 +696,7 @@ func Experiments() map[string]func(io.Writer, ExpConfig) error {
 		"build":    BuildPerf,
 		"sharded":  ShardedServing,
 		"quant":    Quantized,
+		"filter":   FilteredSearch,
 		"mqbatch":  MQBatch,
 		"cluster":  ClusterServing,
 		"live":     LiveServing,

@@ -342,11 +342,19 @@ func (r *Router) Search(ctx context.Context, q []float32, k, l int) ([]vecmath.N
 // reused slice truncated to [:0]); the merge side reuses pooled buffers via
 // the same distsearch merge hook as the in-process fan-out.
 func (r *Router) SearchAppend(ctx context.Context, dst []vecmath.Neighbor, q []float32, k, l int) ([]vecmath.Neighbor, Result, error) {
+	return r.SearchFilteredAppend(ctx, dst, q, k, l, nil)
+}
+
+// SearchFilteredAppend is SearchAppend with an opaque predicate clause
+// forwarded to every shard server (nil means unfiltered). The router merges
+// filtered per-shard answers exactly like unfiltered ones — each backend
+// guarantees its results pass the predicate, and merging preserves that.
+func (r *Router) SearchFilteredAppend(ctx context.Context, dst []vecmath.Neighbor, q []float32, k, l int, filter json.RawMessage) ([]vecmath.Neighbor, Result, error) {
 	r.met.queries.Add(1)
 	f := r.getFan()
 	// One request serves every shard (and every retry/hedge within it): the
 	// transport caches its marshaled body, so the query is encoded once.
-	req := &SearchRequest{Query: q, K: k, L: l}
+	req := &SearchRequest{Query: q, K: k, L: l, Filter: filter}
 	var wg sync.WaitGroup
 	wg.Add(len(r.shards))
 	for si := range r.shards {

@@ -20,6 +20,11 @@ type SearchRequest struct {
 	Query []float32 `json:"query"`
 	K     int       `json:"k"`
 	L     int       `json:"l,omitempty"`
+	// Filter is an opaque predicate clause forwarded verbatim to each shard
+	// server (nsgserve's "filter" field). The router never parses it — each
+	// backend compiles the clause against its own metadata store, so a bad
+	// clause surfaces as a per-replica 400, not a router-side error.
+	Filter json.RawMessage `json:"filter,omitempty"`
 
 	bodyOnce sync.Once
 	bodyBlob []byte

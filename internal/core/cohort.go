@@ -45,6 +45,7 @@ type CohortContext struct {
 	results []SearchResult
 	hops    []int
 	next    []int // per-slot index of the first unchecked pool element
+	nextNav []int // per-slot navigation-pool cursor (filtered cohorts only)
 
 	// slot maps a compact engine row to its query slot. The engine keeps one
 	// row per *active* query; finished queries are swap-removed so the block
@@ -98,16 +99,19 @@ func (cc *CohortContext) prep(nq int) []SearchResult {
 	if cap(cc.hops) < nq {
 		cc.hops = make([]int, nq)
 		cc.next = make([]int, nq)
+		cc.nextNav = make([]int, nq)
 		cc.slot = make([]int, nq)
 	}
 	cc.results = cc.results[:nq]
 	cc.hops = cc.hops[:nq]
 	cc.next = cc.next[:nq]
+	cc.nextNav = cc.nextNav[:nq]
 	cc.slot = cc.slot[:nq]
 	for i := 0; i < nq; i++ {
 		cc.results[i] = SearchResult{}
 		cc.hops[i] = 0
 		cc.next[i] = 0
+		cc.nextNav[i] = 0
 		cc.slot[i] = i
 	}
 	return cc.results

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/chunkio"
 	"repro/internal/graphutil"
+	"repro/internal/meta"
 	"repro/internal/mstore"
 	"repro/internal/vecmath"
 	"repro/internal/vecmath/quant"
@@ -42,9 +43,13 @@ const (
 	mappedAlign      = 64
 	mappedHeaderSize = 192 // 3 * mappedAlign
 
-	// Section table layout inside the header: five fixed slots of
-	// {offset u64, length u64, crc32 u32, reserved u32}.
-	mappedSections    = 5
+	// Section table layout inside the header: six fixed slots of
+	// {offset u64, length u64, crc32 u32, reserved u32}. The sixth (meta)
+	// slot occupies bytes the v1 format reserved as zero, so v1 files —
+	// whose entry reads as all-zero — parse as "no metadata" without a
+	// version bump; files that do carry it also set nsgFlagMeta, which
+	// pre-metadata readers reject as an unknown flag.
+	mappedSections    = 6
 	sectionEntrySize  = 24
 	sectionTableStart = 40
 	headerCRCOffset   = mappedHeaderSize - 4
@@ -61,9 +66,10 @@ const (
 	SectionRemap
 	SectionQuantBounds
 	SectionCodes
+	SectionMeta
 )
 
-var sectionNames = [...]string{"header", "adjacency", "vectors", "remap", "quant-bounds", "codes"}
+var sectionNames = [...]string{"header", "adjacency", "vectors", "remap", "quant-bounds", "codes", "meta"}
 
 func (s Section) String() string {
 	if s < 0 || int(s) >= len(sectionNames) {
@@ -114,9 +120,10 @@ type mappedSection struct {
 	encode func(io.Writer) error
 }
 
-// mappedLayout computes the five section slots for this index. Sizes are
-// implied by the header geometry, so the table stores only placement and
-// checksums.
+// mappedLayout computes the six section slots for this index. All slab
+// sizes are implied by the header geometry except the metadata blob, whose
+// table length is authoritative (the blob self-describes and carries its
+// own checksum).
 func (x *NSG) mappedLayout() ([mappedSections]mappedSection, int64) {
 	f := x.FlatView()
 	rows := int64(x.Base.Rows)
@@ -159,6 +166,16 @@ func (x *NSG) mappedLayout() ([mappedSections]mappedSection, int64) {
 				_, err := w.Write(x.Quant.Codes.Codes)
 				return err
 			}
+		}
+	}
+	if x.Meta != nil {
+		// Materialize the blob once so the CRC pass and the write pass see
+		// identical bytes even if the store is replaced concurrently.
+		blob := x.Meta.AppendEncode(nil)
+		secs[5].size = int64(len(blob))
+		secs[5].encode = func(w io.Writer) error {
+			_, err := w.Write(blob)
+			return err
 		}
 	}
 	off := int64(mappedHeaderSize)
@@ -213,6 +230,9 @@ func (x *NSG) WriteMapped(w io.Writer) error {
 		} else {
 			flags |= nsgFlagQuant
 		}
+	}
+	if x.Meta != nil {
+		flags |= nsgFlagMeta
 	}
 	hdr := make([]byte, mappedHeaderSize)
 	le := func(off int, v uint32) { putU32(hdr, off, v) }
@@ -333,7 +353,7 @@ func OpenMappedAt(f *mstore.File, off, avail int64, opts MapOptions, exact bool)
 		return nil, 0, corruptf(SectionHeader, "header checksum %#08x != %#08x", got, want)
 	}
 	flags := getU32(hdr, 8)
-	if flags&^uint32(nsgFlagRemap|nsgFlagQuant|nsgFlagQuant4) != 0 {
+	if flags&^uint32(nsgFlagRemap|nsgFlagQuant|nsgFlagQuant4|nsgFlagMeta) != 0 {
 		return nil, 0, corruptf(SectionHeader, "unsupported flags %#x", flags)
 	}
 	if flags&nsgFlagQuant != 0 && flags&nsgFlagQuant4 != 0 {
@@ -369,7 +389,9 @@ func OpenMappedAt(f *mstore.File, off, avail int64, opts MapOptions, exact bool)
 
 	// Section geometry: presence and size are dictated by the header
 	// fields, placement must be aligned, in order and inside the record.
-	want := [mappedSections]int64{rows * stride * 4, rows * dim * 4, 0, 0, 0}
+	// The metadata blob is the one variable-length section — its table
+	// length is authoritative and the blob validates itself on decode.
+	want := [mappedSections]int64{rows * stride * 4, rows * dim * 4, 0, 0, 0, 0}
 	if flags&nsgFlagRemap != 0 {
 		want[2] = rows * 4
 	}
@@ -390,6 +412,12 @@ func OpenMappedAt(f *mstore.File, off, avail int64, opts MapOptions, exact bool)
 		lens[i] = int64(getU64(hdr, base+8))
 		crcs[i] = getU32(hdr, base+16)
 		sec := Section(i + 1)
+		if sec == SectionMeta && flags&nsgFlagMeta != 0 {
+			if lens[i] <= 0 || lens[i] > maxMetaBlob {
+				return nil, 0, corruptf(sec, "implausible metadata length %d", lens[i])
+			}
+			want[i] = lens[i]
+		}
 		if want[i] == 0 {
 			if offs[i] != 0 || lens[i] != 0 {
 				return nil, 0, corruptf(sec, "section present but flags say absent")
@@ -476,6 +504,22 @@ func OpenMappedAt(f *mstore.File, off, avail int64, opts MapOptions, exact bool)
 		}
 		x.PubIDs = pub
 		x.toInternal = inv
+	}
+	if flags&nsgFlagMeta != 0 {
+		metaBytes, err := view(5)
+		if err != nil {
+			return nil, 0, err
+		}
+		// The metadata columns are decoded onto the heap (they are small and
+		// dictionary-compressed, and filter compilation wants them mutable-
+		// friendly); the blob's embedded checksum makes the decode
+		// self-validating even under NoVerify. Copy out of the mapping first
+		// so the store never aliases PROT_READ pages.
+		st, err := meta.Decode(append([]byte(nil), metaBytes...), int(rows))
+		if err != nil {
+			return nil, 0, corruptf(SectionMeta, "%v", err)
+		}
+		x.Meta = st
 	}
 	if flags&(nsgFlagQuant|nsgFlagQuant4) != 0 {
 		maxDim := int64(quant.MaxDim)

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/meta"
 	"repro/internal/mstore"
 	"repro/internal/vecmath"
 	"repro/internal/vecmath/quant"
@@ -33,7 +34,35 @@ func buildMappedTestNSG(t testing.TB, base vecmath.Matrix, relayout bool, quanti
 	if err != nil {
 		t.Fatal(err)
 	}
+	idx.Meta = testMetaStore(t, base.Rows)
 	return idx
+}
+
+// testMetaStore builds a small metadata store (one column per type) so the
+// mapped record carries all six sections and roundtrips exercise the codec.
+func testMetaStore(t testing.TB, rows int) *meta.Store {
+	t.Helper()
+	prices := make([]int64, rows)
+	cats := make([]string, rows)
+	tags := make([][]string, rows)
+	for i := range prices {
+		prices[i] = int64(i * 3)
+		cats[i] = fmt.Sprintf("cat%d", i%5)
+		if i%2 == 0 {
+			tags[i] = []string{"even"}
+		}
+	}
+	s := meta.New(rows)
+	if err := s.AddInt64("price", prices); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEnum("category", cats); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTags("tags", tags); err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func saveMappedTemp(t testing.TB, x *NSG) string {

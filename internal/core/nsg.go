@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/chunkio"
 	"repro/internal/graphutil"
+	"repro/internal/meta"
 	"repro/internal/mstore"
 	"repro/internal/vecmath"
 	"repro/internal/vecmath/quant"
@@ -62,6 +63,12 @@ type NSG struct {
 	// applies it to every emitted result, and toInternal is its inverse.
 	PubIDs     []int32
 	toInternal []int32
+
+	// Meta, when non-nil, is the metadata column store filtered search
+	// compiles predicates against, keyed by public id (row r describes the
+	// point with public id r, independent of any relayout). Persisted as an
+	// optional section in the NSGQ stream and NSGM mapped layouts.
+	Meta *meta.Store
 
 	flatMu sync.Mutex
 	flat   atomic.Pointer[graphutil.FlatGraph]
@@ -525,6 +532,11 @@ const (
 	nsgFlagRemap  = 1 << 0 // id-remap table follows the graph
 	nsgFlagQuant  = 1 << 1 // SQ8 quantizer + code matrix follow
 	nsgFlagQuant4 = 1 << 2 // int4 quantizer + packed code matrix follow
+	nsgFlagMeta   = 1 << 3 // metadata column-store blob follows (after quant)
+
+	// maxMetaBlob bounds the metadata section a reader will allocate for —
+	// far above any real column store, far below a corrupt length's reach.
+	maxMetaBlob = 1 << 30
 )
 
 // Write serializes the index (graph + navigating node + degree cap, plus
@@ -549,6 +561,9 @@ func (x *NSG) Write(w io.Writer) error {
 		} else {
 			flags |= nsgFlagQuant
 		}
+	}
+	if x.Meta != nil {
+		flags |= nsgFlagMeta
 	}
 	if flags == 0 {
 		hdr := make([]byte, 12)
@@ -602,7 +617,49 @@ func (x *NSG) Write(w io.Writer) error {
 			}
 		}
 	}
+	if x.Meta != nil {
+		if err := writeMetaBlob(bw, x.Meta); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
+}
+
+// writeMetaBlob writes the metadata column store as one length-prefixed,
+// self-checksummed blob (the shared NSMD encoding every container embeds).
+func writeMetaBlob(bw *bufio.Writer, s *meta.Store) error {
+	blob := s.AppendEncode(nil)
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(blob)))
+	if _, err := bw.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("core: write meta size: %w", err)
+	}
+	if _, err := bw.Write(blob); err != nil {
+		return fmt.Errorf("core: write meta: %w", err)
+	}
+	return nil
+}
+
+// readMetaBlob reads a length-prefixed NSMD blob and decodes it against the
+// expected row count.
+func readMetaBlob(r io.Reader, wantRows int) (*meta.Store, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("core: read meta size: %w", err)
+	}
+	size := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if size < 0 || size > maxMetaBlob {
+		return nil, fmt.Errorf("core: meta section size %d out of range", size)
+	}
+	blob := make([]byte, size)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return nil, fmt.Errorf("core: read meta: %w", err)
+	}
+	s, err := meta.Decode(blob, wantRows)
+	if err != nil {
+		return nil, fmt.Errorf("core: meta section: %w", err)
+	}
+	return s, nil
 }
 
 // writeRemap encodes the internal→public id table through the shared
@@ -669,7 +726,7 @@ func ReadNSG(r io.Reader, base vecmath.Matrix) (*NSG, error) {
 		// up front (the reject-don't-misparse discipline the distinct
 		// magic exists for) instead of leaving orphaned bytes that would
 		// corrupt the next record of an embedding stream.
-		if flags&^uint32(nsgFlagRemap|nsgFlagQuant|nsgFlagQuant4) != 0 {
+		if flags&^uint32(nsgFlagRemap|nsgFlagQuant|nsgFlagQuant4|nsgFlagMeta) != 0 {
 			return nil, fmt.Errorf("core: unsupported NSG record flags %#x", flags)
 		}
 		if flags&nsgFlagQuant != 0 && flags&nsgFlagQuant4 != 0 {
@@ -741,6 +798,13 @@ func ReadNSG(r io.Reader, base vecmath.Matrix) (*NSG, error) {
 				codes.Rows, codes.Dim, qz.Dim(), base.Rows, base.Dim)
 		}
 		x.Quant = &Quantized{Mode: quant.ModeInt4, Q4: qz, Codes4: codes}
+	}
+	if flags&nsgFlagMeta != 0 {
+		m, err := readMetaBlob(br, base.Rows)
+		if err != nil {
+			return nil, err
+		}
+		x.Meta = m
 	}
 	// Freeze the serving layout once at load.
 	x.flat.Store(graphutil.Flatten(g))

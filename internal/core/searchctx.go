@@ -40,6 +40,28 @@ type SearchContext struct {
 	// qlevels holds the prepared query (int16 grid levels) for the SQ8
 	// search path, recomputed per query and sized once to the dimension.
 	qlevels []int16
+	// nav is the second candidate pool of filtered search: the best
+	// non-passing nodes seen so far, kept for navigation only — they route
+	// the traversal through filtered-out regions but never reach results.
+	// Unfiltered searches never touch it.
+	nav pool
+	// fbits is per-query filter-bitmap scratch (see FilterScratch): request
+	// paths compile a predicate into it on every query without allocating.
+	fbits []uint64
+}
+
+// FilterScratch returns a zeroed bitmap of at least words words, reusing the
+// context's buffer. Request paths (servers, benches) compile each query's
+// predicate into it, so per-query filtering allocates nothing once warm.
+func (c *SearchContext) FilterScratch(words int) []uint64 {
+	if cap(c.fbits) < words {
+		c.fbits = make([]uint64, words+words/2+8)
+	}
+	b := c.fbits[:words]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
 }
 
 // distScratch returns a distance buffer of at least n entries, growing the

@@ -31,6 +31,7 @@ import (
 	"repro/internal/graphutil"
 	"repro/internal/knngraph"
 	"repro/internal/live"
+	"repro/internal/meta"
 	"repro/internal/mstore"
 	"repro/internal/vecmath"
 	"repro/internal/vecmath/quant"
@@ -42,6 +43,12 @@ type Sharded struct {
 	Base    vecmath.Matrix
 	shards  []*core.NSG
 	localID [][]int32 // localID[s][j] = global id of shard s's row j
+
+	// Meta is the optional metadata column store, keyed by GLOBAL id (row g
+	// describes base vector g). It is deliberately not sharded: predicates
+	// compile once into one global bitmap, and each shard tests its rows
+	// through its localID table, so all shards share one filter compilation.
+	Meta *meta.Store
 
 	// tasks feeds the persistent shard workers; each worker owns one
 	// SearchContext for its lifetime, so fan-out searches reuse warm
@@ -315,6 +322,9 @@ type fanScratch struct {
 	// per-shard lists; seq is the context SearchSequential reuses.
 	merged []vecmath.Neighbor
 	seq    *core.SearchContext
+	// flt non-nil marks this fan as filtered; workers dispatch to
+	// runFiltered and each shard searches under flt.per[shard].
+	flt *ShardedFilter
 }
 
 func (s *Sharded) getScratch() *fanScratch {
@@ -396,10 +406,18 @@ func (s *Sharded) worker() {
 			if cc == nil {
 				cc = core.NewCohortContext()
 			}
-			t.cf.run(cc, t.shard)
+			if t.cf.flt != nil {
+				t.cf.runFiltered(cc, t.shard)
+			} else {
+				t.cf.run(cc, t.shard)
+			}
 			continue
 		}
-		t.f.run(ctx, &counter, t.shard)
+		if t.f.flt != nil {
+			t.f.runFiltered(ctx, &counter, t.shard)
+		} else {
+			t.f.run(ctx, &counter, t.shard)
+		}
 	}
 }
 
@@ -416,6 +434,7 @@ type cohortFan struct {
 	wg      sync.WaitGroup
 	bufs    [][]vecmath.Neighbor // bufs[sh*nq+qi], global ids
 	merged  []vecmath.Neighbor
+	flt     *ShardedFilter // non-nil: filtered cohort, see runFiltered
 }
 
 func (s *Sharded) getCohortFan() *cohortFan {

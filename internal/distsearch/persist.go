@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/chunkio"
 	"repro/internal/core"
+	"repro/internal/meta"
 	"repro/internal/mstore"
 	"repro/internal/vecmath"
 )
@@ -27,18 +28,43 @@ const (
 	// every v1 file at the first check.
 	shardedMagic   = 0x4e534754
 	shardedVersion = 2
+	// shardedVersionMeta extends v2 with a flags word and an optional
+	// global metadata blob between the header and the shard sections.
+	// Files without metadata are still written as plain v2, so older
+	// readers only reject files that actually carry the new section.
+	shardedVersionMeta = 3
+	shardedFlagMeta    = 1 << 0
+	maxShardedMetaBlob = 1 << 30
 )
 
 // Write serializes the sharded index (id maps + per-shard NSGs, no base
 // vectors) to w.
 func (s *Sharded) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	version := uint32(shardedVersion)
+	if s.Meta != nil {
+		version = shardedVersionMeta
+	}
 	hdr := make([]byte, 12)
 	binary.LittleEndian.PutUint32(hdr[0:], shardedMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], shardedVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(s.shards)))
 	if _, err := bw.Write(hdr); err != nil {
 		return fmt.Errorf("distsearch: write header: %w", err)
+	}
+	if s.Meta != nil {
+		// One global blob (the store is global-id keyed); the per-shard NSG
+		// records below stay metadata-free.
+		var flagBuf [8]byte
+		blob := s.Meta.AppendEncode(nil)
+		binary.LittleEndian.PutUint32(flagBuf[0:], shardedFlagMeta)
+		binary.LittleEndian.PutUint32(flagBuf[4:], uint32(len(blob)))
+		if _, err := bw.Write(flagBuf[:]); err != nil {
+			return fmt.Errorf("distsearch: write flags: %w", err)
+		}
+		if _, err := bw.Write(blob); err != nil {
+			return fmt.Errorf("distsearch: write metadata: %w", err)
+		}
 	}
 	// Id maps go through the shared chunked codec (not a 4-byte write per
 	// id), same discipline as the nsg vector codec.
@@ -80,14 +106,42 @@ func Read(r io.Reader, base vecmath.Matrix) (*Sharded, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != shardedMagic {
 		return nil, fmt.Errorf("distsearch: not a sharded NSG file")
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != shardedVersion {
-		return nil, fmt.Errorf("distsearch: unsupported sharded format version %d (want %d)", v, shardedVersion)
+	version := binary.LittleEndian.Uint32(hdr[4:])
+	if version != shardedVersion && version != shardedVersionMeta {
+		return nil, fmt.Errorf("distsearch: unsupported sharded format version %d (want %d or %d)", version, shardedVersion, shardedVersionMeta)
 	}
 	nShards := int(binary.LittleEndian.Uint32(hdr[8:]))
 	if nShards <= 0 || nShards > 1<<16 {
 		return nil, fmt.Errorf("distsearch: implausible shard count %d", nShards)
 	}
 	s := &Sharded{Base: base}
+	if version == shardedVersionMeta {
+		var flagBuf [8]byte
+		if _, err := io.ReadFull(br, flagBuf[:]); err != nil {
+			return nil, fmt.Errorf("distsearch: read flags: %w", err)
+		}
+		flags := binary.LittleEndian.Uint32(flagBuf[0:])
+		if flags&^uint32(shardedFlagMeta) != 0 {
+			return nil, fmt.Errorf("distsearch: unsupported sharded flags %#x", flags)
+		}
+		size := int(binary.LittleEndian.Uint32(flagBuf[4:]))
+		if flags&shardedFlagMeta != 0 {
+			if size <= 0 || size > maxShardedMetaBlob {
+				return nil, fmt.Errorf("distsearch: implausible metadata blob size %d", size)
+			}
+			blob := make([]byte, size)
+			if _, err := io.ReadFull(br, blob); err != nil {
+				return nil, fmt.Errorf("distsearch: read metadata: %w", err)
+			}
+			st, err := meta.Decode(blob, base.Rows)
+			if err != nil {
+				return nil, fmt.Errorf("distsearch: metadata: %w", err)
+			}
+			s.Meta = st
+		} else if size != 0 {
+			return nil, fmt.Errorf("distsearch: metadata size %d with flag unset", size)
+		}
+	}
 	covered := 0
 	for sh := 0; sh < nShards; sh++ {
 		var buf [4]byte

@@ -484,6 +484,48 @@ func (h *Handle) SearchCohortCtx(cc *core.CohortContext, queries [][]float32, k,
 	return res
 }
 
+// SearchFilteredCtx is the predicate-aware twin of SearchCtx: the same
+// one-epoch view load and delta merge, but only rows passing flt occupy
+// result slots. The filter is keyed by final id — exactly the id space this
+// handle returns — so delta rows and snapshot rows test against the same
+// bitmap, and the view's translate table doubles as the filter remap. A nil
+// flt behaves exactly like SearchCtx.
+func (h *Handle) SearchFilteredCtx(ctx *core.SearchContext, query []float32, k, l int, counter *vecmath.Counter, flt *core.Filter) core.SearchResult {
+	v := h.view.Load()
+	sc, _ := h.scratch.Get().(*queryScratch)
+	if sc == nil {
+		sc = &queryScratch{}
+	}
+	d := sc.fill(v, h.seq)
+	res := v.snap.SearchLiveFilteredCtx(ctx, query, k, l, counter, core.LiveQuery{
+		Delta:     d,
+		Dead:      v.dead,
+		Translate: v.translate,
+	}, flt)
+	h.scratch.Put(sc)
+	return res
+}
+
+// SearchCohortFilteredCtx answers a cohort of queries under one shared
+// filter against one epoch of the view; per query the result is
+// byte-identical to a solo SearchFilteredCtx call. A nil flt behaves
+// exactly like SearchCohortCtx.
+func (h *Handle) SearchCohortFilteredCtx(cc *core.CohortContext, queries [][]float32, k, l int, counter *vecmath.Counter, flt *core.Filter) []core.SearchResult {
+	v := h.view.Load()
+	sc, _ := h.scratch.Get().(*queryScratch)
+	if sc == nil {
+		sc = &queryScratch{}
+	}
+	d := sc.fill(v, h.seq)
+	res := v.snap.SearchLiveCohortFilteredCtx(cc, queries, k, l, counter, core.LiveQuery{
+		Delta:     d,
+		Dead:      v.dead,
+		Translate: v.translate,
+	}, flt)
+	h.scratch.Put(sc)
+	return res
+}
+
 // fill rebuilds the core.Delta for one query from the loaded view. Each
 // chunk's row count is loaded once, so the scanned prefix is frozen for
 // the whole query.

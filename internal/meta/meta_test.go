@@ -1,0 +1,261 @@
+package meta
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// testStore builds a deterministic store with one column of each type.
+func testStore(t *testing.T, rows int, seed int64) *Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := New(rows)
+	ints := make([]int64, rows)
+	cats := make([]string, rows)
+	tags := make([][]string, rows)
+	allTags := []string{"new", "sale", "eco", "import", "bulk"}
+	for i := 0; i < rows; i++ {
+		ints[i] = int64(rng.Intn(1000))
+		cats[i] = fmt.Sprintf("cat%d", rng.Intn(8))
+		set := make([]string, 0, 2)
+		for _, tag := range allTags {
+			if rng.Intn(3) == 0 {
+				set = append(set, tag)
+			}
+		}
+		tags[i] = set
+	}
+	if err := s.AddInt64("price", ints); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEnum("category", cats); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTags("tags", tags); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCompileMatchesParity gates the bitmap compiler against the per-row
+// reference evaluator on every predicate form.
+func TestCompileMatchesParity(t *testing.T) {
+	const rows = 700
+	s := testStore(t, rows, 7)
+	preds := []Predicate{
+		Eq("price", int64(250)),
+		Eq("category", "cat3"),
+		Range("price", 100, 399),
+		Range("price", 990, 5000),
+		In("price", int64(1), int64(2), int64(3)),
+		In("category", "cat0", "cat7", "nosuch"),
+		HasTag("tags", "sale"),
+		HasTag("tags", "nosuch"),
+		And(Range("price", 0, 500), Eq("category", "cat1")),
+		Or(Eq("category", "cat2"), HasTag("tags", "eco")),
+		And(Or(Eq("category", "cat0"), Eq("category", "cat1")), Range("price", 200, 800), HasTag("tags", "new")),
+		And(), // matches everything
+		Or(),  // matches nothing
+		{},    // zero predicate matches nothing
+	}
+	bits := make([]uint64, BitsLen(rows))
+	for pi, p := range preds {
+		count, err := s.Compile(p, bits)
+		if err != nil {
+			t.Fatalf("pred %d: %v", pi, err)
+		}
+		got := 0
+		for row := 0; row < rows; row++ {
+			want := s.Matches(p, row)
+			have := bits[row>>6]&(1<<uint(row&63)) != 0
+			if want != have {
+				t.Fatalf("pred %d row %d: compile=%v matches=%v", pi, row, have, want)
+			}
+			if have {
+				got++
+			}
+		}
+		if got != count {
+			t.Fatalf("pred %d: Compile count %d, bitmap has %d", pi, count, got)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	s := testStore(t, 64, 1)
+	bits := make([]uint64, BitsLen(64))
+	cases := []Predicate{
+		Eq("nosuch", int64(1)),
+		Eq("price", "notanint"),
+		Eq("category", int64(3)),
+		Eq("tags", "x"),
+		Range("category", 0, 1),
+		HasTag("price", "x"),
+		Eq("price", 3.5),                                   // non-integral float
+		In("price", int64(1), "mixed"),                     // mixed operand types
+		And(Eq("price", int64(1)), Eq("nosuch", int64(2))), // nested error propagates
+	}
+	for i, p := range cases {
+		if _, err := s.Compile(p, bits); err == nil {
+			t.Errorf("case %d: expected compile error", i)
+		}
+	}
+	if _, err := s.Compile(Eq("price", int64(1)), bits[:0]); err == nil {
+		t.Error("short bitmap: expected error")
+	}
+}
+
+func TestAppendRow(t *testing.T) {
+	s := testStore(t, 10, 3)
+	if err := s.AppendRow(map[string]any{"price": int64(42), "category": "catNEW", "tags": []string{"zzz", "sale"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRow(nil); err != nil { // all-missing row
+		t.Fatal(err)
+	}
+	if s.Rows() != 12 {
+		t.Fatalf("rows = %d, want 12", s.Rows())
+	}
+	if !s.Matches(Eq("price", int64(42)), 10) || !s.Matches(Eq("category", "catNEW"), 10) || !s.Matches(HasTag("tags", "zzz"), 10) {
+		t.Error("appended row does not match its own values")
+	}
+	// Missing enum/tags never match; missing int64 is the zero value.
+	if s.Matches(Eq("category", "catNEW"), 11) || s.Matches(HasTag("tags", "sale"), 11) {
+		t.Error("all-missing row matched an enum/tag predicate")
+	}
+	if !s.Matches(Eq("price", int64(0)), 11) {
+		t.Error("missing int64 should hold the zero value")
+	}
+	// Unknown column and bad types reject without appending.
+	if err := s.AppendRow(map[string]any{"nosuch": 1}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if err := s.AppendRow(map[string]any{"price": "str"}); err == nil {
+		t.Error("mistyped int64 accepted")
+	}
+	if s.Rows() != 12 {
+		t.Fatalf("failed appends changed row count to %d", s.Rows())
+	}
+}
+
+// TestAppendConcurrentWithCompile hammers AppendRow against Compile and
+// Matches; correctness here is "no race, no torn view" (run under -race).
+func TestAppendConcurrentWithCompile(t *testing.T) {
+	s := testStore(t, 100, 5)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			_ = s.AppendRow(map[string]any{"price": int64(i), "category": "catX", "tags": []string{"new"}})
+		}
+		close(stop)
+	}()
+	wg.Add(2)
+	for g := 0; g < 2; g++ {
+		go func() {
+			defer wg.Done()
+			p := And(Range("price", 0, 400), Or(Eq("category", "catX"), HasTag("tags", "new")))
+			for {
+				rows := s.Rows()
+				bits := make([]uint64, BitsLen(rows+64))
+				count, err := s.Compile(p, bits)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if count > s.Rows() {
+					t.Errorf("count %d exceeds rows %d", count, s.Rows())
+					return
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Rows() != 600 {
+		t.Fatalf("rows = %d, want 600", s.Rows())
+	}
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	s := testStore(t, 333, 9)
+	if err := s.AppendRow(map[string]any{"price": int64(-7), "category": "", "tags": []string{}}); err != nil {
+		t.Fatal(err)
+	}
+	blob := s.AppendEncode(nil)
+	if len(blob) != s.EncodedLen() {
+		t.Fatalf("EncodedLen %d, actual %d", s.EncodedLen(), len(blob))
+	}
+	d, err := Decode(blob, s.Rows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []Predicate{
+		Range("price", 100, 500),
+		Eq("category", "cat3"),
+		HasTag("tags", "eco"),
+		Eq("price", int64(-7)),
+	}
+	for pi, p := range preds {
+		for row := 0; row < s.Rows(); row++ {
+			if s.Matches(p, row) != d.Matches(p, row) {
+				t.Fatalf("pred %d row %d: decoded store disagrees", pi, row)
+			}
+		}
+	}
+	// A decoded store accepts appends (the live path after Load).
+	if err := d.AppendRow(map[string]any{"category": "cat3"}); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Matches(Eq("category", "cat3"), s.Rows()) {
+		t.Error("append after decode did not intern into the decoded dictionary")
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	s := testStore(t, 50, 2)
+	blob := s.AppendEncode(nil)
+	if _, err := Decode(blob, 49); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+	if _, err := Decode(blob[:len(blob)-1], -1); err == nil {
+		t.Error("truncated blob accepted")
+	}
+	if _, err := Decode(append(blob, 0), -1); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	for _, off := range []int{0, 4, 8, 12, 20, len(blob) / 2, len(blob) - 2} {
+		bad := append([]byte(nil), blob...)
+		bad[off] ^= 0x41
+		if _, err := Decode(bad, -1); err == nil {
+			t.Errorf("flip at %d accepted", off)
+		}
+	}
+	if _, err := Decode(nil, -1); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestBitsHelpers(t *testing.T) {
+	if BitsLen(0) != 0 || BitsLen(1) != 1 || BitsLen(64) != 1 || BitsLen(65) != 2 {
+		t.Fatal("BitsLen wrong")
+	}
+	bits := []uint64{^uint64(0), ^uint64(0)}
+	if got := CountBits(bits, 70); got != 70 {
+		t.Fatalf("CountBits(70) = %d", got)
+	}
+	if got := CountBits(bits, 128); got != 128 {
+		t.Fatalf("CountBits(128) = %d", got)
+	}
+	if got := CountBits(bits, 0); got != 0 {
+		t.Fatalf("CountBits(0) = %d", got)
+	}
+}
