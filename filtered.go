@@ -114,8 +114,7 @@ func (x *Index) CompileFilter(p Predicate) (*Filter, error) {
 	if m == nil {
 		return nil, ErrNoMetadata
 	}
-	bits := make([]uint64, meta.BitsLen(m.Rows()))
-	count, err := m.Compile(p, bits)
+	bits, count, err := m.CompileAlloc(p)
 	if err != nil {
 		return nil, err
 	}
@@ -314,10 +313,37 @@ type predClause struct {
 	Or     []json.RawMessage `json:"or,omitempty"`
 }
 
+// Wire-form predicate limits. Every clause compiles to an O(rows) bitmap
+// pass, so an unbounded and/or array in a request body would be a cheap CPU
+// amplification vector against the serving tier (each clause forces a full
+// metadata scan, fanned to every shard). The caps are far above any sane
+// filter while keeping the worst-case request body a small constant amount
+// of per-request work.
+const (
+	// MaxPredicateClauses bounds the total clause count (leaves plus
+	// and/or nodes) UnmarshalPredicate accepts in one filter.
+	MaxPredicateClauses = 64
+	// MaxPredicateDepth bounds and/or nesting depth.
+	MaxPredicateDepth = 8
+)
+
 // UnmarshalPredicate parses the JSON clause form used by the serving tier
 // (cmd/nsgserve request bodies) into a Predicate. See predClause for the
-// syntax; nesting is arbitrary.
+// syntax; nesting is bounded by MaxPredicateDepth and the total clause
+// count by MaxPredicateClauses.
 func UnmarshalPredicate(data []byte) (Predicate, error) {
+	clauses := 0
+	return unmarshalPredicate(data, 1, &clauses)
+}
+
+func unmarshalPredicate(data []byte, depth int, clauses *int) (Predicate, error) {
+	if depth > MaxPredicateDepth {
+		return Predicate{}, fmt.Errorf("nsg: filter nesting exceeds %d levels", MaxPredicateDepth)
+	}
+	*clauses++
+	if *clauses > MaxPredicateClauses {
+		return Predicate{}, fmt.Errorf("nsg: filter exceeds %d clauses", MaxPredicateClauses)
+	}
 	var c predClause
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -346,13 +372,13 @@ func UnmarshalPredicate(data []byte) (Predicate, error) {
 	case c.HasTag != nil:
 		return HasTag(c.Col, *c.HasTag), nil
 	case c.And != nil:
-		kids, err := unmarshalClauses(c.And)
+		kids, err := unmarshalClauses(c.And, depth, clauses)
 		if err != nil {
 			return Predicate{}, err
 		}
 		return And(kids...), nil
 	default:
-		kids, err := unmarshalClauses(c.Or)
+		kids, err := unmarshalClauses(c.Or, depth, clauses)
 		if err != nil {
 			return Predicate{}, err
 		}
@@ -360,13 +386,13 @@ func UnmarshalPredicate(data []byte) (Predicate, error) {
 	}
 }
 
-func unmarshalClauses(raw []json.RawMessage) ([]Predicate, error) {
+func unmarshalClauses(raw []json.RawMessage, depth int, clauses *int) ([]Predicate, error) {
 	if len(raw) == 0 {
 		return nil, fmt.Errorf("nsg: and/or wants at least one clause")
 	}
 	kids := make([]Predicate, len(raw))
 	for i, r := range raw {
-		p, err := UnmarshalPredicate(r)
+		p, err := unmarshalPredicate(r, depth+1, clauses)
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -545,5 +546,32 @@ func TestUnmarshalPredicate(t *testing.T) {
 		if _, err := UnmarshalPredicate([]byte(bad)); err == nil {
 			t.Fatalf("%q parsed without error", bad)
 		}
+	}
+}
+
+// TestUnmarshalPredicateLimits: the wire form rejects filters past the
+// clause-count and nesting-depth caps, so a request body cannot force
+// unbounded per-request compile work on the serving tier.
+func TestUnmarshalPredicateLimits(t *testing.T) {
+	leaf := `{"col":"price","eq":1}`
+	// Exactly at the clause cap (one and node + cap-1 leaves) parses...
+	atCap := `{"and":[` + leaf + strings.Repeat(`,`+leaf, MaxPredicateClauses-2) + `]}`
+	if _, err := UnmarshalPredicate([]byte(atCap)); err != nil {
+		t.Fatalf("filter at the clause cap rejected: %v", err)
+	}
+	// ...one more leaf does not.
+	overCap := `{"and":[` + leaf + strings.Repeat(`,`+leaf, MaxPredicateClauses-1) + `]}`
+	if _, err := UnmarshalPredicate([]byte(overCap)); err == nil {
+		t.Fatal("filter over the clause cap accepted")
+	}
+	// Depth: and-chains at the cap parse, one deeper rejects.
+	nest := func(depth int) string {
+		return strings.Repeat(`{"and":[`, depth) + leaf + strings.Repeat(`]}`, depth)
+	}
+	if _, err := UnmarshalPredicate([]byte(nest(MaxPredicateDepth - 1))); err != nil {
+		t.Fatalf("filter at the depth cap rejected: %v", err)
+	}
+	if _, err := UnmarshalPredicate([]byte(nest(MaxPredicateDepth))); err == nil {
+		t.Fatal("filter over the depth cap accepted")
 	}
 }

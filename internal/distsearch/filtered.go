@@ -61,14 +61,15 @@ func (s *Sharded) NewFilter(bits []uint64, count int) *ShardedFilter {
 }
 
 // CompileFilter compiles a predicate against the index's global metadata
-// store into a ready-to-fan filter. The bitmap is freshly allocated, so the
-// result stays valid when the predicate scratch is reused.
+// store into a ready-to-fan filter. The bitmap is freshly allocated (sized
+// and compiled against one consistent store view, so concurrent appends
+// cannot fail the compilation), and the result stays valid when the
+// predicate scratch is reused.
 func (s *Sharded) CompileFilter(p meta.Predicate) (*ShardedFilter, error) {
 	if s.Meta == nil {
 		return nil, core.ErrNoMetadata
 	}
-	bits := make([]uint64, meta.BitsLen(s.Meta.Rows()))
-	count, err := s.Meta.Compile(p, bits)
+	bits, count, err := s.Meta.CompileAlloc(p)
 	if err != nil {
 		return nil, err
 	}

@@ -137,6 +137,15 @@ func (s *Store) ColType(name string) (ColType, bool) {
 func (s *Store) addColumn(c column) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.addColumnLocked(c)
+}
+
+// addColumnLocked publishes a new column. Caller holds s.mu, so the
+// dictionary-carrying registrations (AddEnum, AddTags) can store their dict
+// index in the same critical section — a concurrent AppendRow must never
+// observe the column without its index, or it would rebuild one whose new
+// entries the registration's subsequent store would drop.
+func (s *Store) addColumnLocked(c column) error {
 	v := s.v.Load()
 	if v.col(c.name) != nil {
 		return fmt.Errorf("meta: duplicate column %q", c.name)
@@ -160,8 +169,10 @@ func (s *Store) AddInt64(name string, values []int64) error {
 // AddEnum registers a dictionary-encoded string column with one value per
 // row. The empty string is a valid value.
 func (s *Store) AddEnum(name string, values []string) error {
-	if len(values) != s.Rows() {
-		return fmt.Errorf("meta: column %q has %d values, store has %d rows", name, len(values), s.Rows())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rows := s.v.Load().rows; len(values) != rows {
+		return fmt.Errorf("meta: column %q has %d values, store has %d rows", name, len(values), rows)
 	}
 	idx := make(map[string]int32)
 	c := column{name: name, typ: TypeEnum, codes: make([]int32, len(values))}
@@ -174,12 +185,10 @@ func (s *Store) AddEnum(name string, values []string) error {
 		}
 		c.codes[i] = code
 	}
-	if err := s.addColumn(c); err != nil {
+	if err := s.addColumnLocked(c); err != nil {
 		return err
 	}
-	s.mu.Lock()
 	s.dictIdx[name] = idx
-	s.mu.Unlock()
 	return nil
 }
 
@@ -187,8 +196,10 @@ func (s *Store) AddEnum(name string, values []string) error {
 // row. Each row's tags are dictionary-encoded and stored sorted, so
 // containment tests are a binary search.
 func (s *Store) AddTags(name string, values [][]string) error {
-	if len(values) != s.Rows() {
-		return fmt.Errorf("meta: column %q has %d rows, store has %d", name, len(values), s.Rows())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rows := s.v.Load().rows; len(values) != rows {
+		return fmt.Errorf("meta: column %q has %d rows, store has %d", name, len(values), rows)
 	}
 	idx := make(map[string]int32)
 	c := column{name: name, typ: TypeTags, offs: make([]int32, 1, len(values)+1)}
@@ -207,12 +218,10 @@ func (s *Store) AddTags(name string, values [][]string) error {
 		c.tags = append(c.tags, row...)
 		c.offs = append(c.offs, int32(len(c.tags)))
 	}
-	if err := s.addColumn(c); err != nil {
+	if err := s.addColumnLocked(c); err != nil {
 		return err
 	}
-	s.mu.Lock()
 	s.dictIdx[name] = idx
-	s.mu.Unlock()
 	return nil
 }
 
@@ -226,9 +235,31 @@ func (s *Store) AppendRow(values map[string]any) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	v := s.v.Load()
-	for name := range values {
-		if v.col(name) == nil {
+	// Validate every value before mutating any writer state. Interning
+	// commits codes into s.dictIdx (and the shared dict backing arrays), so
+	// an error discovered after a column has interned would leave codes
+	// behind that the published view never learns about — later appends of
+	// the same value would reuse a code past the published dictionary and
+	// silently fail every predicate (and break encoding). Checking types up
+	// front makes the build loop below infallible.
+	for name, val := range values {
+		c := v.col(name)
+		if c == nil {
 			return fmt.Errorf("meta: append: unknown column %q", name)
+		}
+		switch c.typ {
+		case TypeInt64:
+			if _, ok := asInt64(val); !ok {
+				return fmt.Errorf("meta: append: column %q wants an integer, got %T", name, val)
+			}
+		case TypeEnum:
+			if _, ok := val.(string); !ok {
+				return fmt.Errorf("meta: append: column %q wants a string, got %T", name, val)
+			}
+		case TypeTags:
+			if _, ok := asStrings(val); !ok {
+				return fmt.Errorf("meta: append: column %q wants a string set, got %T", name, val)
+			}
 		}
 	}
 	nv := &view{rows: v.rows + 1, cols: append([]column(nil), v.cols...)}
@@ -239,29 +270,18 @@ func (s *Store) AppendRow(values map[string]any) error {
 		case TypeInt64:
 			n := int64(0)
 			if ok {
-				iv, iok := asInt64(val)
-				if !iok {
-					return fmt.Errorf("meta: append: column %q wants an integer, got %T", c.name, val)
-				}
-				n = iv
+				n, _ = asInt64(val)
 			}
 			c.ints = append(c.ints, n)
 		case TypeEnum:
 			code := missingCode
 			if ok {
-				sv, sok := val.(string)
-				if !sok {
-					return fmt.Errorf("meta: append: column %q wants a string, got %T", c.name, val)
-				}
-				code = s.internLocked(c, sv)
+				code = s.internLocked(c, val.(string))
 			}
 			c.codes = append(c.codes, code)
 		case TypeTags:
 			if ok {
-				set, sok := asStrings(val)
-				if !sok {
-					return fmt.Errorf("meta: append: column %q wants a string set, got %T", c.name, val)
-				}
+				set, _ := asStrings(val)
 				row := make([]int32, 0, len(set))
 				for _, tag := range set {
 					row = append(row, s.internLocked(c, tag))

@@ -140,6 +140,111 @@ func TestAppendRow(t *testing.T) {
 	}
 }
 
+// TestAppendRowErrorDoesNotPoison: a failed AppendRow must not leak dict
+// codes. The regression scenario: one well-typed NEW enum value alongside a
+// mistyped value in another column — if the enum interned before the type
+// check failed, a later successful append of the same value would get a
+// stale code past the published dictionary, silently failing every
+// predicate and producing an undecodable encoding.
+func TestAppendRowErrorDoesNotPoison(t *testing.T) {
+	s := New(0)
+	if err := s.AddEnum("category", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTags("tags", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddInt64("price", nil); err != nil {
+		t.Fatal(err)
+	}
+	// New enum value + new tag, but the int64 column gets a string: the
+	// whole append must reject with no residue.
+	err := s.AppendRow(map[string]any{"category": "fresh", "tags": []string{"rare"}, "price": "oops"})
+	if err == nil {
+		t.Fatal("mistyped append accepted")
+	}
+	if s.Rows() != 0 {
+		t.Fatalf("failed append grew rows to %d", s.Rows())
+	}
+	// The same values appended correctly must land with live codes.
+	if err := s.AppendRow(map[string]any{"category": "fresh", "tags": []string{"rare"}, "price": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Matches(Eq("category", "fresh"), 0) || !s.Matches(HasTag("tags", "rare"), 0) {
+		t.Error("re-appended values do not match their own predicates")
+	}
+	bits := make([]uint64, BitsLen(s.Rows()))
+	if count, err := s.Compile(Eq("category", "fresh"), bits); err != nil || count != 1 {
+		t.Errorf("Compile(Eq fresh) = %d, %v; want 1, nil", count, err)
+	}
+	// The encoded stream must decode: a leaked code past the dictionary
+	// would be rejected here.
+	if _, err := Decode(s.AppendEncode(nil), s.Rows()); err != nil {
+		t.Errorf("encode after failed append does not round-trip: %v", err)
+	}
+}
+
+// TestCompileAlloc: the self-sizing compile agrees with Compile into a
+// caller-sized bitmap.
+func TestCompileAlloc(t *testing.T) {
+	const rows = 130 // deliberately not a multiple of 64
+	s := testStore(t, rows, 11)
+	p := Or(Eq("category", "cat1"), HasTag("tags", "sale"))
+	bits, count, err := s.CompileAlloc(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) != BitsLen(rows) {
+		t.Fatalf("bitmap has %d words, want %d", len(bits), BitsLen(rows))
+	}
+	ref := make([]uint64, BitsLen(rows))
+	refCount, err := s.Compile(p, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != refCount {
+		t.Fatalf("CompileAlloc count %d != Compile count %d", count, refCount)
+	}
+	for i := range ref {
+		if bits[i] != ref[i] {
+			t.Fatalf("word %d: CompileAlloc %x != Compile %x", i, bits[i], ref[i])
+		}
+	}
+	if _, _, err := s.CompileAlloc(Eq("nosuch", int64(1))); err == nil {
+		t.Error("CompileAlloc accepted an unknown column")
+	}
+}
+
+// TestControlCharOperand: operand values are never confused with the
+// internal bad-operand marker, however adversarial the string.
+func TestControlCharOperand(t *testing.T) {
+	const weird = "\x00bad-operand" // the former sentinel value
+	s := New(0)
+	if err := s.AddEnum("category", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRow(map[string]any{"category": weird}); err != nil {
+		t.Fatal(err)
+	}
+	bits := make([]uint64, BitsLen(s.Rows()))
+	for name, p := range map[string]Predicate{
+		"In": In("category", weird),
+		"Eq": Eq("category", weird),
+	} {
+		count, err := s.Compile(p, bits)
+		if err != nil {
+			t.Errorf("%s(%q): %v", name, weird, err)
+		}
+		if count != 1 {
+			t.Errorf("%s(%q) matched %d rows, want 1", name, weird, count)
+		}
+	}
+	// Genuinely bad operands still reject.
+	if _, err := s.Compile(In("category", 3.5), bits); err == nil {
+		t.Error("float operand accepted")
+	}
+}
+
 // TestAppendConcurrentWithCompile hammers AppendRow against Compile and
 // Matches; correctness here is "no race, no torn view" (run under -race).
 func TestAppendConcurrentWithCompile(t *testing.T) {

@@ -29,7 +29,12 @@ type Predicate struct {
 	// isStr records whether Eq/In carried string or integer operands; a
 	// mismatch against the column type is a compile-time error, not a
 	// silent empty result.
-	isStr  bool
+	isStr bool
+	// badOp marks an Eq/In built from an unsupported operand type (str
+	// holds the offending type's name) so the error surfaces at compile
+	// time. A flag rather than a sentinel value: any string, including any
+	// control-character one, is a legitimate operand.
+	badOp  bool
 	lo, hi int64 // Range, inclusive
 	strs   []string
 	nums   []int64
@@ -46,12 +51,8 @@ func Eq(col string, value any) Predicate {
 	if n, ok := asInt64(value); ok {
 		return Predicate{op: opEq, col: col, num: n}
 	}
-	return Predicate{op: opEq, col: col, isStr: false, num: 0, str: fmt.Sprintf("%T", value), strs: badOperand}
+	return Predicate{op: opEq, col: col, str: fmt.Sprintf("%T", value), badOp: true}
 }
-
-// badOperand marks an Eq/In built from an unsupported operand type so the
-// error surfaces at compile time with the offending type's name.
-var badOperand = []string{"\x00bad-operand"}
 
 // Range matches rows whose int64 column value lies in [lo, hi], inclusive.
 func Range(col string, lo, hi int64) Predicate {
@@ -71,10 +72,10 @@ func In(col string, values ...any) Predicate {
 			p.nums = append(p.nums, n)
 			continue
 		}
-		return Predicate{op: opIn, col: col, str: fmt.Sprintf("%T", v), strs: badOperand}
+		return Predicate{op: opIn, col: col, str: fmt.Sprintf("%T", v), badOp: true}
 	}
 	if len(p.strs) > 0 && len(p.nums) > 0 {
-		return Predicate{op: opIn, col: col, str: "mixed string/integer operands", strs: badOperand}
+		return Predicate{op: opIn, col: col, str: "mixed string/integer operands", badOp: true}
 	}
 	p.isStr = len(p.strs) > 0
 	return p
@@ -94,9 +95,7 @@ func Or(ps ...Predicate) Predicate { return Predicate{op: opOr, kids: ps} }
 // Zero reports whether p is the zero Predicate (no expression).
 func (p Predicate) Zero() bool { return p.op == opNone }
 
-func (p Predicate) bad() bool {
-	return len(p.strs) == 1 && len(badOperand) == 1 && p.strs[0] == badOperand[0]
-}
+func (p Predicate) bad() bool { return p.badOp }
 
 // Compile evaluates p over every row of s and writes the result into
 // bits: bit i set means row i passes. bits must be at least
@@ -105,7 +104,24 @@ func (p Predicate) bad() bool {
 // allocates only for nested AND/OR scratch and may run concurrently with
 // AppendRow; it evaluates one consistent published view.
 func (s *Store) Compile(p Predicate, bits []uint64) (int, error) {
+	return compileBits(s.v.Load(), p, bits)
+}
+
+// CompileAlloc is Compile into a freshly allocated bitmap sized from the
+// same published view it evaluates. Callers sizing a bitmap from a separate
+// Rows() load can race a concurrent AppendRow across a 64-row word boundary
+// and draw a spurious "bitmap too short" error; CompileAlloc cannot.
+func (s *Store) CompileAlloc(p Predicate) ([]uint64, int, error) {
 	v := s.v.Load()
+	bits := make([]uint64, BitsLen(v.rows))
+	count, err := compileBits(v, p, bits)
+	if err != nil {
+		return nil, 0, err
+	}
+	return bits, count, nil
+}
+
+func compileBits(v *view, p Predicate, bits []uint64) (int, error) {
 	words := BitsLen(v.rows)
 	if len(bits) < words {
 		return 0, fmt.Errorf("meta: bitmap too short: %d words, need %d", len(bits), words)
